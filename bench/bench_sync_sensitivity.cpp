@@ -1,0 +1,74 @@
+// E7 — host <-> switch synchronisation sensitivity.
+//
+// Paper §2: software/host-buffered operation "requires tight
+// synchronization between the host and switch, which is difficult to
+// achieve at faster switching times".  In host-buffered mode we sweep the
+// host clock skew and the guard band and report missed-window losses and
+// delivery; ToR-buffered mode is shown as the skew-immune baseline.
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace xdrs;
+using namespace xdrs::sim::literals;
+using sim::Time;
+
+core::RunReport run_point(core::BufferPlacement placement, Time skew, Time guard) {
+  core::FrameworkConfig c = bench::hybrid_base(8);
+  c.placement = placement;
+  c.epoch = 200_us;
+  c.min_circuit_hold = 20_us;
+  c.sync.max_skew = skew;
+  c.sync.guard_band = guard;
+  c.sync.seed = 77;
+  core::HybridSwitchFramework fw{c};
+  bench::install_hybrid_policies(fw, std::make_unique<control::HardwareSchedulerTimingModel>());
+
+  topo::WorkloadSpec spec;
+  spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
+  spec.mean_on = 60_us;
+  spec.mean_off = 140_us;
+  spec.seed = 61;
+  topo::attach_workload(fw, spec);
+  return fw.run(20_ms, 4_ms);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E7", "missed-window losses vs host clock skew and guard band (host-buffered)");
+
+  stats::Table t{{"placement", "max skew", "guard band", "sync losses", "delivered", "delivery",
+                  "ocs bytes"}};
+  for (const Time skew : {Time::zero(), 1_us, 5_us, 10_us}) {
+    for (const Time guard : {Time::zero(), 2_us, 10_us}) {
+      const core::RunReport r = run_point(core::BufferPlacement::kHost, skew, guard);
+      t.row()
+          .cell("host")
+          .cell(skew.to_string())
+          .cell(guard.to_string())
+          .cell(r.sync_losses)
+          .cell(r.delivered_packets)
+          .cell(r.delivery_ratio(), 3)
+          .cell(sim::format_bytes(static_cast<double>(r.ocs_bytes)));
+    }
+  }
+  // Skew-immune baseline: ToR-buffered, same workload, worst skew.
+  const core::RunReport tor = run_point(core::BufferPlacement::kToRSwitch, 10_us, Time::zero());
+  t.row()
+      .cell("tor (baseline)")
+      .cell((10_us).to_string())
+      .cell("n/a")
+      .cell(tor.sync_losses)
+      .cell(tor.delivered_packets)
+      .cell(tor.delivery_ratio(), 3)
+      .cell(sim::format_bytes(static_cast<double>(tor.ocs_bytes)));
+  std::printf("%s\n", t.markdown().c_str());
+
+  bench::print_note(
+      "Host-buffered operation loses packets once skew outgrows the guard band; widening the\n"
+      "guard recovers correctness but burns circuit time. ToR buffering (fast scheduling) is\n"
+      "immune — host clocks never gate transmission. This is the paper's synchronisation claim.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the experiment benches (E1..E10).
+//
+// Every bench prints a GitHub-markdown table whose rows mirror what the
+// paper reports (or motivates); EXPERIMENTS.md records the outputs.
+#ifndef XDRS_BENCH_BENCH_UTIL_HPP
+#define XDRS_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "core/framework.hpp"
+#include "schedulers/solstice.hpp"
+#include "topo/testbed.hpp"
+
+namespace xdrs::bench {
+
+inline void print_header(const char* experiment, const char* title) {
+  std::printf("\n## %s — %s\n\n", experiment, title);
+}
+
+inline void print_note(const std::string& note) { std::printf("%s\n", note.c_str()); }
+
+/// Standard hybrid configuration used by several experiments; individual
+/// benches override the fields they sweep.
+inline core::FrameworkConfig hybrid_base(std::uint32_t ports) {
+  core::FrameworkConfig c;
+  c.ports = ports;
+  c.discipline = core::SchedulingDiscipline::kHybridEpoch;
+  c.link_rate = sim::DataRate::gbps(10);
+  c.eps_rate = sim::DataRate::gbps(10);
+  c.epoch = sim::Time::microseconds(100);
+  c.ocs_reconfig = sim::Time::microseconds(1);
+  c.min_circuit_hold = sim::Time::microseconds(10);
+  return c;
+}
+
+/// Installs instantaneous estimator + given timing model + Solstice circuit
+/// scheduler sized to the configuration's reconfiguration cost.
+inline void install_hybrid_policies(core::HybridSwitchFramework& fw,
+                                    std::unique_ptr<control::SchedulerTimingModel> timing) {
+  const auto& c = fw.config();
+  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
+  fw.set_timing_model(std::move(timing));
+  schedulers::SolsticeConfig sc;
+  sc.reconfig_cost_bytes = core::reconfig_cost_bytes(c);
+  sc.max_slots = c.ports;
+  fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+}
+
+}  // namespace xdrs::bench
+
+#endif  // XDRS_BENCH_BENCH_UTIL_HPP

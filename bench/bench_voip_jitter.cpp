@@ -1,0 +1,71 @@
+// E4 — interactive (VOIP-like) traffic latency and jitter under slow
+// (software, host-buffered) vs fast (hardware, ToR-buffered) scheduling.
+//
+// Paper §2: slow scheduling "can increase the overall traffic latency and
+// jitter of widely used applications (i.e., VOIP, multiuser gaming etc.)
+// and decrease the user quality of experience."  CBR streams (200 B every
+// 20 us — a G.711 stream time-compressed for simulation) cross the hybrid
+// switch next to bursty background traffic; we report delivery latency
+// percentiles and RFC 3550 jitter.
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace xdrs;
+using namespace xdrs::sim::literals;
+using sim::Time;
+
+core::RunReport run_scenario(bool hardware, double background_load) {
+  core::FrameworkConfig c = bench::hybrid_base(8);
+  c.placement = hardware ? core::BufferPlacement::kToRSwitch : core::BufferPlacement::kHost;
+  c.epoch = hardware ? Time::microseconds(100) : Time::milliseconds(1);
+  c.min_circuit_hold = hardware ? Time::microseconds(10) : Time::microseconds(100);
+
+  core::HybridSwitchFramework fw{c};
+  if (hardware) {
+    bench::install_hybrid_policies(fw, std::make_unique<control::HardwareSchedulerTimingModel>());
+  } else {
+    bench::install_hybrid_policies(fw, std::make_unique<control::SoftwareSchedulerTimingModel>());
+  }
+
+  topo::attach_voip(fw, 4, 20_us, 200);
+  if (background_load > 0) {
+    topo::WorkloadSpec spec;
+    spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
+    spec.mean_on = 60_us;
+    spec.mean_off = 140_us;
+    spec.seed = 29;
+    topo::attach_workload(fw, spec);
+  }
+  return fw.run(30_ms, 5_ms);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E4", "VOIP latency & jitter: fast (hw, ToR) vs slow (sw, host) scheduling");
+
+  stats::Table t{{"scheduling", "background", "voip p50", "voip p99", "rfc3550 jitter (mean)",
+                  "voip pkts", "delivery"}};
+  for (const double bg : {0.0, 1.0}) {
+    for (const bool hardware : {true, false}) {
+      const core::RunReport r = run_scenario(hardware, bg);
+      char jitter[32];
+      std::snprintf(jitter, sizeof jitter, "%.2f us", r.jitter_us.mean());
+      t.row()
+          .cell(hardware ? "hardware (ns loop, ToR buf)" : "software (ms loop, host buf)")
+          .cell(bg > 0 ? "bursty" : "none")
+          .cell(r.latency_sensitive.quantile_time(0.50).to_string())
+          .cell(r.latency_sensitive.quantile_time(0.99).to_string())
+          .cell(jitter)
+          .cell(r.latency_sensitive.count())
+          .cell(r.delivery_ratio(), 3);
+    }
+  }
+  std::printf("%s\n", t.markdown().c_str());
+  bench::print_note(
+      "Fast scheduling keeps interactive traffic at microsecond latency with negligible jitter;\n"
+      "the millisecond software loop inflates both by orders of magnitude — the paper's QoE claim.");
+  return 0;
+}

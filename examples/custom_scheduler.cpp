@@ -1,0 +1,132 @@
+// Custom scheduler example — the paper's core promise: "users implement
+// novel design in the scheduling logic module" (§3).
+//
+// We plug a new matching algorithm into the framework without touching any
+// framework code: an "oldest-cell-first" arbiter that favours the
+// input/output pair whose head packet has waited longest is approximated
+// here by a longest-queue-first pass with ageing weights, then compared
+// against stock iSLIP on the same workload.
+#include <cstdio>
+#include <memory>
+
+#include "core/framework.hpp"
+#include "schedulers/matcher.hpp"
+#include "schedulers/rga.hpp"
+#include "stats/table.hpp"
+#include "topo/testbed.hpp"
+
+namespace {
+
+using namespace xdrs;
+using namespace xdrs::sim::literals;
+
+/// A user-provided scheduling algorithm: greedy on demand x age.
+///
+/// The framework only requires MatchingAlgorithm's four virtuals.  State
+/// kept across invocations (here: an age counter per pair) is how iSLIP's
+/// pointers work too — the interface is deliberately stateful.
+class AgedGreedyMatcher final : public schedulers::MatchingAlgorithm {
+ public:
+  explicit AgedGreedyMatcher(std::uint32_t ports)
+      : ports_{ports}, age_(static_cast<std::size_t>(ports) * ports, 0) {}
+
+  [[nodiscard]] schedulers::Matching compute(const demand::DemandMatrix& dem) override {
+    struct Edge {
+      double score;
+      net::PortId i, j;
+    };
+    std::vector<Edge> edges;
+    dem.for_each_nonzero([&](net::PortId i, net::PortId j, std::int64_t w) {
+      const double age = static_cast<double>(age_[idx(i, j)]);
+      edges.push_back({static_cast<double>(w) * (1.0 + 0.25 * age), i, j});
+    });
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.score != b.score) return a.score > b.score;
+      if (a.i != b.i) return a.i < b.i;
+      return a.j < b.j;
+    });
+
+    schedulers::Matching m{ports_, ports_};
+    last_iterations_ = 0;
+    for (const Edge& e : edges) {
+      if (!m.input_matched(e.i) && !m.output_matched(e.j)) {
+        m.match(e.i, e.j);
+        ++last_iterations_;
+      }
+    }
+    // Age every requesting-but-unserved pair; reset served ones.
+    dem.for_each_nonzero([&](net::PortId i, net::PortId j, std::int64_t) {
+      auto& a = age_[idx(i, j)];
+      const auto granted = m.output_of(i);
+      a = (granted.has_value() && *granted == j) ? 0 : a + 1;
+    });
+    return m;
+  }
+
+  [[nodiscard]] std::string name() const override { return "aged-greedy"; }
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept override {
+    return last_iterations_;
+  }
+  [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
+
+ private:
+  [[nodiscard]] std::size_t idx(net::PortId i, net::PortId j) const {
+    return static_cast<std::size_t>(i) * ports_ + j;
+  }
+
+  std::uint32_t ports_;
+  std::vector<std::uint64_t> age_;
+  std::uint32_t last_iterations_{0};
+};
+
+core::RunReport evaluate(std::unique_ptr<schedulers::MatchingAlgorithm> matcher) {
+  core::FrameworkConfig c;
+  c.ports = 8;
+  c.discipline = core::SchedulingDiscipline::kSlotted;
+  c.slot_time = sim::Time::nanoseconds(12'500);
+  c.ocs_reconfig = 50_ns;
+  core::HybridSwitchFramework fw{c};
+  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
+  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
+  fw.set_matcher(std::move(matcher));
+
+  // A skewed workload where starvation matters: Zipf destinations.
+  topo::WorkloadSpec spec;
+  spec.kind = topo::WorkloadSpec::Kind::kPoissonZipf;
+  spec.load = 0.6;
+  spec.skew = 1.1;
+  spec.seed = 7;
+  topo::attach_workload(fw, spec);
+  return fw.run(20_ms, 4_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Plugging a custom scheduling algorithm into the framework\n");
+  std::printf("(the paper's 'users implement novel design in the scheduling logic')\n\n");
+
+  stats::Table t{{"algorithm", "delivery", "p50 latency", "p99 latency", "max latency"}};
+  {
+    const core::RunReport r = evaluate(std::make_unique<AgedGreedyMatcher>(8));
+    t.row()
+        .cell("aged-greedy (custom)")
+        .cell(r.delivery_ratio(), 3)
+        .cell(r.latency.quantile_time(0.50).to_string())
+        .cell(r.latency.quantile_time(0.99).to_string())
+        .cell(sim::Time::picoseconds(r.latency.max()).to_string());
+  }
+  {
+    const core::RunReport r = evaluate(std::make_unique<schedulers::IslipMatcher>(8, 2));
+    t.row()
+        .cell("islip-i2 (stock)")
+        .cell(r.delivery_ratio(), 3)
+        .cell(r.latency.quantile_time(0.50).to_string())
+        .cell(r.latency.quantile_time(0.99).to_string())
+        .cell(sim::Time::picoseconds(r.latency.max()).to_string());
+  }
+  std::printf("%s\n", t.markdown().c_str());
+  std::printf("The ageing term bounds worst-case waiting on skewed traffic (compare max\n"
+              "latency) — the kind of design-space exploration the framework enables.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "analysis/buffering.hpp"
+
+#include <stdexcept>
+
+namespace xdrs::analysis {
+
+BufferingRequirement compute_buffering(const BufferingScenario& s) {
+  if (s.ports == 0) throw std::invalid_argument{"compute_buffering: ports must be >= 1"};
+  if (!(s.duty_cycle > 0.0 && s.duty_cycle < 1.0)) {
+    throw std::invalid_argument{"compute_buffering: duty cycle must be in (0, 1)"};
+  }
+  if (s.load < 0.0 || s.load > 1.0) {
+    throw std::invalid_argument{"compute_buffering: load must be in [0, 1]"};
+  }
+  if (s.switching_time.is_negative() || s.control_loop_latency.is_negative()) {
+    throw std::invalid_argument{"compute_buffering: negative time"};
+  }
+
+  BufferingRequirement r;
+  // T_period = T_sw * duty / (1 - duty): the circuit-holding time needed so
+  // that dark time is only (1 - duty) of the cycle.
+  const double period_ps =
+      static_cast<double>(s.switching_time.ps()) * s.duty_cycle / (1.0 - s.duty_cycle);
+  r.schedule_period = sim::Time::picoseconds(static_cast<std::int64_t>(period_ps));
+  r.exposure = s.switching_time + r.schedule_period + s.control_loop_latency;
+
+  const double per_port_bits = static_cast<double>(s.port_rate.bits_per_sec()) *
+                               s.load * r.exposure.sec();
+  r.per_port_bytes = static_cast<std::int64_t>(per_port_bits / 8.0);
+  r.total_bytes = r.per_port_bytes * s.ports;
+  r.fits_in_tor = r.total_bytes <= kTypicalTorBufferBytes;
+  return r;
+}
+
+sim::Time max_switching_time_for_buffer(BufferingScenario s, std::int64_t buffer_bytes) {
+  if (buffer_bytes <= 0) return sim::Time::zero();
+  sim::Time lo = sim::Time::zero();
+  sim::Time hi = sim::Time::seconds(1);
+  // The requirement is monotone in switching time; 60 halvings of a second
+  // reach sub-picosecond precision.
+  for (int iter = 0; iter < 60; ++iter) {
+    const sim::Time mid = sim::Time::picoseconds((lo.ps() + hi.ps()) / 2);
+    s.switching_time = mid;
+    if (compute_buffering(s).total_bytes <= buffer_bytes) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace xdrs::analysis

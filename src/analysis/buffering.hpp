@@ -1,0 +1,63 @@
+// Closed-form buffering model behind Figure 1 of the paper ("Host buffering
+// vs Switch buffering").
+//
+// While the fabric is being reconfigured (dark time T_sw), while a schedule
+// is being computed/distributed (control latency T_ctrl), and while other
+// VOQs hold the fabric (schedule period T_period), arrivals must be
+// buffered.  For lossless operation the buffer must absorb
+//
+//     B_total = N_ports x R_port x load x (T_sw + T_period + T_ctrl)
+//
+// where T_period is tied to T_sw by the target duty cycle
+// (T_period = T_sw x duty / (1 - duty)): slow switches force long periods
+// to amortise their dark time.  The paper's anchors fall out directly:
+//   * T_sw = 1 ms, software control (ms-scale), 64x64 @ 10 Gbps
+//       -> hundreds of MB to ~GB   ("gigabytes ... not available in ToR")
+//   * T_sw = ns..10 ns, hardware control (sub-us)
+//       -> single-digit..tens of KB ("kilobytes ... buffer in the ToR")
+#ifndef XDRS_ANALYSIS_BUFFERING_HPP
+#define XDRS_ANALYSIS_BUFFERING_HPP
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace xdrs::analysis {
+
+/// Packet-buffer SRAM of a typical 2015-era commodity ToR switch: the
+/// threshold separating the two regimes of Figure 1 (e.g. Broadcom
+/// Trident II class devices carried 12 MB; we allow a generous 32 MB).
+inline constexpr std::int64_t kTypicalTorBufferBytes = 32LL * 1024 * 1024;
+
+struct BufferingScenario {
+  std::uint32_t ports{64};
+  sim::DataRate port_rate{sim::DataRate::gbps(10)};
+  sim::Time switching_time{};          ///< OCS dark time T_sw
+  sim::Time control_loop_latency{};    ///< demand+compute+IO+propagation+sync
+  double duty_cycle{0.9};              ///< fraction of time circuits carry data
+  double load{1.0};                    ///< offered load as fraction of line rate
+};
+
+struct BufferingRequirement {
+  sim::Time schedule_period{};      ///< T_period implied by the duty cycle
+  sim::Time exposure{};             ///< T_sw + T_period + T_ctrl
+  std::int64_t total_bytes{0};      ///< aggregate buffer for lossless operation
+  std::int64_t per_port_bytes{0};
+  bool fits_in_tor{false};          ///< vs kTypicalTorBufferBytes
+};
+
+/// Evaluates the model.  Throws std::invalid_argument on nonsensical
+/// parameters (duty outside (0,1), negative load, zero ports).
+[[nodiscard]] BufferingRequirement compute_buffering(const BufferingScenario& s);
+
+/// Smallest switching time whose requirement still fits a buffer of
+/// `buffer_bytes` under scenario `s` (ignoring s.switching_time); binary
+/// search over the closed form.  Answers "how fast must scheduling get
+/// before buffering moves into the ToR?".
+[[nodiscard]] sim::Time max_switching_time_for_buffer(BufferingScenario s,
+                                                      std::int64_t buffer_bytes);
+
+}  // namespace xdrs::analysis
+
+#endif  // XDRS_ANALYSIS_BUFFERING_HPP

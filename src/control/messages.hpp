@@ -1,0 +1,52 @@
+// Control-plane message types exchanged between the three partitions of
+// Figure 2: processing logic -> scheduling logic (requests) and scheduling
+// logic -> switching logic / processing logic (grants).
+#ifndef XDRS_CONTROL_MESSAGES_HPP
+#define XDRS_CONTROL_MESSAGES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace xdrs::control {
+
+/// Which fabric a grant directs traffic onto.
+enum class FabricPath : std::uint8_t { kOcs, kEps };
+
+[[nodiscard]] constexpr const char* to_string(FabricPath p) noexcept {
+  return p == FabricPath::kOcs ? "ocs" : "eps";
+}
+
+/// "As the status of a VOQ changes, the subsystem generates scheduling
+/// requests" (§3).  A request reports the backlog of one VOQ.
+struct SchedulingRequest {
+  net::PortId src{0};
+  net::PortId dst{0};
+  std::int64_t backlog_bytes{0};
+  sim::Time issued_at{};
+};
+
+/// A transmission grant for one VOQ: up to `bytes` may be dequeued towards
+/// `dst` on fabric `via` during [valid_from, valid_until).
+struct Grant {
+  net::PortId src{0};
+  net::PortId dst{0};
+  std::int64_t bytes{0};
+  FabricPath via{FabricPath::kEps};
+  sim::Time valid_from{};
+  sim::Time valid_until{};
+};
+
+/// The full output of one scheduling decision, as handed first to the
+/// switching logic (to configure circuits) and then to the processing logic.
+struct GrantSet {
+  std::vector<Grant> grants;
+  sim::Time computed_at{};
+  std::uint64_t epoch{0};
+};
+
+}  // namespace xdrs::control
+
+#endif  // XDRS_CONTROL_MESSAGES_HPP

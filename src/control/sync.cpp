@@ -1,0 +1,35 @@
+#include "control/sync.hpp"
+
+#include <stdexcept>
+
+namespace xdrs::control {
+
+SyncModel::SyncModel(std::uint32_t hosts, SyncConfig cfg)
+    : cfg_{cfg}, offsets_(hosts), rng_{cfg.seed} {
+  if (hosts == 0) throw std::invalid_argument{"SyncModel: hosts must be >= 1"};
+  if (cfg.max_skew.is_negative() || cfg.jitter.is_negative() || cfg.guard_band.is_negative()) {
+    throw std::invalid_argument{"SyncModel: negative timing parameter"};
+  }
+  for (auto& off : offsets_) {
+    const std::int64_t bound = cfg.max_skew.ps();
+    off = bound == 0 ? sim::Time::zero()
+                     : sim::Time::picoseconds(rng_.uniform_int(-bound, bound));
+  }
+}
+
+sim::Time SyncModel::offset_of(std::uint32_t host) const {
+  if (host >= offsets_.size()) throw std::out_of_range{"SyncModel::offset_of"};
+  return offsets_[host];
+}
+
+sim::Time SyncModel::sample_jitter() {
+  const std::int64_t bound = cfg_.jitter.ps();
+  return bound == 0 ? sim::Time::zero()
+                    : sim::Time::picoseconds(rng_.uniform_int(0, bound));
+}
+
+sim::Time SyncModel::host_action_time(std::uint32_t host, sim::Time granted_switch_time) {
+  return granted_switch_time + offset_of(host) + sample_jitter();
+}
+
+}  // namespace xdrs::control

@@ -1,0 +1,57 @@
+// Host <-> switch synchronisation model.
+//
+// §2: software scheduling "requires tight synchronization between the host
+// and switch, which is difficult to achieve at faster switching times and
+// higher transmission rates".  In host-buffered mode a grant names a
+// transmission window on the *switch* clock; each host launches according to
+// its own clock, which is offset by a bounded skew.  The guard band added
+// around circuit activation absorbs skew at the price of duty cycle —
+// experiment E7 sweeps exactly this trade-off.
+#ifndef XDRS_CONTROL_SYNC_HPP
+#define XDRS_CONTROL_SYNC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace xdrs::control {
+
+struct SyncConfig {
+  /// Per-host clock offsets are drawn uniformly from [-max_skew, +max_skew].
+  sim::Time max_skew{};
+  /// Additional per-message timing noise, uniform in [0, jitter].
+  sim::Time jitter{};
+  /// Dead time inserted after circuit activation before hosts may launch
+  /// (and reserved before deactivation): absorbs skew, costs duty cycle.
+  sim::Time guard_band{};
+  std::uint64_t seed{42};
+};
+
+class SyncModel {
+ public:
+  SyncModel(std::uint32_t hosts, SyncConfig cfg);
+
+  /// The fixed clock offset of `host` relative to the switch.
+  [[nodiscard]] sim::Time offset_of(std::uint32_t host) const;
+
+  /// One sample of per-message jitter (non-negative).
+  [[nodiscard]] sim::Time sample_jitter();
+
+  /// When a host believes the time is `switch_time`, the switch clock
+  /// actually reads `switch_time - offset`; equivalently a host acting on a
+  /// switch-timestamped grant acts at switch time `granted + offset`.
+  [[nodiscard]] sim::Time host_action_time(std::uint32_t host, sim::Time granted_switch_time);
+
+  [[nodiscard]] const SyncConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SyncConfig cfg_;
+  std::vector<sim::Time> offsets_;
+  sim::Rng rng_;
+};
+
+}  // namespace xdrs::control
+
+#endif  // XDRS_CONTROL_SYNC_HPP

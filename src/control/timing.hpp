@@ -1,0 +1,154 @@
+// Scheduler decision-latency models: the paper's central quantitative
+// contrast.
+//
+// §2: "Software based schedulers used in hybrid switching architectures
+// operate in the order of milliseconds due to their inherent latency (delays
+// during demand estimation, schedule calculation, Input/Output (IO)
+// processing, propagation delay between host and switch)."  Hardware
+// schedulers, by contrast, offer "quick demand estimation, fast schedule
+// computation and rapid communication of computed schedules".
+//
+// Both models expose the same component breakdown so experiment E2 can print
+// them side by side, and the framework uses them to delay grant delivery —
+// the latency is *lived*, not just reported.
+#ifndef XDRS_CONTROL_TIMING_HPP
+#define XDRS_CONTROL_TIMING_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace xdrs::control {
+
+/// Component-wise latency of one scheduling decision.
+struct TimingBreakdown {
+  sim::Time demand_estimation{};
+  sim::Time schedule_computation{};
+  sim::Time io_processing{};
+  sim::Time propagation{};
+  sim::Time synchronisation{};
+
+  [[nodiscard]] sim::Time total() const noexcept {
+    return demand_estimation + schedule_computation + io_processing + propagation +
+           synchronisation;
+  }
+};
+
+class SchedulerTimingModel {
+ public:
+  virtual ~SchedulerTimingModel() = default;
+
+  /// Latency of one decision for a switch with `ports` ports whose
+  /// algorithm used `iterations` passes; `hardware_parallel` says whether a
+  /// pass is a constant-depth parallel arbitration or sequential work.
+  [[nodiscard]] virtual TimingBreakdown decision_latency(std::uint32_t ports,
+                                                         std::uint32_t iterations,
+                                                         bool hardware_parallel) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Software control loop, calibrated to the published Helios / c-Through
+/// numbers (both run host agents over TCP to a central scheduler process).
+struct SoftwareTimingConfig {
+  /// Collecting per-host demand reports (socket polls + aggregation).
+  sim::Time demand_poll{sim::Time::microseconds(500)};
+  /// Executing one elementary scheduling operation in software (amortised
+  /// interpreter/cache cost per inner-loop step).
+  sim::Time op_cost{sim::Time::nanoseconds(50)};
+  /// Kernel/NIC I/O on the control path, per decision.
+  sim::Time io_overhead{sim::Time::microseconds(120)};
+  /// Host <-> controller propagation (cable + switch hops), one way.
+  sim::Time propagation{sim::Time::microseconds(5)};
+  /// Host clock-sync slack that must be waited out before acting on a grant.
+  sim::Time sync_slack{sim::Time::microseconds(200)};
+};
+
+class SoftwareSchedulerTimingModel final : public SchedulerTimingModel {
+ public:
+  explicit SoftwareSchedulerTimingModel(SoftwareTimingConfig cfg = {}) : cfg_{cfg} {}
+
+  [[nodiscard]] TimingBreakdown decision_latency(std::uint32_t ports, std::uint32_t iterations,
+                                                 bool hardware_parallel) const override;
+  [[nodiscard]] std::string name() const override { return "software"; }
+
+  [[nodiscard]] const SoftwareTimingConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SoftwareTimingConfig cfg_;
+};
+
+/// On-chip hardware pipeline (the paper's NetFPGA-SUME target).
+struct HardwareTimingConfig {
+  /// Pipeline clock period; 156.25 MHz -> 6.4 ns is the SUME 10G datapath
+  /// clock, 200+ MHz is routine for scheduler logic.
+  sim::Time clock_period{sim::Time::picoseconds(6400)};
+  /// Cycles to latch all VOQ occupancy counters (parallel register read).
+  std::uint32_t demand_cycles{2};
+  /// Cycles per arbitration iteration (request/grant/accept as a pipeline).
+  std::uint32_t cycles_per_iteration{3};
+  /// Cycles to serialise the grant matrix to switching + processing logic.
+  std::uint32_t io_cycles{4};
+  /// On-board trace propagation.
+  sim::Time propagation{sim::Time::nanoseconds(5)};
+};
+
+class HardwareSchedulerTimingModel final : public SchedulerTimingModel {
+ public:
+  explicit HardwareSchedulerTimingModel(HardwareTimingConfig cfg = {}) : cfg_{cfg} {}
+
+  [[nodiscard]] TimingBreakdown decision_latency(std::uint32_t ports, std::uint32_t iterations,
+                                                 bool hardware_parallel) const override;
+  [[nodiscard]] std::string name() const override { return "hardware"; }
+
+  [[nodiscard]] const HardwareTimingConfig& config() const noexcept { return cfg_; }
+
+ private:
+  HardwareTimingConfig cfg_;
+};
+
+/// Distributed hardware scheduling (paper §3: the architecture supports
+/// "both centralized and distributed implementations"): per-port arbitration
+/// agents exchange request/grant messages over a control mesh instead of
+/// sharing a chip.  Demand estimation stays local (fast), but every
+/// arbitration iteration costs a message round-trip across the mesh, and
+/// agents must hold a synchronisation guard for their neighbours' clocks.
+struct DistributedTimingConfig {
+  /// One-way control-mesh hop (serialisation + propagation between agents).
+  sim::Time hop_latency{sim::Time::nanoseconds(150)};
+  /// Local pipeline clock of each agent.
+  sim::Time clock_period{sim::Time::picoseconds(6400)};
+  std::uint32_t demand_cycles{2};
+  std::uint32_t cycles_per_iteration{3};
+  /// Inter-agent clock guard per decision.
+  sim::Time sync_guard{sim::Time::nanoseconds(50)};
+};
+
+class DistributedSchedulerTimingModel final : public SchedulerTimingModel {
+ public:
+  explicit DistributedSchedulerTimingModel(DistributedTimingConfig cfg = {}) : cfg_{cfg} {}
+
+  [[nodiscard]] TimingBreakdown decision_latency(std::uint32_t ports, std::uint32_t iterations,
+                                                 bool hardware_parallel) const override;
+  [[nodiscard]] std::string name() const override { return "distributed"; }
+
+  [[nodiscard]] const DistributedTimingConfig& config() const noexcept { return cfg_; }
+
+ private:
+  DistributedTimingConfig cfg_;
+};
+
+/// Zero-latency model for unit tests and idealised upper bounds.
+class IdealTimingModel final : public SchedulerTimingModel {
+ public:
+  [[nodiscard]] TimingBreakdown decision_latency(std::uint32_t, std::uint32_t,
+                                                 bool) const override {
+    return {};
+  }
+  [[nodiscard]] std::string name() const override { return "ideal"; }
+};
+
+}  // namespace xdrs::control
+
+#endif  // XDRS_CONTROL_TIMING_HPP

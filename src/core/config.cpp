@@ -1,0 +1,23 @@
+#include "core/config.hpp"
+
+#include <cstdio>
+
+namespace xdrs::core {
+
+std::string RunReport::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "delivered %lld/%lld bytes (%.1f%%), ocs %lld, eps %lld, drops voq=%llu eps=%llu "
+                "sync=%llu cut=%llu, reconfigs=%llu, latency %s",
+                static_cast<long long>(delivered_bytes), static_cast<long long>(offered_bytes),
+                delivery_ratio() * 100.0, static_cast<long long>(ocs_bytes),
+                static_cast<long long>(eps_bytes), static_cast<unsigned long long>(voq_drops),
+                static_cast<unsigned long long>(eps_drops),
+                static_cast<unsigned long long>(sync_losses),
+                static_cast<unsigned long long>(reconfig_cuts),
+                static_cast<unsigned long long>(reconfigurations),
+                latency.summary_time().c_str());
+  return buf;
+}
+
+}  // namespace xdrs::core

@@ -1,0 +1,147 @@
+// Configuration and result types of the hybrid switch scheduling framework.
+#ifndef XDRS_CORE_CONFIG_HPP
+#define XDRS_CORE_CONFIG_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "control/sync.hpp"
+#include "queueing/voq.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace xdrs::core {
+
+/// Where the VOQs physically live — the two regimes of Figure 1.
+enum class BufferPlacement : std::uint8_t {
+  kToRSwitch,  ///< fast scheduling: VOQs in the switch, grants on-chip
+  kHost,       ///< slow scheduling: VOQs at hosts, grants over the network
+};
+
+[[nodiscard]] constexpr const char* to_string(BufferPlacement p) noexcept {
+  return p == BufferPlacement::kToRSwitch ? "tor-buffered" : "host-buffered";
+}
+
+/// How the scheduling logic runs.
+enum class SchedulingDiscipline : std::uint8_t {
+  kSlotted,      ///< fixed time slots, one matching per slot (crossbar style)
+  kHybridEpoch,  ///< periodic epochs, circuit plan + EPS residual (hybrid)
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedulingDiscipline d) noexcept {
+  return d == SchedulingDiscipline::kSlotted ? "slotted" : "hybrid-epoch";
+}
+
+struct FrameworkConfig {
+  std::uint32_t ports{8};
+
+  /// Host uplink and OCS circuit rate (the paper's 10 Gbps per port).
+  sim::DataRate link_rate{sim::DataRate::gbps(10)};
+  /// EPS per-port rate; hybrid designs usually give the electrical path a
+  /// fraction of the optical rate (Helios: 10G electrical vs 10G x W optical).
+  sim::DataRate eps_rate{sim::DataRate::gbps(10)};
+
+  sim::Time link_latency{sim::Time::nanoseconds(500)};   ///< host <-> ToR propagation
+  sim::Time eps_latency{sim::Time::nanoseconds(800)};    ///< EPS fabric traversal
+  sim::Time ocs_fabric_latency{sim::Time::nanoseconds(100)};
+  sim::Time ocs_reconfig{sim::Time::microseconds(10)};   ///< dark time T_sw
+  /// Failure injection: per-retune probability of a failed (repeated) tune.
+  double ocs_failure_prob{0.0};
+
+  std::int64_t eps_buffer_bytes{1 << 20};                ///< per EPS output port
+  /// Strict-priority EPS queueing for latency-sensitive traffic.
+  bool eps_strict_priority{false};
+  queueing::VoqLimits voq_limits{};                      ///< default unlimited
+
+  BufferPlacement placement{BufferPlacement::kToRSwitch};
+  SchedulingDiscipline discipline{SchedulingDiscipline::kHybridEpoch};
+
+  /// kSlotted: slot length.  Sensible: one MTU serialisation time.
+  sim::Time slot_time{sim::Time::microseconds(1)};
+  /// kHybridEpoch: demand snapshot / replanning period.
+  sim::Time epoch{sim::Time::milliseconds(1)};
+  /// Minimum circuit-hold duration per plan slot (amortises dark time).
+  sim::Time min_circuit_hold{sim::Time::microseconds(10)};
+
+  /// Latency-sensitive packets bypass circuits and ride the EPS.
+  bool latency_sensitive_to_eps{true};
+  /// Paper §3 ordering: configure circuits before granting.  Disabling
+  /// overlaps them (grants act during dark time) — ablation for E9.
+  bool configure_before_grant{true};
+  /// Host-buffered mode: when a granted packet misses its circuit window
+  /// (skew), divert it to the EPS instead of dropping it.
+  bool eps_fallback_on_miss{false};
+
+  control::SyncConfig sync{};  ///< host clock skew / guard bands
+
+  std::uint64_t seed{1};
+};
+
+/// Aggregated outcome of one framework run.
+struct RunReport {
+  sim::Time duration{};
+
+  std::uint64_t offered_packets{0};
+  std::int64_t offered_bytes{0};
+  std::uint64_t delivered_packets{0};
+  std::int64_t delivered_bytes{0};
+  /// All bytes delivered during the window, including packets born before
+  /// it (the fabric's service rate; delivered_bytes counts only
+  /// window-born packets so that delivered <= offered holds exactly).
+  std::int64_t serviced_bytes{0};
+  std::int64_t ocs_bytes{0};
+  std::int64_t eps_bytes{0};
+  /// Delivered bytes per traffic class, indexed by net::TrafficClass.
+  std::array<std::int64_t, 3> class_bytes{};
+
+  std::uint64_t voq_drops{0};
+  std::uint64_t eps_drops{0};
+  std::uint64_t sync_losses{0};      ///< missed circuit windows (host mode)
+  std::uint64_t reconfig_cuts{0};    ///< packets cut by reconfiguration
+
+  std::uint64_t reconfigurations{0};
+  sim::Time dark_time{};
+  double ocs_duty_cycle{0.0};        ///< busy / elapsed, per port average
+
+  std::int64_t peak_switch_buffer_bytes{0};  ///< whole VOQ bank high-water
+  std::int64_t peak_host_buffer_bytes{0};    ///< worst single input
+
+  std::uint64_t scheduler_decisions{0};
+  sim::Time mean_decision_latency{};
+
+  stats::Histogram latency;                  ///< all delivered packets
+  stats::Histogram latency_sensitive;        ///< kLatencySensitive class only
+  stats::Summary jitter_us;                  ///< RFC3550 jitter per CBR flow, us
+
+  /// delivered / offered bytes.
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return offered_bytes == 0
+               ? 0.0
+               : static_cast<double>(delivered_bytes) / static_cast<double>(offered_bytes);
+  }
+
+  /// Aggregate goodput (window-born packets) as a fraction of capacity.
+  [[nodiscard]] double throughput_fraction(sim::DataRate link_rate, std::uint32_t ports) const {
+    const double capacity_bytes = static_cast<double>(link_rate.bits_per_sec()) / 8.0 *
+                                  duration.sec() * static_cast<double>(ports);
+    return capacity_bytes == 0.0 ? 0.0 : static_cast<double>(delivered_bytes) / capacity_bytes;
+  }
+
+  /// Aggregate service rate (all deliveries) as a fraction of capacity —
+  /// the right metric beyond saturation, where FIFO order means most
+  /// deliveries are backlog from before the window.
+  [[nodiscard]] double service_fraction(sim::DataRate link_rate, std::uint32_t ports) const {
+    const double capacity_bytes = static_cast<double>(link_rate.bits_per_sec()) / 8.0 *
+                                  duration.sec() * static_cast<double>(ports);
+    return capacity_bytes == 0.0 ? 0.0 : static_cast<double>(serviced_bytes) / capacity_bytes;
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace xdrs::core
+
+#endif  // XDRS_CORE_CONFIG_HPP

@@ -1,0 +1,180 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "schedulers/rga.hpp"
+#include "schedulers/solstice.hpp"
+
+namespace xdrs::core {
+
+std::int64_t reconfig_cost_bytes(const FrameworkConfig& cfg) {
+  return cfg.link_rate.bytes_in(cfg.ocs_reconfig);
+}
+
+HybridSwitchFramework::HybridSwitchFramework(FrameworkConfig cfg)
+    : cfg_{cfg},
+      classifier_{},
+      sync_{cfg.ports, cfg.sync},
+      ocs_{sim_,
+           switching::OcsConfig{cfg.ports, cfg.link_rate, cfg.ocs_reconfig,
+                                cfg.placement == BufferPlacement::kHost
+                                    ? cfg.ocs_fabric_latency + cfg.link_latency
+                                    : cfg.ocs_fabric_latency,
+                                cfg.ocs_failure_prob, cfg.seed ^ 0xfa17ed}},
+      eps_{sim_, switching::EpsConfig{cfg.ports, cfg.eps_rate, cfg.eps_latency,
+                                      cfg.eps_buffer_bytes, cfg.eps_strict_priority}},
+      switching_{sim_, ocs_, trace_},
+      processing_{sim_, cfg_, classifier_, ocs_, eps_, sync_, trace_},
+      scheduling_{sim_, cfg_, switching_, trace_} {
+  if (cfg.ports < 2) throw std::invalid_argument{"Framework: need >= 2 ports"};
+  wire();
+}
+
+void HybridSwitchFramework::wire() {
+  // Processing -> scheduling: requests and demand-estimator events.  All
+  // control-path latency is owned by the timing model (E2), so the wiring
+  // itself is immediate.
+  processing_.set_request_callback(
+      [this](const control::SchedulingRequest& r) { scheduling_.on_request(r); });
+  processing_.set_arrival_callback(
+      [this](net::PortId s, net::PortId d, std::int64_t b, sim::Time at) {
+        scheduling_.on_arrival(s, d, b, at);
+      });
+  processing_.set_departure_callback(
+      [this](net::PortId s, net::PortId d, std::int64_t b, sim::Time at) {
+        scheduling_.on_departure(s, d, b, at);
+      });
+
+  // Scheduling -> processing: grants (after the switching logic has
+  // configured circuits; SchedulingLogic enforces the ordering).
+  scheduling_.set_grant_callback(
+      [this](const control::GrantSet& gs) { processing_.handle_grants(gs); });
+
+  // Fabric deliveries -> measurement.
+  ocs_.set_deliver_callback([this](const net::Packet& p, net::PortId) {
+    on_deliver(p, control::FabricPath::kOcs);
+  });
+  eps_.set_deliver_callback([this](const net::Packet& p, net::PortId) {
+    on_deliver(p, control::FabricPath::kEps);
+  });
+}
+
+void HybridSwitchFramework::use_default_policies() {
+  set_estimator(std::make_unique<demand::InstantaneousEstimator>(cfg_.ports, cfg_.ports));
+  set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
+  if (cfg_.discipline == SchedulingDiscipline::kSlotted) {
+    set_matcher(std::make_unique<schedulers::IslipMatcher>(cfg_.ports, 2));
+  } else {
+    schedulers::SolsticeConfig sc;
+    sc.reconfig_cost_bytes = reconfig_cost_bytes(cfg_);
+    sc.min_amortisation = 1.0;
+    sc.max_slots = cfg_.ports;
+    set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+  }
+}
+
+void HybridSwitchFramework::add_generator(std::unique_ptr<traffic::TrafficGenerator> g) {
+  if (!g) throw std::invalid_argument{"Framework: null generator"};
+  generators_.push_back(std::move(g));
+}
+
+void HybridSwitchFramework::inject(const net::Packet& p) {
+  if (measuring_) {
+    ++report_.offered_packets;
+    report_.offered_bytes += p.size_bytes;
+  }
+  processing_.ingest(p);
+}
+
+void HybridSwitchFramework::on_deliver(const net::Packet& p, control::FabricPath via) {
+  if (!measuring_) return;
+  report_.serviced_bytes += p.size_bytes;
+  // Only packets born inside the measurement window count further, so
+  // that delivered <= offered holds exactly (warmup stragglers excluded).
+  if (p.created_at < measure_start_) return;
+  ++report_.delivered_packets;
+  report_.delivered_bytes += p.size_bytes;
+  if (via == control::FabricPath::kOcs) {
+    report_.ocs_bytes += p.size_bytes;
+  } else {
+    report_.eps_bytes += p.size_bytes;
+  }
+  report_.class_bytes[static_cast<std::size_t>(p.tclass)] += p.size_bytes;
+  const sim::Time latency = sim_.now() - p.created_at;
+  report_.latency.record_time(latency);
+  if (p.tclass == net::TrafficClass::kLatencySensitive) {
+    report_.latency_sensitive.record_time(latency);
+    flow_jitter_[p.flow].record(p.created_at, sim_.now());
+  }
+  trace_.record(sim_.now(), sim::TraceCategory::kDeliver, p.src, p.dst);
+}
+
+RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
+  if (ran_) throw std::logic_error{"Framework: run() is one-shot per instance"};
+  ran_ = true;
+  if (duration <= sim::Time::zero()) {
+    throw std::invalid_argument{"Framework: duration must be positive"};
+  }
+
+  scheduling_.start();
+  const sim::Time horizon = warmup + duration;
+  for (auto& g : generators_) {
+    g->start(sim_, [this](const net::Packet& p) { inject(p); }, horizon);
+  }
+
+  if (warmup > sim::Time::zero()) sim_.run_until(warmup);
+
+  // Measurement window begins: reset high-water marks and snapshot the
+  // monotonic counters so the report shows deltas.
+  processing_.voqs().reset_peaks();
+  base_.voq_drops = processing_.voqs().stats().dropped_packets;
+  base_.eps_drops = eps_.stats().packets_dropped;
+  base_.sync_losses = processing_.stats().sync_losses;
+  base_.reconfig_cuts = ocs_.stats().packets_cut_by_reconfig;
+  base_.reconfigurations = ocs_.stats().reconfigurations;
+  base_.dark_time = ocs_.stats().dark_time_total;
+  base_.ocs_busy = ocs_.stats().busy_time_total;
+  base_.decisions = scheduling_.stats().decisions;
+  base_.decision_latency_total = scheduling_.stats().decision_latency_total;
+  measure_start_ = sim_.now();
+  measuring_ = true;
+
+  sim_.run_until(horizon);
+  measuring_ = false;
+
+  report_.duration = duration;
+  report_.voq_drops = processing_.voqs().stats().dropped_packets - base_.voq_drops;
+  report_.eps_drops = eps_.stats().packets_dropped - base_.eps_drops;
+  report_.sync_losses = processing_.stats().sync_losses - base_.sync_losses;
+  report_.reconfig_cuts = ocs_.stats().packets_cut_by_reconfig - base_.reconfig_cuts;
+  report_.reconfigurations = ocs_.stats().reconfigurations - base_.reconfigurations;
+  report_.dark_time = ocs_.stats().dark_time_total - base_.dark_time;
+
+  const sim::Time busy = ocs_.stats().busy_time_total - base_.ocs_busy;
+  report_.ocs_duty_cycle =
+      duration.is_zero() ? 0.0
+                         : busy.ratio(duration * static_cast<std::int64_t>(cfg_.ports));
+
+  report_.peak_switch_buffer_bytes = processing_.voqs().stats().peak_total_bytes;
+  std::int64_t worst_host = 0;
+  for (std::uint32_t i = 0; i < cfg_.ports; ++i) {
+    worst_host = std::max(worst_host, processing_.voqs().peak_input_bytes(i));
+  }
+  report_.peak_host_buffer_bytes = worst_host;
+
+  const std::uint64_t decisions = scheduling_.stats().decisions - base_.decisions;
+  report_.scheduler_decisions = decisions;
+  if (decisions > 0) {
+    report_.mean_decision_latency =
+        (scheduling_.stats().decision_latency_total - base_.decision_latency_total) /
+        static_cast<std::int64_t>(decisions);
+  }
+
+  for (const auto& [flow, jit] : flow_jitter_) {
+    if (jit.samples() >= 8) report_.jitter_us.record(jit.jitter().us());
+  }
+  return report_;
+}
+
+}  // namespace xdrs::core

@@ -1,0 +1,127 @@
+// HybridSwitchFramework: the paper's proposed system (Figure 2), assembled.
+//
+//   hosts/generators --> ProcessingLogic --requests--> SchedulingLogic
+//        ^                    | VOQs                        |
+//        |                    |<-------- grants ------------|  (after
+//        |                    v                             v   configuring)
+//      deliveries <---- OCS circuits / EPS <---- SwitchingLogic
+//
+// The framework owns the simulator, fabrics and the three logic partitions,
+// wires their callbacks, runs the experiment and aggregates a RunReport.
+// The scheduling algorithm, demand estimator, circuit scheduler and timing
+// model are pluggable — the "users implement novel design in the scheduling
+// logic module" of §3.
+#ifndef XDRS_CORE_FRAMEWORK_HPP
+#define XDRS_CORE_FRAMEWORK_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/processing_logic.hpp"
+#include "core/scheduling_logic.hpp"
+#include "core/switching_logic.hpp"
+#include "net/classifier.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "switching/eps.hpp"
+#include "switching/ocs.hpp"
+#include "traffic/generators.hpp"
+
+namespace xdrs::core {
+
+class HybridSwitchFramework {
+ public:
+  explicit HybridSwitchFramework(FrameworkConfig cfg);
+
+  HybridSwitchFramework(const HybridSwitchFramework&) = delete;
+  HybridSwitchFramework& operator=(const HybridSwitchFramework&) = delete;
+
+  // ---- pluggable scheduling logic ----------------------------------------
+  void set_matcher(std::unique_ptr<schedulers::MatchingAlgorithm> m) {
+    scheduling_.set_matcher(std::move(m));
+  }
+  void set_circuit_scheduler(std::unique_ptr<schedulers::CircuitScheduler> s) {
+    scheduling_.set_circuit_scheduler(std::move(s));
+  }
+  void set_estimator(std::unique_ptr<demand::DemandEstimator> e) {
+    scheduling_.set_estimator(std::move(e));
+  }
+  void set_timing_model(std::unique_ptr<control::SchedulerTimingModel> t) {
+    scheduling_.set_timing_model(std::move(t));
+  }
+
+  /// Installs a sane default policy stack for the configured discipline:
+  /// instantaneous estimator + hardware timing; iSLIP(2) for kSlotted,
+  /// Solstice for kHybridEpoch.  Call before run() unless all plugins were
+  /// set explicitly.
+  void use_default_policies();
+
+  // ---- workload -----------------------------------------------------------
+  /// Takes ownership; the generator starts when run() is called.
+  void add_generator(std::unique_ptr<traffic::TrafficGenerator> g);
+
+  /// Direct injection (integration tests / custom drivers).
+  void inject(const net::Packet& p);
+
+  // ---- execution ----------------------------------------------------------
+  /// Runs warmup (unmeasured) then `duration` (measured); returns the
+  /// measured-window report.  One-shot: a framework instance runs once.
+  RunReport run(sim::Time duration, sim::Time warmup = sim::Time::zero());
+
+  // ---- component access (tests, benches, examples) ------------------------
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] sim::TraceRecorder& trace() noexcept { return trace_; }
+  [[nodiscard]] net::Classifier& classifier() noexcept { return classifier_; }
+  [[nodiscard]] ProcessingLogic& processing() noexcept { return processing_; }
+  [[nodiscard]] SchedulingLogic& scheduling() noexcept { return scheduling_; }
+  [[nodiscard]] SwitchingLogic& switching() noexcept { return switching_; }
+  [[nodiscard]] switching::OpticalCircuitSwitch& ocs() noexcept { return ocs_; }
+  [[nodiscard]] switching::ElectricalPacketSwitch& eps() noexcept { return eps_; }
+  [[nodiscard]] const FrameworkConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void wire();
+  void on_deliver(const net::Packet& p, control::FabricPath via);
+
+  FrameworkConfig cfg_;
+  sim::Simulator sim_;
+  sim::TraceRecorder trace_;
+  net::Classifier classifier_;
+  control::SyncModel sync_;
+  switching::OpticalCircuitSwitch ocs_;
+  switching::ElectricalPacketSwitch eps_;
+  SwitchingLogic switching_;
+  ProcessingLogic processing_;
+  SchedulingLogic scheduling_;
+  std::vector<std::unique_ptr<traffic::TrafficGenerator>> generators_;
+
+  // Measurement state (active after warmup).
+  bool measuring_{false};
+  bool ran_{false};
+  sim::Time measure_start_{};
+  RunReport report_;
+  std::unordered_map<net::FlowId, stats::Rfc3550Jitter> flow_jitter_;
+
+  // Snapshots taken at measurement start, to report deltas.
+  struct Baseline {
+    std::uint64_t voq_drops{0};
+    std::uint64_t eps_drops{0};
+    std::uint64_t sync_losses{0};
+    std::uint64_t reconfig_cuts{0};
+    std::uint64_t reconfigurations{0};
+    sim::Time dark_time{};
+    sim::Time ocs_busy{};
+    std::uint64_t decisions{0};
+    sim::Time decision_latency_total{};
+  } base_;
+};
+
+/// Convenience: an OCS reconfiguration cost expressed in bytes at the
+/// configured link rate — the quantity Solstice amortises against.
+[[nodiscard]] std::int64_t reconfig_cost_bytes(const FrameworkConfig& cfg);
+
+}  // namespace xdrs::core
+
+#endif  // XDRS_CORE_FRAMEWORK_HPP

@@ -1,0 +1,112 @@
+// Scheduling logic (Figure 2, centre block): "processes the incoming
+// requests, estimates the demand matrix, and runs the scheduling algorithm,
+// generating corresponding transmission grants."
+//
+// Two disciplines:
+//  * kSlotted     — every slot, run a MatchingAlgorithm on the demand
+//                   estimate and grant one slot's worth of service to each
+//                   matched pair (classic input-queued crossbar operation);
+//  * kHybridEpoch — every epoch, run a CircuitScheduler, execute its slot
+//                   sequence on the OCS (configure -> hold -> next) and
+//                   grant the residual matrix to the EPS.
+//
+// Every decision is delayed by the pluggable SchedulerTimingModel — a
+// software model *lives* its milliseconds here, which is how the paper's
+// fast-vs-slow comparison is realised end to end.
+#ifndef XDRS_CORE_SCHEDULING_LOGIC_HPP
+#define XDRS_CORE_SCHEDULING_LOGIC_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "control/messages.hpp"
+#include "control/timing.hpp"
+#include "core/config.hpp"
+#include "core/switching_logic.hpp"
+#include "demand/estimator.hpp"
+#include "schedulers/circuit_scheduler.hpp"
+#include "schedulers/matcher.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "stats/summary.hpp"
+
+namespace xdrs::core {
+
+struct SchedulingStats {
+  std::uint64_t decisions{0};
+  std::uint64_t requests_received{0};
+  sim::Time decision_latency_total{};
+  stats::Summary plan_slots;        ///< circuit slots per hybrid decision
+  stats::Summary residual_fraction; ///< EPS share of demand per decision
+};
+
+class SchedulingLogic {
+ public:
+  using GrantCallback = std::function<void(const control::GrantSet&)>;
+
+  SchedulingLogic(sim::Simulator& sim, const FrameworkConfig& cfg, SwitchingLogic& switching,
+                  sim::TraceRecorder& trace);
+
+  // Pluggable policy objects.  Which are required depends on the
+  // discipline: kSlotted needs a matcher, kHybridEpoch a circuit scheduler;
+  // both need an estimator and a timing model.
+  void set_matcher(std::unique_ptr<schedulers::MatchingAlgorithm> m) { matcher_ = std::move(m); }
+  void set_circuit_scheduler(std::unique_ptr<schedulers::CircuitScheduler> s) {
+    circuit_scheduler_ = std::move(s);
+  }
+  void set_estimator(std::unique_ptr<demand::DemandEstimator> e) { estimator_ = std::move(e); }
+  void set_timing_model(std::unique_ptr<control::SchedulerTimingModel> t) {
+    timing_ = std::move(t);
+  }
+
+  void set_grant_callback(GrantCallback cb) { grant_cb_ = std::move(cb); }
+
+  /// Begins periodic operation (first decision immediately).
+  void start();
+
+  // Demand-information feed from the processing logic.
+  void on_request(const control::SchedulingRequest& req);
+  void on_arrival(net::PortId src, net::PortId dst, std::int64_t bytes, sim::Time at);
+  void on_departure(net::PortId src, net::PortId dst, std::int64_t bytes, sim::Time at);
+
+  [[nodiscard]] const SchedulingStats& stats() const noexcept { return stats_; }
+
+  /// Latency of the most recent decision (component breakdown).
+  [[nodiscard]] const control::TimingBreakdown& last_breakdown() const noexcept {
+    return last_breakdown_;
+  }
+
+ private:
+  void tick();
+  void decide_slotted();
+  void decide_hybrid();
+  /// Executes hybrid plan slot `k`: configure, wait, grant, advance.
+  /// `deadline` is the end of this epoch's planning horizon: no window may
+  /// extend past it, so stale grants can never collide with the next
+  /// epoch's reconfiguration (hosts with clock skew still can — that is
+  /// the synchronisation experiment).
+  void run_plan_slot(std::shared_ptr<schedulers::CircuitPlan> plan, std::size_t k,
+                     std::uint64_t epoch, sim::Time deadline);
+  void account_decision(const control::TimingBreakdown& b);
+
+  sim::Simulator& sim_;
+  const FrameworkConfig& cfg_;
+  SwitchingLogic& switching_;
+  sim::TraceRecorder& trace_;
+
+  std::unique_ptr<schedulers::MatchingAlgorithm> matcher_;
+  std::unique_ptr<schedulers::CircuitScheduler> circuit_scheduler_;
+  std::unique_ptr<demand::DemandEstimator> estimator_;
+  std::unique_ptr<control::SchedulerTimingModel> timing_;
+  GrantCallback grant_cb_;
+
+  demand::DemandMatrix demand_;
+  control::TimingBreakdown last_breakdown_;
+  std::uint64_t epoch_counter_{0};
+  SchedulingStats stats_;
+};
+
+}  // namespace xdrs::core
+
+#endif  // XDRS_CORE_SCHEDULING_LOGIC_HPP

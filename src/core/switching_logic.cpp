@@ -1,0 +1,37 @@
+#include "core/switching_logic.hpp"
+
+#include <utility>
+
+namespace xdrs::core {
+
+SwitchingLogic::SwitchingLogic(sim::Simulator& sim, switching::OpticalCircuitSwitch& ocs,
+                               sim::TraceRecorder& trace)
+    : sim_{sim}, ocs_{ocs}, trace_{trace} {
+  ocs_.set_configured_callback([this](const schedulers::Matching& /*m*/) {
+    ++stats_.configurations_completed;
+    trace_.record(sim_.now(), sim::TraceCategory::kReconfigDone);
+    if (pending_) {
+      // Move out before invoking: the callback may call configure() again.
+      ReadyCallback cb = std::move(pending_);
+      pending_ = nullptr;
+      cb(sim_.now());
+    }
+  });
+}
+
+void SwitchingLogic::configure(const schedulers::Matching& m, ReadyCallback on_ready,
+                               bool wait_for_ready) {
+  ++stats_.configurations_requested;
+  ++generation_;
+  trace_.record(sim_.now(), sim::TraceCategory::kReconfigStart);
+  if (wait_for_ready) {
+    pending_ = std::move(on_ready);  // supersedes any in-flight callback
+    ocs_.reconfigure(m);
+  } else {
+    pending_ = nullptr;
+    ocs_.reconfigure(m);
+    if (on_ready) on_ready(sim_.now());
+  }
+}
+
+}  // namespace xdrs::core

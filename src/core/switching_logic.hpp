@@ -1,0 +1,52 @@
+// Switching logic (Figure 2, right block): receives the grant matrix from
+// the scheduling logic and configures the OCS circuits to match it, then
+// reports readiness so grants can be released — the paper's explicit
+// ordering: "Before providing a grant to the processing logic, the
+// scheduler sends the grant matrix to the switching logic to configure the
+// circuits in the OCS to match the grant matrix."
+#ifndef XDRS_CORE_SWITCHING_LOGIC_HPP
+#define XDRS_CORE_SWITCHING_LOGIC_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "schedulers/matching.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "switching/ocs.hpp"
+
+namespace xdrs::core {
+
+struct SwitchingStats {
+  std::uint64_t configurations_requested{0};
+  std::uint64_t configurations_completed{0};
+};
+
+class SwitchingLogic {
+ public:
+  using ReadyCallback = std::function<void(sim::Time circuits_up_at)>;
+
+  SwitchingLogic(sim::Simulator& sim, switching::OpticalCircuitSwitch& ocs,
+                 sim::TraceRecorder& trace);
+
+  /// Retunes the OCS to `m`.  When `wait_for_ready` (the paper's protocol)
+  /// the callback fires once circuits are up; otherwise it fires
+  /// immediately, modelling the overlapped-grant ablation.  A newer
+  /// configure supersedes an in-flight one; the superseded callback is
+  /// dropped (its grants must never be released onto the wrong circuits).
+  void configure(const schedulers::Matching& m, ReadyCallback on_ready, bool wait_for_ready);
+
+  [[nodiscard]] const SwitchingStats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  switching::OpticalCircuitSwitch& ocs_;
+  sim::TraceRecorder& trace_;
+  ReadyCallback pending_;
+  std::uint64_t generation_{0};
+  SwitchingStats stats_;
+};
+
+}  // namespace xdrs::core
+
+#endif  // XDRS_CORE_SWITCHING_LOGIC_HPP

@@ -1,0 +1,115 @@
+#include "demand/demand_matrix.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace xdrs::demand {
+
+DemandMatrix::DemandMatrix(std::uint32_t inputs, std::uint32_t outputs)
+    : inputs_{inputs},
+      outputs_{outputs},
+      v_(static_cast<std::size_t>(inputs) * outputs, 0) {
+  if (inputs == 0 || outputs == 0) {
+    throw std::invalid_argument{"DemandMatrix: dimensions must be >= 1"};
+  }
+}
+
+std::size_t DemandMatrix::idx(net::PortId i, net::PortId j) const {
+  if (i >= inputs_ || j >= outputs_) throw std::out_of_range{"DemandMatrix: index"};
+  return static_cast<std::size_t>(i) * outputs_ + j;
+}
+
+std::int64_t DemandMatrix::at(net::PortId i, net::PortId j) const { return v_[idx(i, j)]; }
+
+void DemandMatrix::set(net::PortId i, net::PortId j, std::int64_t v) {
+  if (v < 0) throw std::invalid_argument{"DemandMatrix: negative demand"};
+  auto& slot = v_[idx(i, j)];
+  total_ += v - slot;
+  slot = v;
+}
+
+void DemandMatrix::add(net::PortId i, net::PortId j, std::int64_t delta) {
+  auto& slot = v_[idx(i, j)];
+  if (slot + delta < 0) throw std::invalid_argument{"DemandMatrix: add would go negative"};
+  slot += delta;
+  total_ += delta;
+}
+
+void DemandMatrix::subtract_clamped(net::PortId i, net::PortId j, std::int64_t delta) {
+  auto& slot = v_[idx(i, j)];
+  const std::int64_t removed = std::min(slot, delta);
+  slot -= removed;
+  total_ -= removed;
+}
+
+void DemandMatrix::clear() noexcept {
+  std::fill(v_.begin(), v_.end(), 0);
+  total_ = 0;
+}
+
+void DemandMatrix::resize(std::uint32_t inputs, std::uint32_t outputs) {
+  if (inputs == 0 || outputs == 0) {
+    throw std::invalid_argument{"DemandMatrix: dimensions must be >= 1"};
+  }
+  inputs_ = inputs;
+  outputs_ = outputs;
+  v_.assign(static_cast<std::size_t>(inputs) * outputs, 0);
+  total_ = 0;
+}
+
+std::int64_t DemandMatrix::row_sum(net::PortId i) const {
+  if (i >= inputs_) throw std::out_of_range{"DemandMatrix::row_sum"};
+  std::int64_t s = 0;
+  for (std::uint32_t j = 0; j < outputs_; ++j) s += v_[static_cast<std::size_t>(i) * outputs_ + j];
+  return s;
+}
+
+std::int64_t DemandMatrix::col_sum(net::PortId j) const {
+  if (j >= outputs_) throw std::out_of_range{"DemandMatrix::col_sum"};
+  std::int64_t s = 0;
+  for (std::uint32_t i = 0; i < inputs_; ++i) s += v_[static_cast<std::size_t>(i) * outputs_ + j];
+  return s;
+}
+
+std::int64_t DemandMatrix::max_element() const {
+  return v_.empty() ? 0 : *std::max_element(v_.begin(), v_.end());
+}
+
+std::int64_t DemandMatrix::max_line_sum() const {
+  std::int64_t best = 0;
+  for (std::uint32_t i = 0; i < inputs_; ++i) best = std::max(best, row_sum(i));
+  for (std::uint32_t j = 0; j < outputs_; ++j) best = std::max(best, col_sum(j));
+  return best;
+}
+
+std::size_t DemandMatrix::nonzero_count() const {
+  return static_cast<std::size_t>(std::count_if(v_.begin(), v_.end(), [](auto x) { return x > 0; }));
+}
+
+void DemandMatrix::for_each_nonzero(
+    const std::function<void(net::PortId, net::PortId, std::int64_t)>& fn) const {
+  for (std::uint32_t i = 0; i < inputs_; ++i) {
+    for (std::uint32_t j = 0; j < outputs_; ++j) {
+      const std::int64_t v = v_[static_cast<std::size_t>(i) * outputs_ + j];
+      if (v > 0) fn(i, j, v);
+    }
+  }
+}
+
+std::string DemandMatrix::to_string() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(inputs_) * outputs_ * 8);
+  for (std::uint32_t i = 0; i < inputs_; ++i) {
+    for (std::uint32_t j = 0; j < outputs_; ++j) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%8lld",
+                    static_cast<long long>(v_[static_cast<std::size_t>(i) * outputs_ + j]));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xdrs::demand

@@ -1,0 +1,68 @@
+// The demand matrix: element (i, j) is the estimated traffic (bytes) that
+// input i wants to send to output j.  This is the data structure the
+// scheduling logic computes over, and the interface between demand
+// estimation and the scheduling algorithms.
+#ifndef XDRS_DEMAND_DEMAND_MATRIX_HPP
+#define XDRS_DEMAND_DEMAND_MATRIX_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace xdrs::demand {
+
+class DemandMatrix {
+ public:
+  DemandMatrix() = default;
+  DemandMatrix(std::uint32_t inputs, std::uint32_t outputs);
+
+  /// Square convenience constructor.
+  explicit DemandMatrix(std::uint32_t ports) : DemandMatrix(ports, ports) {}
+
+  [[nodiscard]] std::uint32_t inputs() const noexcept { return inputs_; }
+  [[nodiscard]] std::uint32_t outputs() const noexcept { return outputs_; }
+
+  [[nodiscard]] std::int64_t at(net::PortId i, net::PortId j) const;
+  void set(net::PortId i, net::PortId j, std::int64_t v);
+  void add(net::PortId i, net::PortId j, std::int64_t delta);
+
+  /// Clamped subtraction: never drives an element below zero.
+  void subtract_clamped(net::PortId i, net::PortId j, std::int64_t delta);
+
+  void clear() noexcept;
+  void resize(std::uint32_t inputs, std::uint32_t outputs);
+
+  [[nodiscard]] std::int64_t row_sum(net::PortId i) const;
+  [[nodiscard]] std::int64_t col_sum(net::PortId j) const;
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::int64_t max_element() const;
+
+  /// Largest row or column sum — the quantity BvN-style decompositions
+  /// must cover (the matrix "fits" in that many service units).
+  [[nodiscard]] std::int64_t max_line_sum() const;
+
+  [[nodiscard]] std::size_t nonzero_count() const;
+
+  /// Calls `fn(i, j, value)` for every strictly positive element.
+  void for_each_nonzero(const std::function<void(net::PortId, net::PortId, std::int64_t)>& fn) const;
+
+  [[nodiscard]] bool operator==(const DemandMatrix& other) const noexcept = default;
+
+  /// Multi-line human-readable rendering for debugging and examples.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(net::PortId i, net::PortId j) const;
+
+  std::uint32_t inputs_{0};
+  std::uint32_t outputs_{0};
+  std::vector<std::int64_t> v_;
+  std::int64_t total_{0};
+};
+
+}  // namespace xdrs::demand
+
+#endif  // XDRS_DEMAND_DEMAND_MATRIX_HPP

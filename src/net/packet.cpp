@@ -1,0 +1,26 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace xdrs::net {
+
+const char* to_string(TrafficClass c) noexcept {
+  switch (c) {
+    case TrafficClass::kLatencySensitive: return "latency-sensitive";
+    case TrafficClass::kThroughput: return "throughput";
+    case TrafficClass::kBestEffort: return "best-effort";
+  }
+  return "unknown";
+}
+
+std::string FiveTuple::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u > %u.%u.%u.%u:%u/%u",
+                src_addr >> 24 & 0xff, src_addr >> 16 & 0xff, src_addr >> 8 & 0xff,
+                src_addr & 0xff, src_port,
+                dst_addr >> 24 & 0xff, dst_addr >> 16 & 0xff, dst_addr >> 8 & 0xff,
+                dst_addr & 0xff, dst_port, static_cast<unsigned>(proto));
+  return buf;
+}
+
+}  // namespace xdrs::net

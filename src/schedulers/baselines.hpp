@@ -1,0 +1,42 @@
+// The software-scheduler baselines the paper positions itself against.
+//
+//  * CThroughScheduler — c-Through (Wang et al., SIGCOMM CCR 2010): one
+//    maximum-weight perfect matching per epoch ("one circuit day"); traffic
+//    not on the matching rides the EPS.  Demand comes from host socket
+//    buffer occupancy in the original system; here the pluggable demand
+//    estimator plays that role.
+//  * TmsScheduler — Helios-style traffic matrix scheduling (Farrington et
+//    al., SIGCOMM 2010): BvN-decompose the estimated demand, keep the k
+//    most valuable permutations as circuit days, EPS takes the rest.
+#ifndef XDRS_SCHEDULERS_BASELINES_HPP
+#define XDRS_SCHEDULERS_BASELINES_HPP
+
+#include <cstdint>
+
+#include "schedulers/circuit_scheduler.hpp"
+
+namespace xdrs::schedulers {
+
+class CThroughScheduler final : public CircuitScheduler {
+ public:
+  CThroughScheduler() = default;
+
+  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) override;
+  [[nodiscard]] std::string name() const override { return "cthrough"; }
+};
+
+class TmsScheduler final : public CircuitScheduler {
+ public:
+  /// `max_days`: circuit configurations kept per epoch (k).
+  explicit TmsScheduler(std::size_t max_days);
+
+  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) override;
+  [[nodiscard]] std::string name() const override { return "tms-" + std::to_string(max_days_); }
+
+ private:
+  std::size_t max_days_;
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_BASELINES_HPP

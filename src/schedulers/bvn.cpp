@@ -1,0 +1,104 @@
+#include "schedulers/bvn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "schedulers/hopcroft_karp.hpp"
+
+namespace xdrs::schedulers {
+namespace {
+
+/// Northwest-corner slack: a non-negative matrix with prescribed row sums
+/// `r` and column sums `c` (sum(r) == sum(c)).
+demand::DemandMatrix build_slack(const demand::DemandMatrix& dem, std::int64_t phi) {
+  const std::uint32_t n = dem.inputs();
+  demand::DemandMatrix slack{n, n};
+  std::vector<std::int64_t> r(n), c(n);
+  for (std::uint32_t i = 0; i < n; ++i) r[i] = phi - dem.row_sum(i);
+  for (std::uint32_t j = 0; j < n; ++j) c[j] = phi - dem.col_sum(j);
+  std::uint32_t i = 0, j = 0;
+  while (i < n && j < n) {
+    const std::int64_t s = std::min(r[i], c[j]);
+    if (s > 0) slack.set(i, j, slack.at(i, j) + s);
+    r[i] -= s;
+    c[j] -= s;
+    if (r[i] == 0) ++i;
+    if (j < n && c[j] == 0) ++j;
+  }
+  return slack;
+}
+
+}  // namespace
+
+BvnResult bvn_decompose(const demand::DemandMatrix& dem, std::size_t max_terms) {
+  if (dem.inputs() != dem.outputs()) {
+    throw std::invalid_argument{"bvn_decompose: matrix must be square"};
+  }
+  const std::uint32_t n = dem.inputs();
+  BvnResult result;
+  if (dem.total() == 0) return result;
+
+  demand::DemandMatrix real = dem;                       // remaining true demand
+  const std::int64_t phi = dem.max_line_sum();
+  demand::DemandMatrix slack = build_slack(dem, phi);    // remaining padding
+
+  HopcroftKarp hk{n, n};
+  while (real.total() > 0 && (max_terms == 0 || result.terms.size() < max_terms)) {
+    // Perfect matching on the support of real + slack.  The padded matrix
+    // has all line sums equal, so Birkhoff guarantees one exists.
+    hk.clear_edges();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (real.at(i, j) + slack.at(i, j) > 0) hk.add_edge(i, j);
+      }
+    }
+    const std::uint32_t size = hk.solve();
+    if (size < n) {
+      throw std::logic_error{"bvn_decompose: padded matrix lost perfect-matching support"};
+    }
+
+    BvnTerm term;
+    term.permutation = Matching{n, n};
+    std::int64_t w = std::numeric_limits<std::int64_t>::max();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t j = hk.match_of_left(i);
+      term.permutation.match(i, j);
+      w = std::min(w, real.at(i, j) + slack.at(i, j));
+    }
+    term.weight = w;
+
+    // Serve real demand before slack so terms retire demand fastest.
+    term.permutation.for_each_pair([&](net::PortId i, net::PortId j) {
+      const std::int64_t from_real = std::min(real.at(i, j), w);
+      term.real_bytes += from_real;
+      real.subtract_clamped(i, j, from_real);
+      slack.subtract_clamped(i, j, w - from_real);
+    });
+    result.terms.push_back(std::move(term));
+  }
+  result.uncovered_bytes = real.total();
+  return result;
+}
+
+CircuitPlan BvnScheduler::plan(const demand::DemandMatrix& dem) {
+  BvnResult d = bvn_decompose(dem, 0);
+  // Keep the heaviest slots by real coverage; everything else goes electric.
+  std::sort(d.terms.begin(), d.terms.end(), [](const BvnTerm& a, const BvnTerm& b) {
+    return a.real_bytes > b.real_bytes;
+  });
+  if (max_slots_ > 0 && d.terms.size() > max_slots_) d.terms.resize(max_slots_);
+
+  CircuitPlan plan;
+  plan.residual = dem;
+  for (auto& t : d.terms) {
+    // Per-pair circuit service is min(weight, pair demand); subtract from
+    // the residual so the EPS sees exactly what circuits will not carry.
+    t.permutation.for_each_pair([&](net::PortId i, net::PortId j) {
+      plan.residual.subtract_clamped(i, j, t.weight);
+    });
+    plan.slots.push_back(CircuitSlot{std::move(t.permutation), t.weight});
+  }
+  return plan;
+}
+
+}  // namespace xdrs::schedulers

@@ -1,0 +1,54 @@
+// Birkhoff–von-Neumann decomposition of a demand matrix into weighted
+// permutations — the theoretical backbone of traffic-matrix scheduling
+// (Helios' TMS and every "compute a day of circuit configurations" design).
+//
+// Any non-negative matrix padded so that all row and column sums equal the
+// maximum line sum phi is phi times a doubly stochastic matrix, and Birkhoff
+// guarantees it decomposes into at most (N-1)^2 + 1 weighted permutations.
+// We construct the padding explicitly (northwest-corner rule) and peel
+// permutations with Hopcroft–Karp perfect matchings, always serving real
+// demand before slack.
+#ifndef XDRS_SCHEDULERS_BVN_HPP
+#define XDRS_SCHEDULERS_BVN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "demand/demand_matrix.hpp"
+#include "schedulers/circuit_scheduler.hpp"
+#include "schedulers/matching.hpp"
+
+namespace xdrs::schedulers {
+
+/// One term of the decomposition.
+struct BvnTerm {
+  Matching permutation;      ///< always a full permutation of the padded matrix
+  std::int64_t weight{0};    ///< scalar coefficient (bytes)
+  std::int64_t real_bytes{0};  ///< demand (not slack) bytes this term serves
+};
+
+struct BvnResult {
+  std::vector<BvnTerm> terms;
+  std::int64_t uncovered_bytes{0};  ///< demand left when max_terms was hit
+};
+
+/// Decomposes `dem` (square) into weighted permutations.  Stops early after
+/// `max_terms` terms (0 = unlimited); anything left is reported uncovered.
+[[nodiscard]] BvnResult bvn_decompose(const demand::DemandMatrix& dem, std::size_t max_terms = 0);
+
+/// CircuitScheduler adapter: run the decomposition, keep the heaviest
+/// `max_slots` terms, return the rest of the demand as EPS residual.
+class BvnScheduler final : public CircuitScheduler {
+ public:
+  explicit BvnScheduler(std::size_t max_slots) : max_slots_{max_slots} {}
+
+  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) override;
+  [[nodiscard]] std::string name() const override { return "bvn-" + std::to_string(max_slots_); }
+
+ private:
+  std::size_t max_slots_;
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_BVN_HPP

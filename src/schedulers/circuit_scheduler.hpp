@@ -1,0 +1,55 @@
+// Circuit ("day") scheduling for the hybrid fabric.
+//
+// Where a MatchingAlgorithm answers "which pairs may talk *this slot*?", a
+// CircuitScheduler answers the hybrid question of paper §1: which portion of
+// the demand is worth paying an OCS reconfiguration for, in which sequence
+// of circuit configurations and for how long — and which residual should
+// fall through to the electrical packet switch.
+#ifndef XDRS_SCHEDULERS_CIRCUIT_SCHEDULER_HPP
+#define XDRS_SCHEDULERS_CIRCUIT_SCHEDULER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "demand/demand_matrix.hpp"
+#include "schedulers/matching.hpp"
+
+namespace xdrs::schedulers {
+
+/// One circuit configuration and the traffic volume it is planned to carry.
+struct CircuitSlot {
+  Matching configuration;
+  std::int64_t weight_bytes{0};  ///< per-pair volume this slot should move
+};
+
+/// A full plan for one scheduling epoch.
+struct CircuitPlan {
+  std::vector<CircuitSlot> slots;
+  demand::DemandMatrix residual;  ///< demand left for the EPS
+
+  /// Total bytes the plan routes over circuits (weight x pairs per slot).
+  [[nodiscard]] std::int64_t circuit_bytes() const {
+    std::int64_t total = 0;
+    for (const auto& s : slots) {
+      total += s.weight_bytes * static_cast<std::int64_t>(s.configuration.size());
+    }
+    return total;
+  }
+};
+
+class CircuitScheduler {
+ public:
+  virtual ~CircuitScheduler() = default;
+
+  /// Plans circuit service for `dem`.  The plan's slot weights, summed per
+  /// pair, never exceed the pair's demand plus padding slack; `residual`
+  /// holds exactly the demand the slots do not cover.
+  [[nodiscard]] virtual CircuitPlan plan(const demand::DemandMatrix& dem) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_CIRCUIT_SCHEDULER_HPP

@@ -1,0 +1,58 @@
+#include "schedulers/factory.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "schedulers/greedy.hpp"
+#include "schedulers/hopcroft_karp.hpp"
+#include "schedulers/hungarian.hpp"
+#include "schedulers/rga.hpp"
+#include "schedulers/rotor.hpp"
+#include "schedulers/serena.hpp"
+#include "schedulers/wavefront.hpp"
+
+namespace xdrs::schedulers {
+namespace {
+
+struct ParsedSpec {
+  std::string_view algo;
+  std::uint32_t iterations;
+};
+
+ParsedSpec parse(std::string_view spec, std::uint32_t default_iters) {
+  const auto colon = spec.find(':');
+  if (colon == std::string_view::npos) return {spec, default_iters};
+  const std::string_view algo = spec.substr(0, colon);
+  const std::string_view iters_str = spec.substr(colon + 1);
+  std::uint32_t iters = 0;
+  const auto [ptr, ec] =
+      std::from_chars(iters_str.data(), iters_str.data() + iters_str.size(), iters);
+  if (ec != std::errc{} || ptr != iters_str.data() + iters_str.size() || iters == 0) {
+    throw std::invalid_argument{"make_matcher: bad iteration count in spec '" +
+                                std::string{spec} + "'"};
+  }
+  return {algo, iters};
+}
+
+}  // namespace
+
+std::unique_ptr<MatchingAlgorithm> make_matcher(std::string_view spec, std::uint32_t ports,
+                                                std::uint64_t seed) {
+  const ParsedSpec p = parse(spec, 1);
+  if (p.algo == "rrm") return std::make_unique<RrmMatcher>(ports, p.iterations);
+  if (p.algo == "islip") return std::make_unique<IslipMatcher>(ports, p.iterations);
+  if (p.algo == "pim") return std::make_unique<PimMatcher>(ports, p.iterations, seed);
+  if (p.algo == "ilqf") return std::make_unique<GreedyMaxWeightMatcher>();
+  if (p.algo == "maxweight") return std::make_unique<HungarianMatcher>();
+  if (p.algo == "maxsize") return std::make_unique<MaxSizeMatcher>();
+  if (p.algo == "rotor") return std::make_unique<RotorMatcher>(ports);
+  if (p.algo == "serena") return std::make_unique<SerenaMatcher>(ports, seed);
+  if (p.algo == "wavefront") return std::make_unique<WavefrontMatcher>(ports);
+  throw std::invalid_argument{"make_matcher: unknown scheduler spec '" + std::string{spec} + "'"};
+}
+
+std::vector<std::string> known_matcher_specs() {
+  return {"rrm:1", "islip:1", "islip:4", "pim:1", "pim:4", "ilqf", "maxweight", "maxsize", "rotor", "wavefront", "serena"};
+}
+
+}  // namespace xdrs::schedulers

@@ -1,0 +1,32 @@
+// Name-based construction of matching algorithms, so benches, examples and
+// the framework configuration can select schedulers from strings such as
+// "islip:4" (algorithm:iterations).
+#ifndef XDRS_SCHEDULERS_FACTORY_HPP
+#define XDRS_SCHEDULERS_FACTORY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schedulers/matcher.hpp"
+
+namespace xdrs::schedulers {
+
+/// Builds a matcher from a spec string.  Accepted specs:
+///   "rrm[:iters]", "islip[:iters]", "pim[:iters]" (default iters = 1),
+///   "ilqf", "maxweight", "maxsize", "rotor", "wavefront", "serena".
+/// `ports` dimensions pointer arrays; `seed` feeds randomized algorithms.
+/// Throws std::invalid_argument on an unknown spec.
+[[nodiscard]] std::unique_ptr<MatchingAlgorithm> make_matcher(std::string_view spec,
+                                                              std::uint32_t ports,
+                                                              std::uint64_t seed = 1);
+
+/// All specs understood by make_matcher, with default iteration counts —
+/// the sweep set used by the comparison benches.
+[[nodiscard]] std::vector<std::string> known_matcher_specs();
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_FACTORY_HPP

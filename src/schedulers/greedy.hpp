@@ -1,0 +1,30 @@
+// Greedy maximal-weight matching (iLQF — iterative longest queue first).
+//
+// Repeatedly grants the heaviest remaining (input, output) pair until no
+// positive-demand pair is free.  A 2-approximation of maximum-weight
+// matching; in hardware it maps to a priority-encoder tree, but each pick
+// depends on the previous one, so iterations are sequential in the matched
+// pair count.
+#ifndef XDRS_SCHEDULERS_GREEDY_HPP
+#define XDRS_SCHEDULERS_GREEDY_HPP
+
+#include "schedulers/matcher.hpp"
+
+namespace xdrs::schedulers {
+
+class GreedyMaxWeightMatcher final : public MatchingAlgorithm {
+ public:
+  GreedyMaxWeightMatcher() = default;
+
+  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  [[nodiscard]] std::string name() const override { return "ilqf-greedy"; }
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept override { return last_iterations_; }
+  [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
+
+ private:
+  std::uint32_t last_iterations_{0};
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_GREEDY_HPP

@@ -1,0 +1,109 @@
+#include "schedulers/hopcroft_karp.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace xdrs::schedulers {
+
+namespace {
+constexpr std::uint32_t kInfDist = std::numeric_limits<std::uint32_t>::max();
+}
+
+HopcroftKarp::HopcroftKarp(std::uint32_t left_count, std::uint32_t right_count)
+    : left_count_{left_count},
+      right_count_{right_count},
+      adj_(left_count),
+      match_left_(left_count, kFree),
+      match_right_(right_count, kFree),
+      dist_(left_count, kInfDist) {}
+
+void HopcroftKarp::add_edge(std::uint32_t left, std::uint32_t right) {
+  if (left >= left_count_ || right >= right_count_) {
+    throw std::out_of_range{"HopcroftKarp::add_edge"};
+  }
+  adj_[left].push_back(right);
+}
+
+void HopcroftKarp::clear_edges() {
+  for (auto& a : adj_) a.clear();
+  std::fill(match_left_.begin(), match_left_.end(), kFree);
+  std::fill(match_right_.begin(), match_right_.end(), kFree);
+  phases_ = 0;
+}
+
+bool HopcroftKarp::bfs() {
+  std::deque<std::uint32_t> queue;
+  for (std::uint32_t l = 0; l < left_count_; ++l) {
+    if (match_left_[l] == kFree) {
+      dist_[l] = 0;
+      queue.push_back(l);
+    } else {
+      dist_[l] = kInfDist;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    const std::uint32_t l = queue.front();
+    queue.pop_front();
+    for (const std::uint32_t r : adj_[l]) {
+      const std::uint32_t next = match_right_[r];
+      if (next == kFree) {
+        found_augmenting = true;
+      } else if (dist_[next] == kInfDist) {
+        dist_[next] = dist_[l] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool HopcroftKarp::dfs(std::uint32_t left) {
+  for (const std::uint32_t r : adj_[left]) {
+    const std::uint32_t next = match_right_[r];
+    if (next == kFree || (dist_[next] == dist_[left] + 1 && dfs(next))) {
+      match_left_[left] = r;
+      match_right_[r] = left;
+      return true;
+    }
+  }
+  dist_[left] = kInfDist;
+  return false;
+}
+
+std::uint32_t HopcroftKarp::solve() {
+  std::fill(match_left_.begin(), match_left_.end(), kFree);
+  std::fill(match_right_.begin(), match_right_.end(), kFree);
+  phases_ = 0;
+  std::uint32_t matched = 0;
+  while (bfs()) {
+    ++phases_;
+    for (std::uint32_t l = 0; l < left_count_; ++l) {
+      if (match_left_[l] == kFree && dfs(l)) ++matched;
+    }
+  }
+  return matched;
+}
+
+std::uint32_t HopcroftKarp::match_of_left(std::uint32_t left) const {
+  if (left >= left_count_) throw std::out_of_range{"HopcroftKarp::match_of_left"};
+  return match_left_[left];
+}
+
+Matching MaxSizeMatcher::compute(const demand::DemandMatrix& demand) {
+  HopcroftKarp hk{demand.inputs(), demand.outputs()};
+  demand.for_each_nonzero(
+      [&hk](net::PortId i, net::PortId j, std::int64_t) { hk.add_edge(i, j); });
+  hk.solve();
+  last_iterations_ = hk.phases();
+
+  Matching m{demand.inputs(), demand.outputs()};
+  for (std::uint32_t l = 0; l < demand.inputs(); ++l) {
+    const std::uint32_t r = hk.match_of_left(l);
+    if (r != HopcroftKarp::kFree) m.match(l, r);
+  }
+  return m;
+}
+
+}  // namespace xdrs::schedulers

@@ -1,0 +1,66 @@
+// Maximum-cardinality bipartite matching (Hopcroft–Karp, O(E sqrt(V))).
+//
+// Two roles in this repository:
+//  * a matcher that maximises the number of busy ports per slot (max-size
+//    matching — optimal instantaneous fabric utilisation, though not
+//    starvation-free), and
+//  * the perfect-matching engine inside the Birkhoff–von-Neumann
+//    decomposition and the Solstice-style circuit scheduler.
+#ifndef XDRS_SCHEDULERS_HOPCROFT_KARP_HPP
+#define XDRS_SCHEDULERS_HOPCROFT_KARP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "schedulers/matcher.hpp"
+
+namespace xdrs::schedulers {
+
+/// Standalone solver usable on an arbitrary bipartite adjacency structure.
+class HopcroftKarp {
+ public:
+  HopcroftKarp(std::uint32_t left_count, std::uint32_t right_count);
+
+  void add_edge(std::uint32_t left, std::uint32_t right);
+  void clear_edges();
+
+  /// Computes a maximum matching; returns its cardinality.
+  std::uint32_t solve();
+
+  /// Partner of a left vertex after solve(), or kFree.
+  [[nodiscard]] std::uint32_t match_of_left(std::uint32_t left) const;
+
+  static constexpr std::uint32_t kFree = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t phases() const noexcept { return phases_; }
+
+ private:
+  [[nodiscard]] bool bfs();
+  [[nodiscard]] bool dfs(std::uint32_t left);
+
+  std::uint32_t left_count_;
+  std::uint32_t right_count_;
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::uint32_t> match_left_;
+  std::vector<std::uint32_t> match_right_;
+  std::vector<std::uint32_t> dist_;
+  std::uint32_t phases_{0};
+};
+
+/// MatchingAlgorithm adapter: max-size matching over positive demand.
+class MaxSizeMatcher final : public MatchingAlgorithm {
+ public:
+  MaxSizeMatcher() = default;
+
+  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  [[nodiscard]] std::string name() const override { return "maxsize-hk"; }
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept override { return last_iterations_; }
+  [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
+
+ private:
+  std::uint32_t last_iterations_{0};
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_HOPCROFT_KARP_HPP

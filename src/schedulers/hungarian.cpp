@@ -1,0 +1,96 @@
+#include "schedulers/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace xdrs::schedulers {
+
+Matching HungarianMatcher::compute(const demand::DemandMatrix& demand) {
+  // Solve the assignment problem on the square padding of -demand (the
+  // classic potentials formulation minimises cost; negation maximises
+  // weight).  Zero-demand assignments are stripped afterwards: they carry no
+  // weight, so removing them preserves optimality while honouring the
+  // "never grant an empty VOQ" contract.
+  const std::uint32_t n32 = std::max(demand.inputs(), demand.outputs());
+  const auto n = static_cast<std::size_t>(n32);
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  const auto cost = [&demand](std::size_t i, std::size_t j) -> std::int64_t {
+    if (i < demand.inputs() && j < demand.outputs()) {
+      return -demand.at(static_cast<net::PortId>(i), static_cast<net::PortId>(j));
+    }
+    return 0;  // padding rows/columns
+  };
+
+  // 1-indexed arrays per the standard formulation; row 0 / column 0 are
+  // sentinels.
+  std::vector<std::int64_t> u(n + 1, 0);
+  std::vector<std::int64_t> v(n + 1, 0);
+  std::vector<std::size_t> p(n + 1, 0);    // p[j]: row matched to column j
+  std::vector<std::size_t> way(n + 1, 0);  // alternating-path bookkeeping
+
+  last_iterations_ = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<std::int64_t> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      ++last_iterations_;
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      std::int64_t delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const std::int64_t cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Unwind the augmenting path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Matching m{demand.inputs(), demand.outputs()};
+  for (std::size_t j = 1; j <= n; ++j) {
+    const std::size_t i = p[j];
+    if (i == 0) continue;
+    const std::size_t row = i - 1;
+    const std::size_t col = j - 1;
+    if (row < demand.inputs() && col < demand.outputs() &&
+        demand.at(static_cast<net::PortId>(row), static_cast<net::PortId>(col)) > 0) {
+      m.match(static_cast<net::PortId>(row), static_cast<net::PortId>(col));
+    }
+  }
+  return m;
+}
+
+std::int64_t HungarianMatcher::matching_weight(const Matching& m,
+                                               const demand::DemandMatrix& demand) {
+  std::int64_t w = 0;
+  m.for_each_pair([&](net::PortId i, net::PortId j) { w += demand.at(i, j); });
+  return w;
+}
+
+}  // namespace xdrs::schedulers

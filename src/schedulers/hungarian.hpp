@@ -1,0 +1,34 @@
+// Exact maximum-weight matching via the Hungarian algorithm (Jonker-style
+// potentials, O(N^3)).
+//
+// Max-weight matching on VOQ backlogs is the throughput-optimal crossbar
+// policy (Tassiulas/Ephremides); it is far too slow for per-slot hardware
+// arbitration, which is precisely the paper's point — we provide it as the
+// quality yardstick the practical algorithms are measured against.
+#ifndef XDRS_SCHEDULERS_HUNGARIAN_HPP
+#define XDRS_SCHEDULERS_HUNGARIAN_HPP
+
+#include "schedulers/matcher.hpp"
+
+namespace xdrs::schedulers {
+
+class HungarianMatcher final : public MatchingAlgorithm {
+ public:
+  HungarianMatcher() = default;
+
+  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  [[nodiscard]] std::string name() const override { return "maxweight-exact"; }
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept override { return last_iterations_; }
+  [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
+
+  /// Sum of demand over the matched pairs of `m` — the objective value.
+  [[nodiscard]] static std::int64_t matching_weight(const Matching& m,
+                                                    const demand::DemandMatrix& demand);
+
+ private:
+  std::uint32_t last_iterations_{0};
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_HUNGARIAN_HPP

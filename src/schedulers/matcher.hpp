@@ -1,0 +1,43 @@
+// The pluggable scheduling-algorithm interface — the module the paper says
+// "users implement novel design in" (§3, scheduling logic).
+//
+// A matcher turns a demand matrix into one conflict-free matching (grant
+// matrix).  Implementations also expose a hardware cost model: the number of
+// pipeline iterations the algorithm needs, from which the control-plane
+// timing models derive schedule-computation latency for a given clock.
+#ifndef XDRS_SCHEDULERS_MATCHER_HPP
+#define XDRS_SCHEDULERS_MATCHER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "demand/demand_matrix.hpp"
+#include "schedulers/matching.hpp"
+
+namespace xdrs::schedulers {
+
+class MatchingAlgorithm {
+ public:
+  virtual ~MatchingAlgorithm() = default;
+
+  /// Computes a matching over the strictly positive entries of `demand`.
+  /// Must never grant a pair with zero demand.
+  [[nodiscard]] virtual Matching compute(const demand::DemandMatrix& demand) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Iterations (hardware pipeline passes) consumed by the last compute().
+  /// Request-grant-accept algorithms run one parallel arbitration per
+  /// iteration; sequential algorithms report their outer-loop count.
+  [[nodiscard]] virtual std::uint32_t last_iterations() const noexcept = 0;
+
+  /// True when one iteration is a parallel O(1)-depth hardware operation
+  /// across ports (RGA family); false when each iteration is inherently
+  /// sequential work proportional to the port count or worse.
+  [[nodiscard]] virtual bool hardware_parallel() const noexcept = 0;
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_MATCHER_HPP

@@ -1,0 +1,154 @@
+#include "schedulers/rga.hpp"
+
+#include <stdexcept>
+
+namespace xdrs::schedulers {
+namespace {
+
+/// Round-robin selection: the first candidate at or after `ptr`, wrapping.
+/// `candidates` is sorted ascending.
+net::PortId round_robin_pick(const std::vector<net::PortId>& candidates, std::uint32_t ptr,
+                             std::uint32_t wrap) {
+  for (const net::PortId c : candidates) {
+    if (c >= ptr && c < wrap) return c;
+  }
+  return candidates.front();
+}
+
+}  // namespace
+
+RgaMatcherBase::RgaMatcherBase(std::uint32_t max_iterations) : max_iterations_{max_iterations} {
+  if (max_iterations == 0) throw std::invalid_argument{"RGA: iterations must be >= 1"};
+}
+
+Matching RgaMatcherBase::compute(const demand::DemandMatrix& demand) {
+  const std::uint32_t inputs = demand.inputs();
+  const std::uint32_t outputs = demand.outputs();
+  Matching m{inputs, outputs};
+  last_iterations_ = 0;
+
+  std::vector<std::vector<net::PortId>> requests(outputs);   // per output: requesting inputs
+  std::vector<std::vector<net::PortId>> grants(inputs);      // per input: granting outputs
+
+  for (std::uint32_t iter = 0; iter < max_iterations_; ++iter) {
+    ++last_iterations_;
+
+    // Request phase: every unmatched input requests all unmatched outputs
+    // for which it has demand.
+    for (auto& r : requests) r.clear();
+    bool any_request = false;
+    for (std::uint32_t i = 0; i < inputs; ++i) {
+      if (m.input_matched(i)) continue;
+      for (std::uint32_t j = 0; j < outputs; ++j) {
+        if (m.output_matched(j)) continue;
+        if (demand.at(i, j) > 0) {
+          requests[j].push_back(i);
+          any_request = true;
+        }
+      }
+    }
+    if (!any_request) break;
+
+    // Grant phase: each requested output grants one input.
+    for (auto& g : grants) g.clear();
+    for (std::uint32_t j = 0; j < outputs; ++j) {
+      if (requests[j].empty()) continue;
+      const net::PortId chosen = select_grant(j, requests[j]);
+      grants[chosen].push_back(j);
+    }
+
+    // Accept phase: each granted input accepts one output.
+    bool any_accept = false;
+    for (std::uint32_t i = 0; i < inputs; ++i) {
+      if (grants[i].empty()) continue;
+      const net::PortId chosen = select_accept(i, grants[i]);
+      m.match(i, chosen);
+      on_accept(i, chosen, iter);
+      any_accept = true;
+    }
+    if (!any_accept) break;  // converged: further iterations cannot add pairs
+  }
+  return m;
+}
+
+// ----------------------------------------------------------------------- RRM
+
+RrmMatcher::RrmMatcher(std::uint32_t ports, std::uint32_t iterations)
+    : RgaMatcherBase{iterations}, grant_ptr_(ports, 0), accept_ptr_(ports, 0) {}
+
+std::string RrmMatcher::name() const {
+  return "rrm-i" + std::to_string(max_iterations());
+}
+
+net::PortId RrmMatcher::select_grant(net::PortId output, const std::vector<net::PortId>& candidates) {
+  const auto wrap = static_cast<std::uint32_t>(accept_ptr_.size());
+  const net::PortId chosen = round_robin_pick(candidates, grant_ptr_[output], wrap);
+  // RRM advances the grant pointer unconditionally — the root cause of its
+  // pointer synchronisation pathology.
+  grant_ptr_[output] = (chosen + 1) % wrap;
+  return chosen;
+}
+
+net::PortId RrmMatcher::select_accept(net::PortId input, const std::vector<net::PortId>& candidates) {
+  const auto wrap = static_cast<std::uint32_t>(grant_ptr_.size());
+  const net::PortId chosen = round_robin_pick(candidates, accept_ptr_[input], wrap);
+  accept_ptr_[input] = (chosen + 1) % wrap;
+  return chosen;
+}
+
+void RrmMatcher::on_accept(net::PortId /*i*/, net::PortId /*j*/, std::uint32_t /*iter*/) {}
+
+// --------------------------------------------------------------------- iSLIP
+
+IslipMatcher::IslipMatcher(std::uint32_t ports, std::uint32_t iterations)
+    : RgaMatcherBase{iterations},
+      grant_ptr_(ports, 0),
+      accept_ptr_(ports, 0),
+      granted_output_of_input_(ports, 0) {}
+
+std::string IslipMatcher::name() const {
+  return "islip-i" + std::to_string(max_iterations());
+}
+
+net::PortId IslipMatcher::select_grant(net::PortId output, const std::vector<net::PortId>& candidates) {
+  const auto wrap = static_cast<std::uint32_t>(accept_ptr_.size());
+  const net::PortId chosen = round_robin_pick(candidates, grant_ptr_[output], wrap);
+  // Pointer update deferred to on_accept: iSLIP moves it only if accepted.
+  granted_output_of_input_[chosen] = output;
+  return chosen;
+}
+
+net::PortId IslipMatcher::select_accept(net::PortId input, const std::vector<net::PortId>& candidates) {
+  const auto wrap = static_cast<std::uint32_t>(grant_ptr_.size());
+  return round_robin_pick(candidates, accept_ptr_[input], wrap);
+}
+
+void IslipMatcher::on_accept(net::PortId i, net::PortId j, std::uint32_t iter) {
+  if (iter != 0) return;  // pointers move only on first-iteration accepts
+  const auto ports = static_cast<std::uint32_t>(grant_ptr_.size());
+  grant_ptr_[j] = (i + 1) % ports;
+  accept_ptr_[i] = (j + 1) % ports;
+}
+
+// ----------------------------------------------------------------------- PIM
+
+PimMatcher::PimMatcher(std::uint32_t /*ports*/, std::uint32_t iterations, std::uint64_t seed)
+    : RgaMatcherBase{iterations}, rng_{seed} {}
+
+std::string PimMatcher::name() const {
+  return "pim-i" + std::to_string(max_iterations());
+}
+
+net::PortId PimMatcher::select_grant(net::PortId /*output*/,
+                                     const std::vector<net::PortId>& candidates) {
+  return candidates[rng_.next_below(candidates.size())];
+}
+
+net::PortId PimMatcher::select_accept(net::PortId /*input*/,
+                                      const std::vector<net::PortId>& candidates) {
+  return candidates[rng_.next_below(candidates.size())];
+}
+
+void PimMatcher::on_accept(net::PortId /*i*/, net::PortId /*j*/, std::uint32_t /*iter*/) {}
+
+}  // namespace xdrs::schedulers

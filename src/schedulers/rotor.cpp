@@ -1,0 +1,20 @@
+#include "schedulers/rotor.hpp"
+
+#include <stdexcept>
+
+namespace xdrs::schedulers {
+
+RotorMatcher::RotorMatcher(std::uint32_t ports) : ports_{ports} {
+  if (ports == 0) throw std::invalid_argument{"RotorMatcher: ports must be >= 1"};
+}
+
+Matching RotorMatcher::compute(const demand::DemandMatrix& demand) {
+  if (demand.inputs() != ports_ || demand.outputs() != ports_) {
+    throw std::invalid_argument{"RotorMatcher: demand dimensions mismatch"};
+  }
+  const Matching m = Matching::rotation(ports_, shift_);
+  shift_ = ports_ > 1 ? (shift_ % (ports_ - 1)) + 1 : 0;  // cycle 1..N-1
+  return m;
+}
+
+}  // namespace xdrs::schedulers

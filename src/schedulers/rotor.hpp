@@ -1,0 +1,38 @@
+// Demand-oblivious rotor scheduling: cycle through the N-1 rotations of the
+// identity permutation, giving every input-output pair equal service.
+//
+// Listed by the paper's framing as the extreme point of "fast but
+// demand-unaware": it needs no demand estimation at all (zero scheduling
+// latency) at the cost of stretching skewed traffic.  Included as an
+// ablation endpoint (RotorNet-style designs made this respectable later).
+#ifndef XDRS_SCHEDULERS_ROTOR_HPP
+#define XDRS_SCHEDULERS_ROTOR_HPP
+
+#include "schedulers/matcher.hpp"
+
+namespace xdrs::schedulers {
+
+class RotorMatcher final : public MatchingAlgorithm {
+ public:
+  explicit RotorMatcher(std::uint32_t ports);
+
+  /// Returns the next rotation regardless of demand (skipping shift 0 only
+  /// when ports == 1 would make it degenerate is unnecessary: shift 0 maps
+  /// i -> i, which is a valid self-loop-free config because a port never has
+  /// demand to itself in practice; we still start at shift 1 to avoid it).
+  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+
+  [[nodiscard]] std::string name() const override { return "rotor"; }
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept override { return 1; }
+  [[nodiscard]] bool hardware_parallel() const noexcept override { return true; }
+
+  [[nodiscard]] std::uint32_t current_shift() const noexcept { return shift_; }
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t shift_{1};
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_ROTOR_HPP

@@ -1,0 +1,45 @@
+// SERENA (Giaccone, Prabhakar & Shah, 2003): merge the previous matching
+// with a fresh arrival-seeded matching, keeping from each the heavier edges
+// along alternating cycles.  Carries good matchings across slots, so it
+// approaches max-weight quality at iSLIP-like per-slot cost — a natural
+// candidate for the paper's "novel schedulers to prototype" and the reason
+// the MatchingAlgorithm interface is stateful.
+#ifndef XDRS_SCHEDULERS_SERENA_HPP
+#define XDRS_SCHEDULERS_SERENA_HPP
+
+#include "schedulers/matcher.hpp"
+#include "sim/random.hpp"
+
+namespace xdrs::schedulers {
+
+class SerenaMatcher final : public MatchingAlgorithm {
+ public:
+  SerenaMatcher(std::uint32_t ports, std::uint64_t seed);
+
+  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  [[nodiscard]] std::string name() const override { return "serena"; }
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept override {
+    return last_iterations_;
+  }
+  /// The merge walks cycles of the union graph: sequential in hardware.
+  [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
+
+ private:
+  /// A random maximal matching over positive-demand pairs (the "arrival"
+  /// matching of the original algorithm).
+  [[nodiscard]] Matching random_matching(const demand::DemandMatrix& demand);
+
+  /// MERGE: combines `a` and `b` by choosing, on every alternating
+  /// cycle/path of their union, the sub-matching with the larger weight.
+  [[nodiscard]] Matching merge(const Matching& a, const Matching& b,
+                               const demand::DemandMatrix& demand);
+
+  std::uint32_t ports_;
+  sim::Rng rng_;
+  Matching previous_;
+  std::uint32_t last_iterations_{1};
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_SERENA_HPP

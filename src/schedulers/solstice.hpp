@@ -1,0 +1,48 @@
+// Solstice-style hybrid circuit scheduling (Liu et al., after the REACToR
+// line of work the paper cites): greedy threshold-halving decomposition that
+// explicitly charges each additional circuit configuration a reconfiguration
+// penalty, and hands short/residual demand to the packet switch.
+//
+// quickStuff + quickSlice, adapted:
+//   1. pad the demand so all line sums are equal (as in BvN);
+//   2. with threshold t starting at the largest power of two <= max entry,
+//      repeatedly extract a perfect matching among entries >= t and schedule
+//      it for t bytes; halve t when no such matching exists;
+//   3. stop when the value of another slot cannot amortise the dark-time
+//      cost (t < delta_bytes x amortisation factor) or a slot budget is hit;
+//      whatever remains of the *real* demand becomes the EPS residual.
+#ifndef XDRS_SCHEDULERS_SOLSTICE_HPP
+#define XDRS_SCHEDULERS_SOLSTICE_HPP
+
+#include <cstdint>
+
+#include "schedulers/circuit_scheduler.hpp"
+
+namespace xdrs::schedulers {
+
+struct SolsticeConfig {
+  /// Bytes a port could have carried during one reconfiguration (dark time
+  /// x link rate).  A slot must move at least `min_amortisation` times this
+  /// to be worth scheduling.
+  std::int64_t reconfig_cost_bytes{0};
+  double min_amortisation{1.0};
+  /// Hard cap on configurations per epoch (0 = unlimited).
+  std::size_t max_slots{0};
+};
+
+class SolsticeScheduler final : public CircuitScheduler {
+ public:
+  explicit SolsticeScheduler(SolsticeConfig cfg);
+
+  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) override;
+  [[nodiscard]] std::string name() const override { return "solstice"; }
+
+  [[nodiscard]] const SolsticeConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SolsticeConfig cfg_;
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_SOLSTICE_HPP

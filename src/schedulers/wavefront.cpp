@@ -1,0 +1,35 @@
+#include "schedulers/wavefront.hpp"
+
+#include <stdexcept>
+
+namespace xdrs::schedulers {
+
+WavefrontMatcher::WavefrontMatcher(std::uint32_t ports) : ports_{ports} {
+  if (ports == 0) throw std::invalid_argument{"WavefrontMatcher: ports must be >= 1"};
+}
+
+Matching WavefrontMatcher::compute(const demand::DemandMatrix& demand) {
+  if (demand.inputs() != ports_ || demand.outputs() != ports_) {
+    throw std::invalid_argument{"WavefrontMatcher: demand dimensions mismatch"};
+  }
+  Matching m{ports_, ports_};
+
+  // Wrapped wavefront: N waves, wave w covering the rotation
+  // { (i, (i + d) mod N) : i }, d = (w + offset) mod N.  Cells of a wave
+  // share no row or column, so hardware evaluates a whole wave in one
+  // combinational step; within a wave the loop order below cannot change
+  // the outcome.  N waves cover all N^2 cells.
+  for (std::uint32_t w = 0; w < ports_; ++w) {
+    const std::uint32_t d = (w + offset_) % ports_;
+    for (std::uint32_t i = 0; i < ports_; ++i) {
+      const std::uint32_t j = (i + d) % ports_;
+      if (m.input_matched(i) || m.output_matched(j)) continue;
+      if (demand.at(i, j) > 0) m.match(i, j);
+    }
+  }
+  last_iterations_ = ports_;
+  offset_ = (offset_ + 1) % ports_;  // rotate the priority diagonal
+  return m;
+}
+
+}  // namespace xdrs::schedulers

@@ -1,0 +1,42 @@
+// Wavefront arbiter (WFA) — the classic *spatial* hardware scheduler
+// (Tamir & Chi, 1993): requests fill an N x N grid; arbitration sweeps the
+// anti-diagonals, and every cell on a diagonal decides in parallel because
+// its row/column predecessors are all on earlier diagonals.  2N - 1
+// combinational waves, no pointers, no iterations — the design FPGA/ASIC
+// crossbar schedulers actually shipped, which makes it a natural citizen of
+// the paper's hardware framework.
+//
+// A rotating diagonal offset provides fairness (a wrapped WFA / WWFA):
+// the diagonal that arbitrates first advances every invocation.
+#ifndef XDRS_SCHEDULERS_WAVEFRONT_HPP
+#define XDRS_SCHEDULERS_WAVEFRONT_HPP
+
+#include "schedulers/matcher.hpp"
+
+namespace xdrs::schedulers {
+
+class WavefrontMatcher final : public MatchingAlgorithm {
+ public:
+  explicit WavefrontMatcher(std::uint32_t ports);
+
+  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  [[nodiscard]] std::string name() const override { return "wavefront"; }
+
+  /// Waves swept in the last compute (always 2N - 1 in hardware; reported
+  /// as such so the timing models charge the full pipeline depth).
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept override {
+    return last_iterations_;
+  }
+  [[nodiscard]] bool hardware_parallel() const noexcept override { return true; }
+
+  [[nodiscard]] std::uint32_t priority_offset() const noexcept { return offset_; }
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t offset_{0};
+  std::uint32_t last_iterations_{0};
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_WAVEFRONT_HPP

@@ -1,0 +1,45 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace xdrs::sim {
+
+EventId EventQueue::push(Time at, Callback cb) {
+  const EventId id{next_seq_++};
+  heap_.push_back(Entry{at, id.seq, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  queued_.insert(id.seq);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return queued_.erase(id.seq) > 0;
+}
+
+void EventQueue::drop_dead_head() {
+  while (!heap_.empty() && !queued_.contains(heap_.front().seq)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_dead_head();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
+  return heap_.front().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_head();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::pop on empty queue"};
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  queued_.erase(e.seq);
+  return Popped{e.at, EventId{e.seq}, std::move(e.cb)};
+}
+
+}  // namespace xdrs::sim

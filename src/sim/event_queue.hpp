@@ -1,0 +1,81 @@
+// The pending-event set of the discrete-event engine.
+//
+// A binary heap keyed on (time, sequence-number): the sequence number makes
+// ordering among same-timestamp events FIFO and therefore deterministic,
+// which the reproducibility of every experiment in this repository relies
+// on.  Cancellation is lazy — cancelled entries are skipped on pop — because
+// schedulers cancel far fewer events than they schedule.
+#ifndef XDRS_SIM_EVENT_QUEUE_HPP
+#define XDRS_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xdrs::sim {
+
+/// Opaque identifier of a scheduled event; usable to cancel it.
+struct EventId {
+  std::uint64_t seq{0};
+  [[nodiscard]] constexpr bool valid() const noexcept { return seq != 0; }
+  constexpr bool operator==(const EventId&) const noexcept = default;
+};
+
+/// Min-heap of timestamped callbacks with stable FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Inserts `cb` to fire at absolute time `at`.  O(log n).
+  EventId push(Time at, Callback cb);
+
+  /// Removes an event from the live set.  O(1); its heap entry is dropped
+  /// when it surfaces.  Cancelling an unknown or already-fired id is a
+  /// harmless no-op.  Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return queued_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queued_.size(); }
+
+  /// Timestamp of the earliest live event.  Precondition: !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  struct Popped {
+    Time at;
+    EventId id;
+    Callback cb;
+  };
+  [[nodiscard]] Popped pop();
+
+  /// Total events ever pushed (for engine statistics).
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops heap entries whose id was cancelled until a live one surfaces.
+  void drop_dead_head();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> queued_;  // ids pending and not cancelled
+  std::uint64_t next_seq_{1};
+};
+
+}  // namespace xdrs::sim
+
+#endif  // XDRS_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,28 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace xdrs::sim {
+
+std::string Time::to_string() const {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 5> kUnits{{
+      {1e12, "s"}, {1e9, "ms"}, {1e6, "us"}, {1e3, "ns"}, {1.0, "ps"},
+  }};
+  const double v = static_cast<double>(ps_);
+  for (const auto& u : kUnits) {
+    if (std::abs(v) >= u.scale) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g%s", v / u.scale, u.suffix);
+      return buf;
+    }
+  }
+  return "0ps";
+}
+
+}  // namespace xdrs::sim

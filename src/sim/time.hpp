@@ -1,0 +1,90 @@
+// Picosecond-resolution simulated time.
+//
+// The framework models phenomena spanning nine orders of magnitude: optical
+// switch reconfiguration can be single-digit nanoseconds (PLZT devices) while
+// software control loops run for milliseconds.  At 100 Gbps a minimum-size
+// Ethernet frame serialises in 6.72 ns, so nanosecond resolution would accrue
+// rounding error across long runs.  A signed 64-bit picosecond count covers
+// +/- 106 days, far beyond any simulation horizon.
+#ifndef XDRS_SIM_TIME_HPP
+#define XDRS_SIM_TIME_HPP
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace xdrs::sim {
+
+/// A point in (or span of) simulated time with picosecond resolution.
+///
+/// `Time` is a strong type: it cannot be silently mixed with raw integers.
+/// Construct values through the factory functions (`picoseconds`,
+/// `nanoseconds`, ... `seconds`) or the user-defined literals in
+/// `xdrs::sim::literals`.
+class Time {
+ public:
+  constexpr Time() noexcept = default;
+
+  /// Named constructors.  All take integral counts except `seconds_f`,
+  /// which accepts fractional seconds for convenience in configuration.
+  [[nodiscard]] static constexpr Time picoseconds(std::int64_t n) noexcept { return Time{n}; }
+  [[nodiscard]] static constexpr Time nanoseconds(std::int64_t n) noexcept { return Time{n * 1'000}; }
+  [[nodiscard]] static constexpr Time microseconds(std::int64_t n) noexcept { return Time{n * 1'000'000}; }
+  [[nodiscard]] static constexpr Time milliseconds(std::int64_t n) noexcept { return Time{n * 1'000'000'000}; }
+  [[nodiscard]] static constexpr Time seconds(std::int64_t n) noexcept { return Time{n * 1'000'000'000'000}; }
+  [[nodiscard]] static constexpr Time seconds_f(double s) noexcept {
+    return Time{static_cast<std::int64_t>(s * 1e12)};
+  }
+
+  [[nodiscard]] static constexpr Time zero() noexcept { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() noexcept {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ps() const noexcept { return ps_; }
+  [[nodiscard]] constexpr double ns() const noexcept { return static_cast<double>(ps_) / 1e3; }
+  [[nodiscard]] constexpr double us() const noexcept { return static_cast<double>(ps_) / 1e6; }
+  [[nodiscard]] constexpr double ms() const noexcept { return static_cast<double>(ps_) / 1e9; }
+  [[nodiscard]] constexpr double sec() const noexcept { return static_cast<double>(ps_) / 1e12; }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return ps_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const noexcept { return ps_ < 0; }
+
+  constexpr auto operator<=>(const Time&) const noexcept = default;
+
+  constexpr Time& operator+=(Time rhs) noexcept { ps_ += rhs.ps_; return *this; }
+  constexpr Time& operator-=(Time rhs) noexcept { ps_ -= rhs.ps_; return *this; }
+
+  friend constexpr Time operator+(Time a, Time b) noexcept { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) noexcept { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) noexcept { return Time{a.ps_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) noexcept { return Time{a.ps_ * k}; }
+  friend constexpr std::int64_t operator/(Time a, Time b) noexcept { return a.ps_ / b.ps_; }
+  friend constexpr Time operator/(Time a, std::int64_t k) noexcept { return Time{a.ps_ / k}; }
+  friend constexpr Time operator%(Time a, Time b) noexcept { return Time{a.ps_ % b.ps_}; }
+
+  /// Ratio of two durations as a double (e.g. duty cycles).
+  [[nodiscard]] constexpr double ratio(Time denom) const noexcept {
+    return static_cast<double>(ps_) / static_cast<double>(denom.ps_);
+  }
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "1.5us".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ps) noexcept : ps_{ps} {}
+  std::int64_t ps_{0};
+};
+
+namespace literals {
+constexpr Time operator""_ps(unsigned long long n) { return Time::picoseconds(static_cast<std::int64_t>(n)); }
+constexpr Time operator""_ns(unsigned long long n) { return Time::nanoseconds(static_cast<std::int64_t>(n)); }
+constexpr Time operator""_us(unsigned long long n) { return Time::microseconds(static_cast<std::int64_t>(n)); }
+constexpr Time operator""_ms(unsigned long long n) { return Time::milliseconds(static_cast<std::int64_t>(n)); }
+constexpr Time operator""_s(unsigned long long n) { return Time::seconds(static_cast<std::int64_t>(n)); }
+}  // namespace literals
+
+}  // namespace xdrs::sim
+
+#endif  // XDRS_SIM_TIME_HPP

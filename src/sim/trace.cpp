@@ -1,0 +1,38 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace xdrs::sim {
+
+const char* to_string(TraceCategory c) noexcept {
+  switch (c) {
+    case TraceCategory::kPacketArrival: return "packet_arrival";
+    case TraceCategory::kEnqueue: return "enqueue";
+    case TraceCategory::kRequest: return "request";
+    case TraceCategory::kDemandUpdate: return "demand_update";
+    case TraceCategory::kScheduleStart: return "schedule_start";
+    case TraceCategory::kScheduleDone: return "schedule_done";
+    case TraceCategory::kReconfigStart: return "reconfig_start";
+    case TraceCategory::kReconfigDone: return "reconfig_done";
+    case TraceCategory::kGrant: return "grant";
+    case TraceCategory::kDequeue: return "dequeue";
+    case TraceCategory::kDeliver: return "deliver";
+    case TraceCategory::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> TraceRecorder::filter(TraceCategory category) const {
+  std::vector<TraceEvent> out;
+  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+               [category](const TraceEvent& e) { return e.category == category; });
+  return out;
+}
+
+std::size_t TraceRecorder::count(TraceCategory category) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [category](const TraceEvent& e) { return e.category == category; }));
+}
+
+}  // namespace xdrs::sim

@@ -1,0 +1,40 @@
+#include "sim/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace xdrs::sim {
+
+std::string DataRate::to_string() const {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 4> kUnits{{
+      {1e9, "Gbps"}, {1e6, "Mbps"}, {1e3, "Kbps"}, {1.0, "bps"},
+  }};
+  const double v = static_cast<double>(bps_);
+  for (const auto& u : kUnits) {
+    if (std::abs(v) >= u.scale) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g%s", v / u.scale, u.suffix);
+      return buf;
+    }
+  }
+  return "0bps";
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> kSuffix{"B", "KiB", "MiB", "GiB", "TiB"};
+  std::size_t i = 0;
+  while (std::abs(bytes) >= 1024.0 && i + 1 < kSuffix.size()) {
+    bytes /= 1024.0;
+    ++i;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g %s", bytes, kSuffix[i]);
+  return buf;
+}
+
+}  // namespace xdrs::sim

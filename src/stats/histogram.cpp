@@ -1,0 +1,87 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace xdrs::stats {
+
+int Histogram::slot_of(std::int64_t value) noexcept {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < (1u << kSubBits)) return static_cast<int>(v);  // exact small values
+  const int exp = 63 - std::countl_zero(v);
+  const int sub = static_cast<int>((v >> (exp - kSubBits)) & ((1u << kSubBits) - 1));
+  return ((exp - kSubBits + 1) << kSubBits) + sub;
+}
+
+std::int64_t Histogram::slot_upper_bound(int slot) noexcept {
+  if (slot < (1 << kSubBits)) return slot;
+  const int bucket = slot >> kSubBits;
+  const int sub = slot & ((1 << kSubBits) - 1);
+  const int exp = bucket + kSubBits - 1;
+  const std::uint64_t base = std::uint64_t{1} << exp;
+  const std::uint64_t step = base >> kSubBits;
+  return static_cast<std::int64_t>(base + static_cast<std::uint64_t>(sub + 1) * step - 1);
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  const int slot = std::min(slot_of(value), kSlots - 1);
+  ++slots_[static_cast<std::size_t>(slot)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int s = 0; s < kSlots; ++s) {
+    seen += slots_[static_cast<std::size_t>(s)];
+    if (seen >= target) return std::min(slot_upper_bound(s), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int s = 0; s < kSlots; ++s) {
+    slots_[static_cast<std::size_t>(s)] += other.slots_[static_cast<std::size_t>(s)];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() noexcept {
+  slots_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string Histogram::summary_time() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%llu mean=%s p50=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_), mean_time().to_string().c_str(),
+                quantile_time(0.5).to_string().c_str(), quantile_time(0.99).to_string().c_str(),
+                sim::Time::picoseconds(max()).to_string().c_str());
+  return buf;
+}
+
+}  // namespace xdrs::stats

@@ -1,0 +1,80 @@
+// Streaming scalar summary (Welford's online mean/variance) and the RFC 3550
+// interarrival-jitter estimator used for the VOIP experiment (E4).
+#ifndef XDRS_STATS_SUMMARY_HPP
+#define XDRS_STATS_SUMMARY_HPP
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace xdrs::stats {
+
+/// Numerically stable running mean / variance / extrema.
+class Summary {
+ public:
+  void record(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+  void clear() noexcept { *this = Summary{}; }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// RFC 3550 §6.4.1 interarrival jitter: J += (|D| - J) / 16, where D is the
+/// difference in transit time between consecutive packets of a flow.  The
+/// metric VOIP monitoring actually uses, hence the paper's QoE framing.
+class Rfc3550Jitter {
+ public:
+  /// Feed each delivered packet's send and receive timestamps in arrival
+  /// order.
+  void record(sim::Time sent, sim::Time received) noexcept {
+    const std::int64_t transit = (received - sent).ps();
+    if (has_prev_) {
+      const double d = std::abs(static_cast<double>(transit - prev_transit_));
+      jitter_ += (d - jitter_) / 16.0;
+      ++samples_;
+    }
+    prev_transit_ = transit;
+    has_prev_ = true;
+  }
+
+  [[nodiscard]] sim::Time jitter() const noexcept {
+    return sim::Time::picoseconds(static_cast<std::int64_t>(jitter_));
+  }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  double jitter_{0.0};
+  std::int64_t prev_transit_{0};
+  bool has_prev_{false};
+  std::uint64_t samples_{0};
+};
+
+}  // namespace xdrs::stats
+
+#endif  // XDRS_STATS_SUMMARY_HPP

@@ -1,0 +1,85 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace xdrs::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  if (headers_.empty()) throw std::invalid_argument{"Table: need at least one column"};
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  if (cells_.empty()) throw std::logic_error{"Table: cell before row"};
+  if (cells_.back().size() >= headers_.size()) throw std::logic_error{"Table: row overflow"};
+  cells_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string{v}); }
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return cell(std::string{buf});
+}
+
+std::string Table::markdown() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& r) {
+    out += '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      out += ' ';
+      out += v;
+      out.append(width[c] - v.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  out += '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(width[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& r : cells_) emit_row(r);
+  return out;
+}
+
+std::string Table::csv() const {
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) out += ',';
+      out += r[c];
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  for (const auto& r : cells_) emit_row(r);
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << markdown(); }
+
+}  // namespace xdrs::stats

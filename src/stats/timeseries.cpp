@@ -1,0 +1,36 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xdrs::stats {
+
+TimeSeries::TimeSeries(std::size_t max_samples) : max_samples_{max_samples} {
+  if (max_samples < 2) throw std::invalid_argument{"TimeSeries: capacity must be >= 2"};
+  samples_.reserve(max_samples);
+}
+
+void TimeSeries::record(sim::Time at, double value) {
+  peak_ = offered_ == 0 ? value : std::max(peak_, value);
+  const std::uint64_t idx = offered_++;
+  if (idx % stride_ != 0) return;
+
+  if (samples_.size() == max_samples_) {
+    // Decimate in place: keep every other sample, double the stride.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < samples_.size(); r += 2) samples_[w++] = samples_[r];
+    samples_.resize(w);
+    stride_ *= 2;
+    if (idx % stride_ != 0) return;  // this sample no longer aligns
+  }
+  samples_.push_back(Sample{at, value});
+}
+
+void TimeSeries::clear() noexcept {
+  samples_.clear();
+  stride_ = 1;
+  offered_ = 0;
+  peak_ = 0.0;
+}
+
+}  // namespace xdrs::stats

@@ -1,0 +1,94 @@
+#include "topo/rack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xdrs::topo {
+
+RackAggregator::RackAggregator(Config cfg) : cfg_{cfg} {
+  if (cfg.racks < 2) throw std::invalid_argument{"RackAggregator: need >= 2 racks"};
+  if (cfg.rack_id >= cfg.racks) throw std::invalid_argument{"RackAggregator: rack id range"};
+  if (cfg.hosts == 0) throw std::invalid_argument{"RackAggregator: need >= 1 host"};
+  if (cfg.host_rate.is_zero() || cfg.uplink_rate.is_zero()) {
+    throw std::invalid_argument{"RackAggregator: rates must be positive"};
+  }
+
+  for (std::uint32_t h = 0; h < cfg_.hosts; ++h) {
+    traffic::PoissonGenerator::Config gc;
+    gc.src = cfg_.rack_id;  // packets carry the *rack's* core port
+    gc.line_rate = cfg_.host_rate;
+    gc.load = cfg_.load_per_host;
+    gc.dest = std::make_shared<traffic::UniformChooser>(cfg_.racks);
+    gc.size = std::make_shared<traffic::DatacenterPacketMix>();
+    gc.seed = cfg_.seed * 1000003ULL + h;
+    hosts_.push_back(std::make_unique<traffic::PoissonGenerator>(gc));
+  }
+}
+
+void RackAggregator::start(sim::Simulator& sim, Sink sink, sim::Time horizon) {
+  sink_ = std::move(sink);
+  for (auto& host : hosts_) {
+    host->start(sim, [this, &sim](const net::Packet& p) { on_host_packet(sim, p); }, horizon);
+  }
+}
+
+void RackAggregator::on_host_packet(sim::Simulator& sim, const net::Packet& p) {
+  if (cfg_.uplink_buffer_bytes > 0 &&
+      queue_bytes_ + p.size_bytes > cfg_.uplink_buffer_bytes) {
+    ++drops_;
+    return;
+  }
+  ++stats_.packets;
+  stats_.bytes += p.size_bytes;
+  uplink_queue_.push_back(p);
+  queue_bytes_ += p.size_bytes;
+  peak_queue_ = std::max(peak_queue_, queue_bytes_);
+  if (!draining_) {
+    draining_ = true;
+    drain(sim);
+  }
+}
+
+void RackAggregator::drain(sim::Simulator& sim) {
+  if (uplink_queue_.empty()) {
+    draining_ = false;
+    return;
+  }
+  const net::Packet p = uplink_queue_.front();
+  const sim::Time tx =
+      cfg_.uplink_rate.transmission_time(p.size_bytes + sim::kWireOverheadBytes);
+  sim.schedule(tx, [this, &sim] {
+    // The host's creation timestamp is preserved: end-to-end latency spans
+    // the rack uplink queue as well as the core fabric.
+    const net::Packet out = uplink_queue_.front();
+    uplink_queue_.pop_front();
+    queue_bytes_ -= out.size_bytes;
+    sink_(out);
+    drain(sim);
+  });
+}
+
+std::vector<const RackAggregator*> attach_racks(core::HybridSwitchFramework& fw,
+                                                std::uint32_t hosts_per_rack,
+                                                sim::DataRate host_rate, double load_per_host,
+                                                std::uint64_t seed) {
+  const std::uint32_t racks = fw.config().ports;
+  std::vector<const RackAggregator*> observers;
+  observers.reserve(racks);
+  for (std::uint32_t r = 0; r < racks; ++r) {
+    RackAggregator::Config rc;
+    rc.rack_id = r;
+    rc.racks = racks;
+    rc.hosts = hosts_per_rack;
+    rc.host_rate = host_rate;
+    rc.uplink_rate = fw.config().link_rate;
+    rc.load_per_host = load_per_host;
+    rc.seed = seed + r;
+    auto agg = std::make_unique<RackAggregator>(rc);
+    observers.push_back(agg.get());
+    fw.add_generator(std::move(agg));
+  }
+  return observers;
+}
+
+}  // namespace xdrs::topo

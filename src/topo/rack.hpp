@@ -1,0 +1,71 @@
+// Multi-rack aggregation: the paper's "large testbed ... using tens of
+// processing elements" and "hybrid topologies for data center networks".
+//
+// Each port of the hybrid core switch is a rack of H hosts behind a shared
+// uplink.  The aggregator multiplexes the hosts' packet processes into the
+// core port: arrivals queue in the rack's uplink FIFO and drain at the
+// uplink rate, so host-level burst coincidence and rack-level
+// oversubscription (H x host_rate vs uplink_rate) are modelled explicitly —
+// the rack queue is itself a buffering stage that fast core scheduling
+// cannot remove.
+#ifndef XDRS_TOPO_RACK_HPP
+#define XDRS_TOPO_RACK_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "traffic/generators.hpp"
+#include "traffic/patterns.hpp"
+
+namespace xdrs::topo {
+
+/// One rack: H host-level sources feeding a shared uplink FIFO that drains
+/// onto core port `rack_id`.
+class RackAggregator final : public traffic::TrafficGenerator {
+ public:
+  struct Config {
+    net::PortId rack_id{0};
+    std::uint32_t racks{0};            ///< core switch size (destination space)
+    std::uint32_t hosts{4};            ///< hosts in this rack
+    sim::DataRate host_rate{sim::DataRate::gbps(10)};
+    sim::DataRate uplink_rate{sim::DataRate::gbps(40)};  ///< shared ToR uplink
+    double load_per_host{0.5};         ///< of host_rate
+    std::int64_t uplink_buffer_bytes{4 << 20};  ///< 0 = unlimited
+    std::uint64_t seed{1};
+  };
+
+  explicit RackAggregator(Config cfg);
+
+  void start(sim::Simulator& sim, Sink sink, sim::Time horizon) override;
+  [[nodiscard]] std::string name() const override { return "rack"; }
+
+  [[nodiscard]] std::int64_t peak_uplink_queue_bytes() const noexcept { return peak_queue_; }
+  [[nodiscard]] std::uint64_t uplink_drops() const noexcept { return drops_; }
+
+ private:
+  void on_host_packet(sim::Simulator& sim, const net::Packet& p);
+  void drain(sim::Simulator& sim);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<traffic::PoissonGenerator>> hosts_;
+  Sink sink_;
+  std::deque<net::Packet> uplink_queue_;
+  std::int64_t queue_bytes_{0};
+  std::int64_t peak_queue_{0};
+  std::uint64_t drops_{0};
+  bool draining_{false};
+};
+
+/// Builds one RackAggregator per core port of `fw`.  Returns non-owning
+/// observers for the uplink statistics (valid for the framework's life).
+std::vector<const RackAggregator*> attach_racks(core::HybridSwitchFramework& fw,
+                                                std::uint32_t hosts_per_rack,
+                                                sim::DataRate host_rate,
+                                                double load_per_host, std::uint64_t seed = 11);
+
+}  // namespace xdrs::topo
+
+#endif  // XDRS_TOPO_RACK_HPP

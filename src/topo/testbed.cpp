@@ -1,0 +1,108 @@
+#include "topo/testbed.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "traffic/patterns.hpp"
+
+namespace xdrs::topo {
+
+using traffic::CbrGenerator;
+using traffic::FlowGenerator;
+using traffic::OnOffGenerator;
+using traffic::PoissonGenerator;
+
+std::string WorkloadSpec::name() const {
+  switch (kind) {
+    case Kind::kPoissonUniform: return "uniform";
+    case Kind::kPoissonHotspot: return "hotspot";
+    case Kind::kPoissonZipf: return "zipf";
+    case Kind::kPermutation: return "permutation";
+    case Kind::kOnOffBursts: return "onoff";
+    case Kind::kFlows: return "flows";
+  }
+  return "unknown";
+}
+
+void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) {
+  const auto& cfg = fw.config();
+  const std::uint32_t ports = cfg.ports;
+
+  for (std::uint32_t p = 0; p < ports; ++p) {
+    const std::uint64_t seed = spec.seed * 1000003ULL + p;
+    std::shared_ptr<traffic::DestinationChooser> dest;
+    switch (spec.kind) {
+      case WorkloadSpec::Kind::kPoissonUniform:
+      case WorkloadSpec::Kind::kOnOffBursts:
+      case WorkloadSpec::Kind::kFlows:
+        dest = std::make_shared<traffic::UniformChooser>(ports);
+        break;
+      case WorkloadSpec::Kind::kPoissonHotspot:
+        dest = std::make_shared<traffic::HotspotChooser>(ports, 0, spec.skew);
+        break;
+      case WorkloadSpec::Kind::kPoissonZipf:
+        dest = std::make_shared<traffic::ZipfChooser>(ports, spec.skew);
+        break;
+      case WorkloadSpec::Kind::kPermutation:
+        dest = std::make_shared<traffic::PermutationChooser>(ports, 1);
+        break;
+    }
+
+    switch (spec.kind) {
+      case WorkloadSpec::Kind::kOnOffBursts: {
+        OnOffGenerator::Config gc;
+        gc.src = p;
+        gc.line_rate = cfg.link_rate;
+        gc.mean_on = spec.mean_on;
+        gc.mean_off = spec.mean_off;
+        gc.dest = dest;
+        gc.size = std::make_shared<traffic::FixedSize>(sim::kMaxFrameBytes);
+        gc.seed = seed;
+        fw.add_generator(std::make_unique<OnOffGenerator>(gc));
+        break;
+      }
+      case WorkloadSpec::Kind::kFlows: {
+        FlowGenerator::Config gc;
+        gc.src = p;
+        gc.line_rate = cfg.link_rate;
+        gc.load = spec.load;
+        gc.elephant_fraction = spec.elephant_fraction;
+        gc.dest = dest;
+        gc.seed = seed;
+        fw.add_generator(std::make_unique<FlowGenerator>(gc));
+        break;
+      }
+      default: {
+        PoissonGenerator::Config gc;
+        gc.src = p;
+        gc.line_rate = cfg.link_rate;
+        gc.load = spec.load;
+        gc.dest = dest;
+        gc.size = std::make_shared<traffic::DatacenterPacketMix>();
+        gc.seed = seed;
+        fw.add_generator(std::make_unique<PoissonGenerator>(gc));
+        break;
+      }
+    }
+  }
+}
+
+void attach_voip(core::HybridSwitchFramework& fw, std::uint32_t pairs, sim::Time period,
+                 std::int64_t packet_bytes, std::uint64_t seed) {
+  const std::uint32_t ports = fw.config().ports;
+  if (pairs > ports) throw std::invalid_argument{"attach_voip: more pairs than ports"};
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    CbrGenerator::Config gc;
+    gc.src = i;
+    gc.dst = (i + ports / 2) % ports;
+    if (gc.dst == gc.src) gc.dst = (gc.src + 1) % ports;
+    gc.packet_bytes = packet_bytes;
+    gc.period = period;
+    // Stagger phases so streams do not synchronise.
+    gc.phase = sim::Time::picoseconds((period.ps() / (pairs + 1)) * (i + 1));
+    gc.seed = seed + i;
+    fw.add_generator(std::make_unique<CbrGenerator>(gc));
+  }
+}
+
+}  // namespace xdrs::topo

@@ -1,0 +1,49 @@
+// Testbed assembly: the paper's "large testbed ... using tens of processing
+// elements, a centralized scheduling entity and a commercial OCS" (§3),
+// reduced to convenient builders that attach whole workloads to a framework.
+#ifndef XDRS_TOPO_TESTBED_HPP
+#define XDRS_TOPO_TESTBED_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/framework.hpp"
+#include "sim/time.hpp"
+
+namespace xdrs::topo {
+
+/// A uniform description of per-port traffic, expandable to one generator
+/// per ingress port.
+struct WorkloadSpec {
+  enum class Kind : std::uint8_t {
+    kPoissonUniform,   ///< Poisson arrivals, uniform destinations
+    kPoissonHotspot,   ///< Poisson arrivals, `skew` fraction to port 0
+    kPoissonZipf,      ///< Poisson arrivals, Zipf(skew) destinations
+    kPermutation,      ///< Poisson arrivals, fixed shifted permutation
+    kOnOffBursts,      ///< Pareto ON/OFF bursts (OCS-friendly elephants)
+    kFlows,            ///< flow-level mice/elephant mixture
+  };
+
+  Kind kind{Kind::kPoissonUniform};
+  double load{0.5};          ///< offered load per port, fraction of line rate
+  double skew{0.0};          ///< hotspot fraction or Zipf exponent
+  sim::Time mean_on{sim::Time::microseconds(100)};   ///< kOnOffBursts
+  sim::Time mean_off{sim::Time::microseconds(100)};  ///< kOnOffBursts
+  double elephant_fraction{0.1};                     ///< kFlows
+  std::uint64_t seed{7};
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Creates one generator per port of `fw` according to `spec`.
+void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec);
+
+/// Adds `pairs` bidirectional VOIP-like CBR streams between distinct port
+/// pairs (src i <-> dst (i + ports/2) % ports), `packet_bytes` every
+/// `period`.  Marked latency-sensitive.
+void attach_voip(core::HybridSwitchFramework& fw, std::uint32_t pairs, sim::Time period,
+                 std::int64_t packet_bytes, std::uint64_t seed = 99);
+
+}  // namespace xdrs::topo
+
+#endif  // XDRS_TOPO_TESTBED_HPP

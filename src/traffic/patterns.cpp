@@ -1,0 +1,88 @@
+#include "traffic/patterns.hpp"
+
+#include <stdexcept>
+
+namespace xdrs::traffic {
+
+UniformChooser::UniformChooser(std::uint32_t ports) : ports_{ports} {
+  if (ports < 2) throw std::invalid_argument{"UniformChooser: need >= 2 ports"};
+}
+
+net::PortId UniformChooser::pick(sim::Rng& rng, net::PortId src) {
+  const auto d = static_cast<net::PortId>(rng.next_below(ports_ - 1));
+  return d >= src ? d + 1 : d;  // skip the source port
+}
+
+PermutationChooser::PermutationChooser(std::uint32_t ports, std::uint32_t shift)
+    : ports_{ports}, shift_{shift % ports} {
+  if (ports < 2) throw std::invalid_argument{"PermutationChooser: need >= 2 ports"};
+  if (shift_ == 0) shift_ = 1;  // identity would mean self-traffic
+}
+
+net::PortId PermutationChooser::pick(sim::Rng& /*rng*/, net::PortId src) {
+  return (src + shift_) % ports_;
+}
+
+HotspotChooser::HotspotChooser(std::uint32_t ports, net::PortId hot, double hot_fraction)
+    : ports_{ports}, hot_{hot}, hot_fraction_{hot_fraction}, uniform_{ports} {
+  if (hot >= ports) throw std::invalid_argument{"HotspotChooser: hot port out of range"};
+  if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+    throw std::invalid_argument{"HotspotChooser: fraction must be in [0, 1]"};
+  }
+}
+
+net::PortId HotspotChooser::pick(sim::Rng& rng, net::PortId src) {
+  if (src != hot_ && rng.bernoulli(hot_fraction_)) return hot_;
+  return uniform_.pick(rng, src);
+}
+
+ZipfChooser::ZipfChooser(std::uint32_t ports, double skew)
+    : ports_{ports}, sampler_{ports - 1, skew} {
+  if (ports < 2) throw std::invalid_argument{"ZipfChooser: need >= 2 ports"};
+}
+
+net::PortId ZipfChooser::pick(sim::Rng& rng, net::PortId src) {
+  const auto rank = static_cast<std::uint32_t>(sampler_.sample(rng));
+  return (src + 1 + rank) % ports_;
+}
+
+// ---------------------------------------------------------------------------
+
+FixedSize::FixedSize(std::int64_t bytes) : bytes_{bytes} {
+  if (bytes <= 0) throw std::invalid_argument{"FixedSize: bytes must be positive"};
+}
+
+std::int64_t FixedSize::sample(sim::Rng& /*rng*/) { return bytes_; }
+
+BimodalSize::BimodalSize(double small_fraction, std::int64_t small_bytes,
+                         std::int64_t large_bytes)
+    : small_fraction_{small_fraction}, small_bytes_{small_bytes}, large_bytes_{large_bytes} {
+  if (small_fraction < 0.0 || small_fraction > 1.0) {
+    throw std::invalid_argument{"BimodalSize: fraction must be in [0, 1]"};
+  }
+  if (small_bytes <= 0 || large_bytes < small_bytes) {
+    throw std::invalid_argument{"BimodalSize: invalid sizes"};
+  }
+}
+
+std::int64_t BimodalSize::sample(sim::Rng& rng) {
+  return rng.bernoulli(small_fraction_) ? small_bytes_ : large_bytes_;
+}
+
+double BimodalSize::mean_bytes() const {
+  return small_fraction_ * static_cast<double>(small_bytes_) +
+         (1.0 - small_fraction_) * static_cast<double>(large_bytes_);
+}
+
+std::int64_t DatacenterPacketMix::sample(sim::Rng& rng) {
+  const double u = rng.next_double();
+  if (u < 0.50) return 64 + rng.uniform_int(0, 80);    // control / ACK
+  if (u < 0.60) return 576;                            // legacy mid-size
+  return sim::kMaxFrameBytes;                          // MTU data
+}
+
+double DatacenterPacketMix::mean_bytes() const {
+  return 0.50 * 104.0 + 0.10 * 576.0 + 0.40 * static_cast<double>(sim::kMaxFrameBytes);
+}
+
+}  // namespace xdrs::traffic

@@ -1,0 +1,129 @@
+// Spatial traffic patterns (destination choice) and packet-size models.
+//
+// The destination pattern controls how hard scheduling is: uniform traffic
+// flatters round-robin arbiters, permutation isolates pointer pathologies,
+// hotspot/Zipf create the skew hybrid designs exist for.
+#ifndef XDRS_TRAFFIC_PATTERNS_HPP
+#define XDRS_TRAFFIC_PATTERNS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/units.hpp"
+
+namespace xdrs::traffic {
+
+class DestinationChooser {
+ public:
+  virtual ~DestinationChooser() = default;
+  /// Picks a destination for a packet from `src`; never returns `src`.
+  [[nodiscard]] virtual net::PortId pick(sim::Rng& rng, net::PortId src) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uniform over all ports except the source.
+class UniformChooser final : public DestinationChooser {
+ public:
+  explicit UniformChooser(std::uint32_t ports);
+  [[nodiscard]] net::PortId pick(sim::Rng& rng, net::PortId src) override;
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  std::uint32_t ports_;
+};
+
+/// Fixed permutation: src i always sends to (i + shift) mod N.
+class PermutationChooser final : public DestinationChooser {
+ public:
+  PermutationChooser(std::uint32_t ports, std::uint32_t shift);
+  [[nodiscard]] net::PortId pick(sim::Rng& rng, net::PortId src) override;
+  [[nodiscard]] std::string name() const override { return "permutation"; }
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t shift_;
+};
+
+/// With probability `hot_fraction` send to the hot port, else uniform.
+class HotspotChooser final : public DestinationChooser {
+ public:
+  HotspotChooser(std::uint32_t ports, net::PortId hot, double hot_fraction);
+  [[nodiscard]] net::PortId pick(sim::Rng& rng, net::PortId src) override;
+  [[nodiscard]] std::string name() const override { return "hotspot"; }
+
+ private:
+  std::uint32_t ports_;
+  net::PortId hot_;
+  double hot_fraction_;
+  UniformChooser uniform_;
+};
+
+/// Zipf-ranked destinations: rank r maps to port (src + 1 + r) mod N, so
+/// every source has its own skewed preference list (avoids all sources
+/// converging on one port, which HotspotChooser covers).
+class ZipfChooser final : public DestinationChooser {
+ public:
+  ZipfChooser(std::uint32_t ports, double skew);
+  [[nodiscard]] net::PortId pick(sim::Rng& rng, net::PortId src) override;
+  [[nodiscard]] std::string name() const override { return "zipf"; }
+
+ private:
+  std::uint32_t ports_;
+  sim::ZipfSampler sampler_;
+};
+
+// ---------------------------------------------------------------------------
+
+class SizeDistribution {
+ public:
+  virtual ~SizeDistribution() = default;
+  [[nodiscard]] virtual std::int64_t sample(sim::Rng& rng) = 0;
+  [[nodiscard]] virtual double mean_bytes() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class FixedSize final : public SizeDistribution {
+ public:
+  explicit FixedSize(std::int64_t bytes);
+  [[nodiscard]] std::int64_t sample(sim::Rng& rng) override;
+  [[nodiscard]] double mean_bytes() const override { return static_cast<double>(bytes_); }
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  std::int64_t bytes_;
+};
+
+/// Classic datacenter bimodal wire mix: minimum-size control/ACK packets and
+/// MTU-size data packets.
+class BimodalSize final : public SizeDistribution {
+ public:
+  BimodalSize(double small_fraction, std::int64_t small_bytes = sim::kMinFrameBytes,
+              std::int64_t large_bytes = sim::kMaxFrameBytes);
+  [[nodiscard]] std::int64_t sample(sim::Rng& rng) override;
+  [[nodiscard]] double mean_bytes() const override;
+  [[nodiscard]] std::string name() const override { return "bimodal"; }
+
+ private:
+  double small_fraction_;
+  std::int64_t small_bytes_;
+  std::int64_t large_bytes_;
+};
+
+/// Three-point mixture approximating published DC packet-size CDFs
+/// (Benson et al., IMC 2010): ~50% small (<=144B), ~10% mid (~576B),
+/// ~40% MTU.
+class DatacenterPacketMix final : public SizeDistribution {
+ public:
+  DatacenterPacketMix() = default;
+  [[nodiscard]] std::int64_t sample(sim::Rng& rng) override;
+  [[nodiscard]] double mean_bytes() const override;
+  [[nodiscard]] std::string name() const override { return "dc-mix"; }
+};
+
+}  // namespace xdrs::traffic
+
+#endif  // XDRS_TRAFFIC_PATTERNS_HPP

@@ -1,0 +1,114 @@
+// Tests for the software-scheduler baselines: c-Through and Helios TMS.
+#include <gtest/gtest.h>
+
+#include "schedulers/baselines.hpp"
+#include "schedulers/hungarian.hpp"
+#include "sim/random.hpp"
+
+namespace xdrs::schedulers {
+namespace {
+
+demand::DemandMatrix random_demand(std::uint32_t n, sim::Rng& rng, double density) {
+  demand::DemandMatrix m{n};
+  for (net::PortId i = 0; i < n; ++i) {
+    for (net::PortId j = 0; j < n; ++j) {
+      if (rng.bernoulli(density)) m.set(i, j, rng.uniform_int(1, 50'000));
+    }
+  }
+  return m;
+}
+
+TEST(CThrough, EmptyDemandYieldsEmptyPlan) {
+  CThroughScheduler s;
+  const CircuitPlan plan = s.plan(demand::DemandMatrix{4});
+  EXPECT_TRUE(plan.slots.empty());
+  EXPECT_EQ(plan.residual.total(), 0);
+}
+
+TEST(CThrough, SingleConfigurationPerEpoch) {
+  sim::Rng rng{31};
+  CThroughScheduler s;
+  for (int round = 0; round < 10; ++round) {
+    const auto d = random_demand(6, rng, 0.5);
+    if (d.total() == 0) continue;
+    EXPECT_EQ(s.plan(d).slots.size(), 1u);
+  }
+}
+
+TEST(CThrough, ConfigurationIsMaxWeightMatching) {
+  sim::Rng rng{33};
+  CThroughScheduler s;
+  HungarianMatcher exact;
+  const auto d = random_demand(6, rng, 0.5);
+  const CircuitPlan plan = s.plan(d);
+  ASSERT_EQ(plan.slots.size(), 1u);
+  EXPECT_EQ(HungarianMatcher::matching_weight(plan.slots[0].configuration, d),
+            HungarianMatcher::matching_weight(exact.compute(d), d));
+}
+
+TEST(CThrough, MatchedPairsFullyServed) {
+  demand::DemandMatrix d{4};
+  d.set(0, 1, 5000);
+  d.set(2, 3, 800);
+  d.set(1, 2, 100);
+  CThroughScheduler s;
+  const CircuitPlan plan = s.plan(d);
+  ASSERT_EQ(plan.slots.size(), 1u);
+  // The circuit day is long enough for the largest matched backlog, so
+  // every matched pair's demand vanishes from the residual.
+  plan.slots[0].configuration.for_each_pair([&](net::PortId i, net::PortId j) {
+    EXPECT_EQ(plan.residual.at(i, j), 0);
+  });
+}
+
+TEST(CThrough, UnmatchedDemandStaysResidual) {
+  // Three inputs all want output 0: only one can get the circuit.
+  demand::DemandMatrix d{3};
+  d.set(0, 0, 100);
+  d.set(1, 0, 200);
+  d.set(2, 0, 300);
+  CThroughScheduler s;
+  const CircuitPlan plan = s.plan(d);
+  EXPECT_EQ(plan.residual.total(), 300);  // 100 + 200 lose; 300 wins
+  EXPECT_EQ(plan.residual.at(2, 0), 0);
+}
+
+TEST(Tms, ValidatesDayBudget) {
+  EXPECT_THROW(TmsScheduler{0}, std::invalid_argument);
+}
+
+TEST(Tms, AtMostKDays) {
+  sim::Rng rng{35};
+  TmsScheduler s{3};
+  for (int round = 0; round < 10; ++round) {
+    const auto d = random_demand(8, rng, 0.6);
+    EXPECT_LE(s.plan(d).slots.size(), 3u);
+  }
+}
+
+TEST(Tms, MoreDaysCoverMoreDemand) {
+  sim::Rng rng{37};
+  const auto d = random_demand(8, rng, 0.7);
+  TmsScheduler few{1};
+  TmsScheduler many{6};
+  EXPECT_GE(few.plan(d).residual.total(), many.plan(d).residual.total());
+}
+
+TEST(Tms, ResidualBookkeepingIsExact) {
+  sim::Rng rng{39};
+  TmsScheduler s{2};
+  const auto d = random_demand(6, rng, 0.5);
+  const CircuitPlan plan = s.plan(d);
+  demand::DemandMatrix expect = d;
+  for (const auto& slot : plan.slots) {
+    slot.configuration.for_each_pair([&](net::PortId i, net::PortId j) {
+      expect.subtract_clamped(i, j, slot.weight_bytes);
+    });
+  }
+  EXPECT_EQ(plan.residual, expect);
+}
+
+TEST(Tms, NameEncodesBudget) { EXPECT_EQ(TmsScheduler{4}.name(), "tms-4"); }
+
+}  // namespace
+}  // namespace xdrs::schedulers

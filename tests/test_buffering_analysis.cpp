@@ -1,0 +1,147 @@
+// Tests for the Figure 1 closed-form buffering model — including the
+// paper's two numeric anchors (gigabytes at milliseconds, kilobytes at
+// nanoseconds, for a 64x64 switch at 10 Gbps/port).
+#include <gtest/gtest.h>
+
+#include "analysis/buffering.hpp"
+#include "control/timing.hpp"
+
+namespace xdrs::analysis {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+BufferingScenario paper_switch() {
+  BufferingScenario s;
+  s.ports = 64;
+  s.port_rate = sim::DataRate::gbps(10);
+  s.duty_cycle = 0.9;
+  s.load = 1.0;
+  return s;
+}
+
+TEST(Buffering, PaperAnchorMillisecondSwitchingNeedsGigabytes) {
+  // "a 64x64 input-queued switch (10 Gbps per port) with a millisecond
+  //  switching time results in approximately gigabytes of buffering".
+  BufferingScenario s = paper_switch();
+  s.switching_time = 1_ms;
+  s.control_loop_latency =
+      control::SoftwareSchedulerTimingModel{}.decision_latency(64, 4, true).total();
+  const BufferingRequirement r = compute_buffering(s);
+  EXPECT_GE(r.total_bytes, 500LL * 1024 * 1024);   // hundreds of MB at least
+  EXPECT_LE(r.total_bytes, 16LL * 1024 * 1024 * 1024);  // and not absurd
+  EXPECT_FALSE(r.fits_in_tor);                     // forced to host buffering
+}
+
+TEST(Buffering, PaperAnchorNanosecondSwitchingNeedsKilobytes) {
+  // "a nanosecond switching time requires only kilobytes".
+  BufferingScenario s = paper_switch();
+  s.switching_time = 10_ns;
+  s.control_loop_latency =
+      control::HardwareSchedulerTimingModel{}.decision_latency(64, 4, true).total();
+  const BufferingRequirement r = compute_buffering(s);
+  EXPECT_LE(r.total_bytes, 64 * 1024);  // tens of KB
+  EXPECT_GT(r.total_bytes, 0);
+  EXPECT_TRUE(r.fits_in_tor);           // buffering moves into the ToR
+}
+
+TEST(Buffering, MonotoneInSwitchingTime) {
+  BufferingScenario s = paper_switch();
+  s.control_loop_latency = 1_us;
+  std::int64_t prev = 0;
+  for (const Time t : {10_ns, 100_ns, 1_us, 10_us, 100_us, 1_ms}) {
+    s.switching_time = t;
+    const std::int64_t cur = compute_buffering(s).total_bytes;
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Buffering, ScalesLinearlyWithPortsAndRate) {
+  BufferingScenario s = paper_switch();
+  s.switching_time = 1_us;
+  s.control_loop_latency = Time::zero();
+  const std::int64_t base = compute_buffering(s).total_bytes;
+  s.ports = 128;
+  EXPECT_EQ(compute_buffering(s).total_bytes, base * 2);
+  s.ports = 64;
+  s.port_rate = sim::DataRate::gbps(40);
+  EXPECT_NEAR(static_cast<double>(compute_buffering(s).total_bytes),
+              static_cast<double>(base) * 4, static_cast<double>(base) * 0.01);
+}
+
+TEST(Buffering, LoadScalesRequirement) {
+  BufferingScenario s = paper_switch();
+  s.switching_time = 1_us;
+  s.control_loop_latency = Time::zero();
+  s.load = 1.0;
+  const std::int64_t full = compute_buffering(s).total_bytes;
+  s.load = 0.5;
+  EXPECT_NEAR(static_cast<double>(compute_buffering(s).total_bytes),
+              static_cast<double>(full) / 2, static_cast<double>(full) * 0.01);
+}
+
+TEST(Buffering, SchedulePeriodFollowsDutyCycle) {
+  BufferingScenario s = paper_switch();
+  s.switching_time = 100_us;
+  s.duty_cycle = 0.9;
+  // T_period = T_sw * 0.9 / 0.1 = 9 x T_sw.
+  EXPECT_EQ(compute_buffering(s).schedule_period, 900_us);
+  s.duty_cycle = 0.5;
+  EXPECT_EQ(compute_buffering(s).schedule_period, 100_us);
+}
+
+TEST(Buffering, PerPortTimesPortsEqualsTotal) {
+  BufferingScenario s = paper_switch();
+  s.switching_time = 50_us;
+  const BufferingRequirement r = compute_buffering(s);
+  EXPECT_EQ(r.total_bytes, r.per_port_bytes * s.ports);
+}
+
+TEST(Buffering, ControlLoopLatencyAddsExposure) {
+  BufferingScenario s = paper_switch();
+  s.switching_time = 1_us;
+  s.control_loop_latency = Time::zero();
+  const auto without = compute_buffering(s);
+  s.control_loop_latency = 1_ms;
+  const auto with = compute_buffering(s);
+  EXPECT_GT(with.total_bytes, without.total_bytes);
+  EXPECT_EQ(with.exposure - without.exposure, 1_ms);
+}
+
+TEST(Buffering, ValidatesParameters) {
+  BufferingScenario s = paper_switch();
+  s.ports = 0;
+  EXPECT_THROW((void)compute_buffering(s), std::invalid_argument);
+  s = paper_switch();
+  s.duty_cycle = 1.0;
+  EXPECT_THROW((void)compute_buffering(s), std::invalid_argument);
+  s = paper_switch();
+  s.load = 1.5;
+  EXPECT_THROW((void)compute_buffering(s), std::invalid_argument);
+  s = paper_switch();
+  s.switching_time = Time::zero() - 1_ns;
+  EXPECT_THROW((void)compute_buffering(s), std::invalid_argument);
+}
+
+TEST(Buffering, MaxSwitchingTimeInvertsModel) {
+  BufferingScenario s = paper_switch();
+  s.control_loop_latency = 1_us;
+  const Time t = max_switching_time_for_buffer(s, kTypicalTorBufferBytes);
+  EXPECT_GT(t, Time::zero());
+  // At the returned switching time the requirement fits...
+  s.switching_time = t;
+  EXPECT_LE(compute_buffering(s).total_bytes, kTypicalTorBufferBytes);
+  // ...and at 2x it no longer does (tight inversion).
+  s.switching_time = t * 2;
+  EXPECT_GT(compute_buffering(s).total_bytes, kTypicalTorBufferBytes);
+}
+
+TEST(Buffering, MaxSwitchingTimeZeroBudget) {
+  BufferingScenario s = paper_switch();
+  EXPECT_EQ(max_switching_time_for_buffer(s, 0), Time::zero());
+}
+
+}  // namespace
+}  // namespace xdrs::analysis

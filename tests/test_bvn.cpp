@@ -1,0 +1,150 @@
+// Tests for the Birkhoff–von-Neumann decomposition and its circuit
+// scheduler adapter.
+#include <gtest/gtest.h>
+
+#include "schedulers/bvn.hpp"
+#include "sim/random.hpp"
+
+namespace xdrs::schedulers {
+namespace {
+
+demand::DemandMatrix random_demand(std::uint32_t n, sim::Rng& rng, double density) {
+  demand::DemandMatrix m{n};
+  for (net::PortId i = 0; i < n; ++i) {
+    for (net::PortId j = 0; j < n; ++j) {
+      if (rng.bernoulli(density)) m.set(i, j, rng.uniform_int(1, 5000));
+    }
+  }
+  return m;
+}
+
+/// Sums the real service each pair receives across terms, capped per term
+/// at the pair's remaining demand — mirrors the decomposition's accounting.
+demand::DemandMatrix served_by(const BvnResult& r, const demand::DemandMatrix& d) {
+  demand::DemandMatrix remaining = d;
+  for (const auto& t : r.terms) {
+    t.permutation.for_each_pair([&](net::PortId i, net::PortId j) {
+      remaining.subtract_clamped(i, j, t.weight);
+    });
+  }
+  return remaining;
+}
+
+TEST(Bvn, EmptyMatrixYieldsNoTerms) {
+  const BvnResult r = bvn_decompose(demand::DemandMatrix{4});
+  EXPECT_TRUE(r.terms.empty());
+  EXPECT_EQ(r.uncovered_bytes, 0);
+}
+
+TEST(Bvn, RequiresSquareMatrix) {
+  EXPECT_THROW((void)bvn_decompose(demand::DemandMatrix{2, 3}), std::invalid_argument);
+}
+
+TEST(Bvn, SinglePairIsOneishTerm) {
+  demand::DemandMatrix d{3};
+  d.set(0, 2, 1000);
+  const BvnResult r = bvn_decompose(d);
+  ASSERT_FALSE(r.terms.empty());
+  EXPECT_EQ(r.uncovered_bytes, 0);
+  EXPECT_EQ(served_by(r, d).total(), 0);
+}
+
+TEST(Bvn, PermutationMatrixDecomposesToItself) {
+  demand::DemandMatrix d{4};
+  for (net::PortId i = 0; i < 4; ++i) d.set(i, (i + 1) % 4, 700);
+  const BvnResult r = bvn_decompose(d);
+  ASSERT_EQ(r.terms.size(), 1u);
+  EXPECT_EQ(r.terms[0].weight, 700);
+  EXPECT_TRUE(r.terms[0].permutation.is_perfect());
+  for (net::PortId i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.terms[0].permutation.output_of(i), (i + 1) % 4);
+  }
+}
+
+TEST(Bvn, TermsAreAlwaysPerfectPermutations) {
+  sim::Rng rng{3};
+  const auto d = random_demand(6, rng, 0.5);
+  for (const auto& t : bvn_decompose(d).terms) {
+    EXPECT_TRUE(t.permutation.is_perfect());
+    EXPECT_GT(t.weight, 0);
+  }
+}
+
+TEST(Bvn, FullCoverageWithoutTermLimit) {
+  sim::Rng rng{5};
+  for (int round = 0; round < 10; ++round) {
+    const auto d = random_demand(8, rng, 0.4);
+    const BvnResult r = bvn_decompose(d);
+    EXPECT_EQ(r.uncovered_bytes, 0);
+    EXPECT_EQ(served_by(r, d).total(), 0) << "round " << round;
+  }
+}
+
+TEST(Bvn, TermCountWithinBirkhoffBound) {
+  // Birkhoff: at most (n-1)^2 + 1 permutations for an n x n matrix.
+  sim::Rng rng{7};
+  const std::uint32_t n = 6;
+  for (int round = 0; round < 10; ++round) {
+    const auto d = random_demand(n, rng, 0.6);
+    const BvnResult r = bvn_decompose(d);
+    EXPECT_LE(r.terms.size(), (n - 1) * (n - 1) + 1);
+  }
+}
+
+TEST(Bvn, MaxTermsTruncatesAndReportsUncovered) {
+  sim::Rng rng{9};
+  const auto d = random_demand(8, rng, 0.8);
+  const BvnResult full = bvn_decompose(d);
+  if (full.terms.size() < 3) GTEST_SKIP() << "matrix decomposed too easily";
+  const BvnResult cut = bvn_decompose(d, 2);
+  EXPECT_EQ(cut.terms.size(), 2u);
+  EXPECT_GT(cut.uncovered_bytes, 0);
+  EXPECT_EQ(cut.uncovered_bytes, served_by(cut, d).total());
+}
+
+TEST(Bvn, RealBytesAccounting) {
+  sim::Rng rng{11};
+  const auto d = random_demand(5, rng, 0.5);
+  const BvnResult r = bvn_decompose(d);
+  std::int64_t real_total = 0;
+  for (const auto& t : r.terms) real_total += t.real_bytes;
+  EXPECT_EQ(real_total, d.total());
+}
+
+TEST(BvnScheduler, ResidualIsExactlyUnplannedDemand) {
+  sim::Rng rng{13};
+  const auto d = random_demand(6, rng, 0.5);
+  BvnScheduler sched{2};
+  const CircuitPlan plan = sched.plan(d);
+  EXPECT_LE(plan.slots.size(), 2u);
+
+  // Re-derive the residual independently and compare.
+  demand::DemandMatrix expect = d;
+  for (const auto& s : plan.slots) {
+    s.configuration.for_each_pair([&](net::PortId i, net::PortId j) {
+      expect.subtract_clamped(i, j, s.weight_bytes);
+    });
+  }
+  EXPECT_EQ(plan.residual, expect);
+}
+
+TEST(BvnScheduler, KeepsHeaviestSlots) {
+  demand::DemandMatrix d{4};
+  d.set(0, 1, 10'000);  // elephant
+  d.set(1, 0, 10'000);  // elephant
+  d.set(2, 3, 10);      // mouse
+  d.set(3, 2, 10);      // mouse
+  BvnScheduler sched{1};
+  const CircuitPlan plan = sched.plan(d);
+  ASSERT_EQ(plan.slots.size(), 1u);
+  // The kept slot must serve the elephants.
+  EXPECT_EQ(plan.slots[0].configuration.output_of(0), 1u);
+  EXPECT_EQ(plan.slots[0].configuration.output_of(1), 0u);
+}
+
+TEST(BvnScheduler, NameEncodesSlotBudget) {
+  EXPECT_EQ(BvnScheduler{3}.name(), "bvn-3");
+}
+
+}  // namespace
+}  // namespace xdrs::schedulers

@@ -1,0 +1,232 @@
+// Tests for the demand matrix and the demand estimators.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "demand/demand_matrix.hpp"
+#include "demand/estimator.hpp"
+
+namespace xdrs::demand {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+TEST(DemandMatrix, ConstructionValidation) {
+  EXPECT_THROW(DemandMatrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(DemandMatrix(3, 0), std::invalid_argument);
+}
+
+TEST(DemandMatrix, SetGetAndTotal) {
+  DemandMatrix m{3};
+  m.set(0, 1, 100);
+  m.set(2, 0, 50);
+  EXPECT_EQ(m.at(0, 1), 100);
+  EXPECT_EQ(m.at(2, 0), 50);
+  EXPECT_EQ(m.at(1, 1), 0);
+  EXPECT_EQ(m.total(), 150);
+  m.set(0, 1, 30);  // overwrite adjusts total
+  EXPECT_EQ(m.total(), 80);
+}
+
+TEST(DemandMatrix, AddAndSubtractClamped) {
+  DemandMatrix m{2};
+  m.add(0, 1, 100);
+  m.subtract_clamped(0, 1, 30);
+  EXPECT_EQ(m.at(0, 1), 70);
+  m.subtract_clamped(0, 1, 1000);  // clamps at zero
+  EXPECT_EQ(m.at(0, 1), 0);
+  EXPECT_EQ(m.total(), 0);
+}
+
+TEST(DemandMatrix, NegativeRejected) {
+  DemandMatrix m{2};
+  EXPECT_THROW(m.set(0, 0, -5), std::invalid_argument);
+  m.set(0, 0, 10);
+  EXPECT_THROW(m.add(0, 0, -20), std::invalid_argument);
+}
+
+TEST(DemandMatrix, RowColSums) {
+  DemandMatrix m{3};
+  m.set(0, 1, 10);
+  m.set(0, 2, 20);
+  m.set(1, 2, 5);
+  EXPECT_EQ(m.row_sum(0), 30);
+  EXPECT_EQ(m.row_sum(1), 5);
+  EXPECT_EQ(m.col_sum(2), 25);
+  EXPECT_EQ(m.col_sum(0), 0);
+  EXPECT_EQ(m.max_line_sum(), 30);
+}
+
+TEST(DemandMatrix, MaxElementAndNonzeroCount) {
+  DemandMatrix m{2};
+  EXPECT_EQ(m.max_element(), 0);
+  m.set(0, 1, 7);
+  m.set(1, 0, 3);
+  EXPECT_EQ(m.max_element(), 7);
+  EXPECT_EQ(m.nonzero_count(), 2u);
+}
+
+TEST(DemandMatrix, ForEachNonzeroVisitsExactlyPositives) {
+  DemandMatrix m{2};
+  m.set(0, 1, 5);
+  m.set(1, 1, 9);
+  std::int64_t seen = 0;
+  int visits = 0;
+  m.for_each_nonzero([&](net::PortId, net::PortId, std::int64_t v) {
+    seen += v;
+    ++visits;
+  });
+  EXPECT_EQ(seen, 14);
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(DemandMatrix, ClearAndResize) {
+  DemandMatrix m{2};
+  m.set(0, 0, 42);
+  m.clear();
+  EXPECT_EQ(m.total(), 0);
+  m.resize(4, 4);
+  EXPECT_EQ(m.inputs(), 4u);
+  EXPECT_EQ(m.at(3, 3), 0);
+}
+
+TEST(DemandMatrix, OutOfRangeThrows) {
+  DemandMatrix m{2};
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 2, 1), std::out_of_range);
+  EXPECT_THROW((void)m.row_sum(2), std::out_of_range);
+  EXPECT_THROW((void)m.col_sum(2), std::out_of_range);
+}
+
+// ------------------------------------------------------------- estimators
+
+TEST(InstantaneousEstimator, TracksBacklogExactly) {
+  InstantaneousEstimator e{2, 2};
+  e.on_arrival(0, 1, 100, 1_us);
+  e.on_arrival(0, 1, 50, 2_us);
+  e.on_departure(0, 1, 60, 3_us);
+  DemandMatrix m;
+  e.snapshot(3_us, m);
+  EXPECT_EQ(m.at(0, 1), 90);
+  EXPECT_EQ(m.total(), 90);
+}
+
+TEST(InstantaneousEstimator, DepartureClampsAtZero) {
+  InstantaneousEstimator e{2, 2};
+  e.on_arrival(0, 1, 10, 1_us);
+  e.on_departure(0, 1, 1000, 2_us);
+  DemandMatrix m;
+  e.snapshot(2_us, m);
+  EXPECT_EQ(m.at(0, 1), 0);
+}
+
+TEST(EwmaEstimator, ValidatesAlpha) {
+  EXPECT_THROW(EwmaEstimator(2, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaEstimator(2, 2, 1.5), std::invalid_argument);
+}
+
+TEST(EwmaEstimator, AlphaOneEqualsInstantaneous) {
+  EwmaEstimator e{2, 2, 1.0};
+  e.on_arrival(0, 1, 500, 1_us);
+  DemandMatrix m;
+  e.snapshot(1_us, m);
+  EXPECT_EQ(m.at(0, 1), 500);
+}
+
+TEST(EwmaEstimator, SmoothsTowardsBacklog) {
+  EwmaEstimator e{2, 2, 0.5};
+  e.on_arrival(0, 1, 1000, 1_us);
+  DemandMatrix m;
+  e.snapshot(1_us, m);
+  EXPECT_EQ(m.at(0, 1), 500);  // 0.5 * 1000 + 0.5 * 0
+  e.snapshot(2_us, m);
+  EXPECT_EQ(m.at(0, 1), 750);  // 0.5 * 1000 + 0.5 * 500
+}
+
+TEST(EwmaEstimator, DecaysAfterService) {
+  EwmaEstimator e{2, 2, 0.5};
+  e.on_arrival(0, 1, 1000, 1_us);
+  DemandMatrix m;
+  e.snapshot(1_us, m);
+  e.on_departure(0, 1, 1000, 2_us);
+  e.snapshot(2_us, m);
+  EXPECT_EQ(m.at(0, 1), 250);  // halves each snapshot with empty backlog
+}
+
+TEST(WindowedRateEstimator, CountsArrivalsInWindow) {
+  WindowedRateEstimator e{2, 2, 10_us, 4};  // 40 us window
+  e.on_arrival(0, 1, 100, 5_us);
+  e.on_arrival(0, 1, 200, 15_us);
+  DemandMatrix m;
+  e.snapshot(20_us, m);
+  EXPECT_EQ(m.at(0, 1), 300);
+}
+
+TEST(WindowedRateEstimator, OldArrivalsExpire) {
+  WindowedRateEstimator e{2, 2, 10_us, 4};
+  e.on_arrival(0, 1, 100, 5_us);
+  DemandMatrix m;
+  e.snapshot(100_us, m);  // far beyond the 40 us window
+  EXPECT_EQ(m.at(0, 1), 0);
+}
+
+TEST(WindowedRateEstimator, IgnoresDepartures) {
+  WindowedRateEstimator e{2, 2, 10_us, 4};
+  e.on_arrival(0, 1, 100, 5_us);
+  e.on_departure(0, 1, 100, 6_us);
+  DemandMatrix m;
+  e.snapshot(7_us, m);
+  EXPECT_EQ(m.at(0, 1), 100);  // offered rate, not backlog
+}
+
+TEST(WindowedRateEstimator, ValidatesWindow) {
+  EXPECT_THROW(WindowedRateEstimator(2, 2, Time::zero(), 4), std::invalid_argument);
+  EXPECT_THROW(WindowedRateEstimator(2, 2, 1_us, 0), std::invalid_argument);
+}
+
+TEST(HysteresisEstimator, SuppressesBelowOnThreshold) {
+  auto inner = std::make_unique<InstantaneousEstimator>(2, 2);
+  auto* raw = inner.get();
+  HysteresisEstimator h{std::move(inner), 100, 50};
+  raw->on_arrival(0, 1, 80, 1_us);
+  DemandMatrix m;
+  h.snapshot(1_us, m);
+  EXPECT_EQ(m.at(0, 1), 0);  // below the on threshold
+  raw->on_arrival(0, 1, 40, 2_us);
+  h.snapshot(2_us, m);
+  EXPECT_EQ(m.at(0, 1), 120);  // crossed it
+}
+
+TEST(HysteresisEstimator, StaysOnUntilOffThreshold) {
+  auto inner = std::make_unique<InstantaneousEstimator>(2, 2);
+  auto* raw = inner.get();
+  HysteresisEstimator h{std::move(inner), 100, 50};
+  raw->on_arrival(0, 1, 150, 1_us);
+  DemandMatrix m;
+  h.snapshot(1_us, m);
+  EXPECT_EQ(m.at(0, 1), 150);
+  raw->on_departure(0, 1, 80, 2_us);  // backlog 70: between thresholds
+  h.snapshot(2_us, m);
+  EXPECT_EQ(m.at(0, 1), 70);  // hysteresis keeps it visible
+  raw->on_departure(0, 1, 30, 3_us);  // backlog 40 < off threshold
+  h.snapshot(3_us, m);
+  EXPECT_EQ(m.at(0, 1), 0);
+}
+
+TEST(HysteresisEstimator, ValidatesArguments) {
+  EXPECT_THROW(HysteresisEstimator(nullptr, 10, 5), std::invalid_argument);
+  EXPECT_THROW(HysteresisEstimator(std::make_unique<InstantaneousEstimator>(2, 2), 10, 20),
+               std::invalid_argument);
+}
+
+TEST(Estimators, NamesAreDistinct) {
+  InstantaneousEstimator a{2, 2};
+  EwmaEstimator b{2, 2, 0.5};
+  WindowedRateEstimator c{2, 2, 1_us, 2};
+  EXPECT_STRNE(a.name(), b.name());
+  EXPECT_STRNE(b.name(), c.name());
+}
+
+}  // namespace
+}  // namespace xdrs::demand

@@ -1,0 +1,257 @@
+// End-to-end integration tests of the full framework (Figure 2 wired):
+// traffic in, scheduled service, deliveries and reports out.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/framework.hpp"
+#include "schedulers/baselines.hpp"
+#include "schedulers/rga.hpp"
+#include "schedulers/solstice.hpp"
+#include "topo/testbed.hpp"
+
+namespace xdrs::core {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+FrameworkConfig fast_hybrid(std::uint32_t ports = 4) {
+  FrameworkConfig c;
+  c.ports = ports;
+  c.discipline = SchedulingDiscipline::kHybridEpoch;
+  c.epoch = 100_us;
+  c.ocs_reconfig = 1_us;
+  c.min_circuit_hold = 10_us;
+  c.placement = BufferPlacement::kToRSwitch;
+  return c;
+}
+
+FrameworkConfig slotted(std::uint32_t ports = 4) {
+  FrameworkConfig c;
+  c.ports = ports;
+  c.discipline = SchedulingDiscipline::kSlotted;
+  c.slot_time = 5_us;
+  c.ocs_reconfig = 50_ns;
+  return c;
+}
+
+TEST(Framework, ValidatesConfig) {
+  FrameworkConfig c = fast_hybrid();
+  c.ports = 1;
+  EXPECT_THROW(HybridSwitchFramework{c}, std::invalid_argument);
+}
+
+TEST(Framework, RunIsOneShot) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  (void)fw.run(100_us);
+  EXPECT_THROW((void)fw.run(100_us), std::logic_error);
+}
+
+TEST(Framework, RejectsNonPositiveDuration) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  EXPECT_THROW((void)fw.run(Time::zero()), std::invalid_argument);
+}
+
+TEST(Framework, HybridDeliversModerateUniformLoad) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  topo::WorkloadSpec spec;
+  spec.kind = topo::WorkloadSpec::Kind::kPoissonUniform;
+  spec.load = 0.3;
+  topo::attach_workload(fw, spec);
+
+  const RunReport r = fw.run(4_ms, 1_ms);
+  EXPECT_GT(r.offered_packets, 100u);
+  EXPECT_GT(r.delivery_ratio(), 0.90) << r.summary();
+  EXPECT_GT(r.scheduler_decisions, 10u);
+}
+
+TEST(Framework, SlottedIslipDeliversUniformLoad) {
+  HybridSwitchFramework fw{slotted()};
+  fw.use_default_policies();  // islip:2 for slotted
+  topo::WorkloadSpec spec;
+  spec.kind = topo::WorkloadSpec::Kind::kPoissonUniform;
+  spec.load = 0.4;
+  topo::attach_workload(fw, spec);
+
+  const RunReport r = fw.run(4_ms, 1_ms);
+  EXPECT_GT(r.delivery_ratio(), 0.90) << r.summary();
+  // Slotted mode serves everything over the fabric circuits.
+  EXPECT_GT(r.ocs_bytes, 0);
+}
+
+TEST(Framework, ConservationOfPackets) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  topo::WorkloadSpec spec;
+  spec.load = 0.4;
+  topo::attach_workload(fw, spec);
+  const RunReport r = fw.run(3_ms, 500_us);
+  // Delivered never exceeds offered; the difference is queued or dropped.
+  EXPECT_LE(r.delivered_bytes, r.offered_bytes);
+  EXPECT_LE(r.delivered_packets, r.offered_packets);
+}
+
+TEST(Framework, OcsCarriesElephantsEpsCarriesResidual) {
+  FrameworkConfig c = fast_hybrid();
+  HybridSwitchFramework fw{c};
+  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
+  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
+  schedulers::SolsticeConfig sc;
+  sc.reconfig_cost_bytes = reconfig_cost_bytes(c);
+  fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+
+  topo::WorkloadSpec spec;
+  spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
+  spec.mean_on = 50_us;
+  spec.mean_off = 150_us;
+  topo::attach_workload(fw, spec);
+
+  const RunReport r = fw.run(4_ms, 1_ms);
+  EXPECT_GT(r.ocs_bytes, 0) << r.summary();
+  EXPECT_GT(r.delivery_ratio(), 0.5) << r.summary();
+}
+
+TEST(Framework, LatencySensitiveBypassInTorMode) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  topo::attach_voip(fw, 2, 20_us, 200);
+  const RunReport r = fw.run(2_ms, 200_us);
+  EXPECT_GT(r.latency_sensitive.count(), 50u);
+  // Bypass path: latency ~ link + EPS serialisation + EPS latency, well
+  // under 10 us at these rates.
+  EXPECT_LT(r.latency_sensitive.quantile_time(0.99), 10_us) << r.summary();
+}
+
+TEST(Framework, HardwareSchedulingBeatsSoftwareOnVoipLatency) {
+  const auto run_with = [](bool hardware) {
+    FrameworkConfig c = fast_hybrid();
+    c.placement = hardware ? BufferPlacement::kToRSwitch : BufferPlacement::kHost;
+    c.epoch = hardware ? Time::microseconds(100) : Time::milliseconds(1);
+    HybridSwitchFramework fw{c};
+    fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
+    if (hardware) {
+      fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
+    } else {
+      fw.set_timing_model(std::make_unique<control::SoftwareSchedulerTimingModel>());
+    }
+    schedulers::SolsticeConfig sc;
+    sc.reconfig_cost_bytes = reconfig_cost_bytes(c);
+    fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+    topo::attach_voip(fw, 2, 20_us, 200);
+    return fw.run(8_ms, 2_ms);
+  };
+
+  const RunReport hw = run_with(true);
+  const RunReport sw = run_with(false);
+  ASSERT_GT(hw.latency_sensitive.count(), 0u);
+  ASSERT_GT(sw.latency_sensitive.count(), 0u);
+  // The paper's claim: slow scheduling inflates interactive latency.
+  EXPECT_LT(hw.latency_sensitive.quantile(0.99) * 10, sw.latency_sensitive.quantile(0.99))
+      << "hw: " << hw.latency_sensitive.summary_time()
+      << " sw: " << sw.latency_sensitive.summary_time();
+}
+
+TEST(Framework, HostModeBuffersAtHostsTorModeBuffersInSwitch) {
+  const auto run_with = [](BufferPlacement placement) {
+    FrameworkConfig c = fast_hybrid();
+    c.placement = placement;
+    c.epoch = 500_us;
+    HybridSwitchFramework fw{c};
+    fw.use_default_policies();
+    topo::WorkloadSpec spec;
+    spec.load = 0.5;
+    topo::attach_workload(fw, spec);
+    return fw.run(3_ms, 500_us);
+  };
+  const RunReport host = run_with(BufferPlacement::kHost);
+  const RunReport tor = run_with(BufferPlacement::kToRSwitch);
+  EXPECT_GT(host.peak_host_buffer_bytes, 0);
+  EXPECT_GT(tor.peak_switch_buffer_bytes, 0);
+}
+
+TEST(Framework, ReconfigurationsAreCountedAndDutyCycleSane) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  topo::WorkloadSpec spec;
+  spec.load = 0.5;
+  topo::attach_workload(fw, spec);
+  const RunReport r = fw.run(3_ms, 500_us);
+  EXPECT_GT(r.reconfigurations, 0u);
+  EXPECT_GE(r.ocs_duty_cycle, 0.0);
+  EXPECT_LE(r.ocs_duty_cycle, 1.0);
+}
+
+TEST(Framework, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    HybridSwitchFramework fw{fast_hybrid()};
+    fw.use_default_policies();
+    topo::WorkloadSpec spec;
+    spec.load = 0.4;
+    spec.seed = 31337;
+    topo::attach_workload(fw, spec);
+    return fw.run(2_ms, 500_us);
+  };
+  const RunReport a = run_once();
+  const RunReport b = run_once();
+  EXPECT_EQ(a.offered_packets, b.offered_packets);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.ocs_bytes, b.ocs_bytes);
+  EXPECT_EQ(a.latency.quantile(0.99), b.latency.quantile(0.99));
+}
+
+TEST(Framework, DirectInjectionWorks) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  net::Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.size_bytes = 1500;
+  fw.simulator().schedule(10_us, [&fw, p] { fw.inject(p); });
+  const RunReport r = fw.run(2_ms);
+  EXPECT_EQ(r.offered_packets, 1u);
+  EXPECT_EQ(r.delivered_packets, 1u);
+}
+
+TEST(Framework, TraceCapturesPipelineWhenEnabled) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  fw.trace().enable();
+  topo::WorkloadSpec spec;
+  spec.load = 0.3;
+  topo::attach_workload(fw, spec);
+  (void)fw.run(500_us);
+  using sim::TraceCategory;
+  EXPECT_GT(fw.trace().count(TraceCategory::kPacketArrival), 0u);
+  EXPECT_GT(fw.trace().count(TraceCategory::kEnqueue), 0u);
+  EXPECT_GT(fw.trace().count(TraceCategory::kScheduleDone), 0u);
+  EXPECT_GT(fw.trace().count(TraceCategory::kGrant), 0u);
+  EXPECT_GT(fw.trace().count(TraceCategory::kDeliver), 0u);
+}
+
+TEST(Framework, ThroughputFractionComputation) {
+  RunReport r;
+  r.duration = 1_ms;
+  r.delivered_bytes = 1'250'000;  // 10 Gbps x 1 ms / 8 = 1.25 MB per port
+  EXPECT_NEAR(r.throughput_fraction(sim::DataRate::gbps(10), 1), 1.0, 1e-9);
+  EXPECT_NEAR(r.throughput_fraction(sim::DataRate::gbps(10), 4), 0.25, 1e-9);
+}
+
+TEST(Framework, SummaryStringMentionsKeyCounters) {
+  HybridSwitchFramework fw{fast_hybrid()};
+  fw.use_default_policies();
+  topo::WorkloadSpec spec;
+  spec.load = 0.2;
+  topo::attach_workload(fw, spec);
+  const RunReport r = fw.run(1_ms);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("delivered"), std::string::npos);
+  EXPECT_NE(s.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xdrs::core

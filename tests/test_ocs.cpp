@@ -1,0 +1,198 @@
+// Tests for the optical circuit switch model: dark periods, circuit
+// connectivity, serialisation pacing and cut-by-reconfiguration semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "switching/ocs.hpp"
+
+namespace xdrs::switching {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+OcsConfig base_config() {
+  OcsConfig c;
+  c.ports = 4;
+  c.port_rate = sim::DataRate::gbps(10);
+  c.reconfig_time = 1_us;
+  c.fabric_latency = 100_ns;
+  return c;
+}
+
+net::Packet pkt(net::PortId src, net::PortId dst, std::int64_t bytes) {
+  net::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Ocs, ValidatesConfig) {
+  sim::Simulator sim;
+  OcsConfig c = base_config();
+  c.ports = 0;
+  EXPECT_THROW(OpticalCircuitSwitch(sim, c), std::invalid_argument);
+  c = base_config();
+  c.port_rate = sim::DataRate{};
+  EXPECT_THROW(OpticalCircuitSwitch(sim, c), std::invalid_argument);
+}
+
+TEST(Ocs, StartsWithNoCircuits) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  EXPECT_FALSE(ocs.is_dark());
+  for (net::PortId i = 0; i < 4; ++i) {
+    for (net::PortId j = 0; j < 4; ++j) EXPECT_FALSE(ocs.circuit_up(i, j));
+  }
+}
+
+TEST(Ocs, DarkDuringReconfiguration) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  EXPECT_TRUE(ocs.is_dark());
+  EXPECT_FALSE(ocs.circuit_up(0, 1));  // configured but still dark
+  sim.run_until(2_us);
+  EXPECT_FALSE(ocs.is_dark());
+  EXPECT_TRUE(ocs.circuit_up(0, 1));
+  EXPECT_FALSE(ocs.circuit_up(0, 2));
+}
+
+TEST(Ocs, ConfiguredCallbackFiresAfterDarkTime) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  std::vector<std::int64_t> stamps;
+  ocs.set_configured_callback(
+      [&](const schedulers::Matching&) { stamps.push_back(sim.now().ps()); });
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  sim.run();
+  ASSERT_EQ(stamps.size(), 1u);
+  EXPECT_EQ(stamps[0], (1_us).ps());
+}
+
+TEST(Ocs, SendRequiresCircuit) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  EXPECT_FALSE(ocs.send(0, pkt(0, 1, 1500)).has_value());  // no circuit at all
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  EXPECT_FALSE(ocs.send(0, pkt(0, 1, 1500)).has_value());  // dark
+  sim.run_until(1_us);
+  EXPECT_TRUE(ocs.send(0, pkt(0, 1, 1500)).has_value());   // circuit up
+  EXPECT_FALSE(ocs.send(0, pkt(0, 2, 1500)).has_value());  // wrong destination
+}
+
+TEST(Ocs, DeliveryTimingIncludesSerialisationAndLatency) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  sim.run_until(1_us);
+
+  std::vector<std::int64_t> deliveries;
+  ocs.set_deliver_callback(
+      [&](const net::Packet&, net::PortId) { deliveries.push_back(sim.now().ps()); });
+  // 1500 + 20 B at 10 Gbps = 1216 ns serialisation + 100 ns fabric latency.
+  const auto at = ocs.send(0, pkt(0, 1, 1500));
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(*at, sim.now() + Time::nanoseconds(1216) + 100_ns);
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], at->ps());
+}
+
+TEST(Ocs, BackToBackSendsAreSerialised) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  sim.run_until(1_us);
+  const auto first = ocs.send(0, pkt(0, 1, 1500));
+  const auto second = ocs.send(0, pkt(0, 1, 1500));
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(*second - *first, Time::nanoseconds(1216));
+  EXPECT_GT(ocs.port_free_at(0), sim.now());
+}
+
+TEST(Ocs, ReconfigurationCutsInFlightPacket) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  sim.run_until(1_us);
+
+  int delivered = 0;
+  ocs.set_deliver_callback([&](const net::Packet&, net::PortId) { ++delivered; });
+  ASSERT_TRUE(ocs.send(0, pkt(0, 1, 1500)).has_value());
+  // Retune while the packet is still serialising: it must be lost.
+  ocs.reconfigure(schedulers::Matching::rotation(4, 2));
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(ocs.stats().packets_cut_by_reconfig, 1u);
+}
+
+TEST(Ocs, CompletedPacketIsNotCut) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  sim.run_until(1_us);
+
+  int delivered = 0;
+  ocs.set_deliver_callback([&](const net::Packet&, net::PortId) { ++delivered; });
+  ASSERT_TRUE(ocs.send(0, pkt(0, 1, 64)).has_value());
+  sim.run_until(10_us);  // delivery completes
+  ocs.reconfigure(schedulers::Matching::rotation(4, 2));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(ocs.stats().packets_cut_by_reconfig, 0u);
+}
+
+TEST(Ocs, ReconfigureWhileDarkRestartsDarkPeriod) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  int configured = 0;
+  ocs.set_configured_callback([&](const schedulers::Matching&) { ++configured; });
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  sim.run_until(500_ns);  // halfway through the dark period
+  ocs.reconfigure(schedulers::Matching::rotation(4, 2));
+  sim.run_until(1200_ns);
+  EXPECT_TRUE(ocs.is_dark());  // restarted: up at 1.5 us, not 1 us
+  EXPECT_EQ(configured, 0);
+  sim.run();
+  EXPECT_EQ(configured, 1);
+  EXPECT_TRUE(ocs.circuit_up(0, 2));
+}
+
+TEST(Ocs, StatsAccumulate) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  sim.run_until(1_us);
+  (void)ocs.send(0, pkt(0, 1, 1000));
+  sim.run();
+  EXPECT_EQ(ocs.stats().reconfigurations, 1u);
+  EXPECT_EQ(ocs.stats().dark_time_total, 1_us);
+  EXPECT_EQ(ocs.stats().packets_delivered, 1u);
+  EXPECT_EQ(ocs.stats().bytes_delivered, 1000);
+  EXPECT_GT(ocs.stats().busy_time_total, Time::zero());
+}
+
+TEST(Ocs, ZeroReconfigTimeActsAsCrossbar) {
+  sim::Simulator sim;
+  OcsConfig c = base_config();
+  c.reconfig_time = Time::zero();
+  OpticalCircuitSwitch ocs{sim, c};
+  ocs.reconfigure(schedulers::Matching::rotation(4, 1));
+  sim.run();  // zero-delay configured event
+  EXPECT_FALSE(ocs.is_dark());
+  EXPECT_TRUE(ocs.circuit_up(0, 1));
+}
+
+TEST(Ocs, DimensionMismatchThrows) {
+  sim::Simulator sim;
+  OpticalCircuitSwitch ocs{sim, base_config()};
+  EXPECT_THROW(ocs.reconfigure(schedulers::Matching::rotation(5, 1)), std::invalid_argument);
+  EXPECT_THROW((void)ocs.circuit_up(4, 0), std::out_of_range);
+  EXPECT_THROW((void)ocs.port_free_at(9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace xdrs::switching

@@ -1,0 +1,280 @@
+// Additional cross-module property sweeps: reference-model equivalence for
+// the estimators, decomposition identities on structured matrices, and
+// randomized consistency checks that complement the per-module suites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "demand/estimator.hpp"
+#include "net/classifier.hpp"
+#include "schedulers/bvn.hpp"
+#include "schedulers/solstice.hpp"
+#include "sim/random.hpp"
+#include "stats/histogram.hpp"
+#include "switching/ocs.hpp"
+
+namespace xdrs {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+// ------------------------------------------- estimator reference equivalence
+
+class EstimatorEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EstimatorEquivalence, InstantaneousMatchesNaiveBookkeeping) {
+  sim::Rng rng{GetParam()};
+  constexpr std::uint32_t kPorts = 4;
+  demand::InstantaneousEstimator est{kPorts, kPorts};
+  std::vector<std::int64_t> reference(kPorts * kPorts, 0);
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<net::PortId>(rng.next_below(kPorts));
+    const auto j = static_cast<net::PortId>(rng.next_below(kPorts));
+    const Time at = Time::nanoseconds(step);
+    if (rng.bernoulli(0.6)) {
+      const std::int64_t bytes = rng.uniform_int(64, 1500);
+      est.on_arrival(i, j, bytes, at);
+      reference[i * kPorts + j] += bytes;
+    } else {
+      const std::int64_t bytes = rng.uniform_int(64, 3000);
+      est.on_departure(i, j, bytes, at);
+      auto& slot = reference[i * kPorts + j];
+      slot = std::max<std::int64_t>(0, slot - bytes);
+    }
+  }
+  demand::DemandMatrix m;
+  est.snapshot(Time::microseconds(10), m);
+  for (net::PortId i = 0; i < kPorts; ++i) {
+    for (net::PortId j = 0; j < kPorts; ++j) {
+      EXPECT_EQ(m.at(i, j), reference[i * kPorts + j]) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(EstimatorEquivalence, EwmaNeverExceedsPeakBacklog) {
+  sim::Rng rng{GetParam() ^ 0xabcdef};
+  demand::EwmaEstimator est{2, 2, 0.3};
+  std::int64_t peak = 0;
+  std::int64_t backlog = 0;
+  demand::DemandMatrix m;
+  for (int step = 0; step < 500; ++step) {
+    const std::int64_t bytes = rng.uniform_int(1, 1000);
+    est.on_arrival(0, 1, bytes, Time::nanoseconds(step));
+    backlog += bytes;
+    peak = std::max(peak, backlog);
+    if (rng.bernoulli(0.5)) {
+      est.on_departure(0, 1, backlog / 2, Time::nanoseconds(step));
+      backlog -= backlog / 2;
+    }
+    est.snapshot(Time::nanoseconds(step), m);
+    EXPECT_LE(m.at(0, 1), peak + 1);  // rounding slack
+  }
+}
+
+TEST_P(EstimatorEquivalence, WindowedMatchesReferenceSum) {
+  sim::Rng rng{GetParam() * 31 + 5};
+  const Time bucket = 10_us;
+  const std::uint32_t buckets = 8;  // 80 us window
+  demand::WindowedRateEstimator est{2, 2, bucket, buckets};
+
+  struct Arrival {
+    Time at;
+    std::int64_t bytes;
+  };
+  std::vector<Arrival> arrivals;
+  Time now = Time::zero();
+  for (int step = 0; step < 300; ++step) {
+    now += Time::microseconds(rng.uniform_int(1, 30));
+    const std::int64_t bytes = rng.uniform_int(64, 1500);
+    est.on_arrival(0, 1, bytes, now);
+    arrivals.push_back({now, bytes});
+  }
+  demand::DemandMatrix m;
+  est.snapshot(now, m);
+
+  // Reference: everything in the bucket-aligned trailing window.  The ring
+  // keeps whole buckets, so the cutoff is the start of the oldest kept one.
+  const std::int64_t head_bucket = now.ps() / bucket.ps();
+  const Time cutoff = Time::picoseconds((head_bucket - buckets + 1) * bucket.ps());
+  std::int64_t expect = 0;
+  for (const auto& a : arrivals) {
+    if (a.at >= cutoff) expect += a.bytes;
+  }
+  EXPECT_EQ(m.at(0, 1), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorEquivalence, ::testing::Values(1, 7, 42, 1234));
+
+// --------------------------------------------------- decomposition identities
+
+TEST(BvnStructured, SumOfPermutationsFullyRecovered) {
+  // D = 300*P1 + 200*P2 + 100*P3 (rotations): the decomposition must cover
+  // it exactly, with total real bytes equal to D's mass.
+  constexpr std::uint32_t n = 5;
+  demand::DemandMatrix d{n};
+  const std::int64_t w[3] = {300, 200, 100};
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    const auto p = schedulers::Matching::rotation(n, k + 1);
+    p.for_each_pair([&](net::PortId i, net::PortId j) { d.add(i, j, w[k]); });
+  }
+  const schedulers::BvnResult r = schedulers::bvn_decompose(d);
+  EXPECT_EQ(r.uncovered_bytes, 0);
+  std::int64_t covered = 0;
+  for (const auto& t : r.terms) covered += t.real_bytes;
+  EXPECT_EQ(covered, d.total());
+  // A doubly-balanced matrix needs no slack: weights sum to the line sum.
+  std::int64_t weight_sum = 0;
+  for (const auto& t : r.terms) weight_sum += t.weight;
+  EXPECT_EQ(weight_sum, d.max_line_sum());
+}
+
+TEST(BvnStructured, UniformMatrixDecomposesIntoNPermutations) {
+  constexpr std::uint32_t n = 4;
+  demand::DemandMatrix d{n};
+  for (net::PortId i = 0; i < n; ++i) {
+    for (net::PortId j = 0; j < n; ++j) d.set(i, j, 100);
+  }
+  const schedulers::BvnResult r = schedulers::bvn_decompose(d);
+  EXPECT_EQ(r.uncovered_bytes, 0);
+  EXPECT_EQ(r.terms.size(), n);  // n disjoint permutations of weight 100
+  for (const auto& t : r.terms) EXPECT_EQ(t.weight, 100);
+}
+
+TEST(SolsticeStructured, ResidualNeverExceedsDemandElementwise) {
+  sim::Rng rng{99};
+  schedulers::SolsticeConfig sc;
+  sc.reconfig_cost_bytes = 10'000;
+  schedulers::SolsticeScheduler s{sc};
+  for (int round = 0; round < 10; ++round) {
+    demand::DemandMatrix d{6};
+    for (net::PortId i = 0; i < 6; ++i) {
+      for (net::PortId j = 0; j < 6; ++j) {
+        if (rng.bernoulli(0.5)) d.set(i, j, rng.uniform_int(1, 200'000));
+      }
+    }
+    const schedulers::CircuitPlan plan = s.plan(d);
+    for (net::PortId i = 0; i < 6; ++i) {
+      for (net::PortId j = 0; j < 6; ++j) {
+        EXPECT_LE(plan.residual.at(i, j), d.at(i, j));
+        EXPECT_GE(plan.residual.at(i, j), 0);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- histogram sweep
+
+class HistogramAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramAccuracy, QuantilesTrackExactOnHeavyTailedData) {
+  sim::Rng rng{GetParam()};
+  stats::Histogram h;
+  std::vector<std::int64_t> exact;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.pareto(1.3, 100.0));
+    h.record(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(exact.size() - 1));
+    const double truth = static_cast<double>(exact[idx]);
+    const double approx = static_cast<double>(h.quantile(q));
+    EXPECT_NEAR(approx, truth, truth * 0.08 + 2) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracy, ::testing::Values(3, 17, 255));
+
+// ------------------------------------------------------------- rng edge cases
+
+TEST(RngEdges, NextBelowOneIsAlwaysZero) {
+  sim::Rng r{5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(RngEdges, UniformIntDegenerateRange) {
+  sim::Rng r{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+// ------------------------------------------------------------ classifier mix
+
+TEST(ClassifierMix, SourceMaskedRules) {
+  net::Classifier cl;
+  net::Rule r;
+  r.src_addr_value = 0x0a000000;
+  r.src_addr_mask = 0xffffff00;  // 10.0.0.0/24 sources
+  r.verdict = net::Verdict{2, net::TrafficClass::kThroughput};
+  cl.add_rule(r);
+
+  net::Packet in_subnet;
+  in_subnet.tuple.src_addr = 0x0a000042;
+  net::Packet outside;
+  outside.tuple.src_addr = 0x0a000142;
+  EXPECT_EQ(cl.classify(in_subnet, {}).out_port, 2u);
+  EXPECT_EQ(cl.classify(outside, net::Verdict{7, {}}).out_port, 7u);
+}
+
+TEST(ClassifierMix, SrcPortRangeViaMask) {
+  net::Classifier cl;
+  net::Rule r;
+  r.src_port_value = 0x8000;
+  r.src_port_mask = 0x8000;  // any ephemeral-style port >= 32768
+  r.verdict = net::Verdict{1, net::TrafficClass::kBestEffort};
+  cl.add_rule(r);
+  net::Packet hi, lo;
+  hi.tuple.src_port = 40000;
+  lo.tuple.src_port = 80;
+  EXPECT_EQ(cl.classify(hi, net::Verdict{9, {}}).out_port, 1u);
+  EXPECT_EQ(cl.classify(lo, net::Verdict{9, {}}).out_port, 9u);
+}
+
+// ----------------------------------------------------------------- OCS edges
+
+TEST(OcsEdges, PortFreeAtNeverDecreasesAcrossSends) {
+  sim::Simulator sim;
+  switching::OcsConfig c;
+  c.ports = 2;
+  c.port_rate = sim::DataRate::gbps(10);
+  c.reconfig_time = 100_ns;
+  switching::OpticalCircuitSwitch ocs{sim, c};
+  ocs.reconfigure(schedulers::Matching::rotation(2, 1));
+  sim.run_until(1_us);
+
+  net::Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.size_bytes = 1500;
+  Time prev = ocs.port_free_at(0);
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(ocs.send(0, p).has_value());
+    const Time cur = ocs.port_free_at(0);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(OcsEdges, SendDuringFailureRetryStaysDark) {
+  sim::Simulator sim;
+  switching::OcsConfig c;
+  c.ports = 2;
+  c.port_rate = sim::DataRate::gbps(10);
+  c.reconfig_time = 1_us;
+  c.retune_failure_prob = 1.0;
+  switching::OpticalCircuitSwitch ocs{sim, c};
+  ocs.reconfigure(schedulers::Matching::rotation(2, 1));
+  sim.run_until(10_us);  // several failed retries by now
+  net::Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.size_bytes = 100;
+  EXPECT_FALSE(ocs.send(0, p).has_value());
+}
+
+}  // namespace
+}  // namespace xdrs

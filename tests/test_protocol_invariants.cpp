@@ -1,0 +1,227 @@
+// Protocol- and invariant-level tests over the whole framework, checked
+// via the trace: the Figure 2 ordering guarantees, conservation laws, and
+// a broad configuration grid that must never crash, deadlock or violate
+// accounting identities.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/framework.hpp"
+#include "schedulers/factory.hpp"
+#include "topo/testbed.hpp"
+
+namespace xdrs::core {
+namespace {
+
+using sim::Time;
+using sim::TraceCategory;
+using namespace xdrs::sim::literals;
+
+FrameworkConfig traced_config() {
+  FrameworkConfig c;
+  c.ports = 4;
+  c.discipline = SchedulingDiscipline::kHybridEpoch;
+  c.epoch = 200_us;
+  c.ocs_reconfig = 5_us;
+  c.min_circuit_hold = 20_us;
+  return c;
+}
+
+TEST(Protocol, GrantsNeverPrecedeConfigurationCompletion) {
+  // Paper §3: the grant matrix reaches the switching logic first; grants to
+  // the processing logic follow circuit establishment.  In the trace this
+  // reads: between a reconfig-start and its reconfig-done there is no OCS
+  // grant release.
+  HybridSwitchFramework fw{traced_config()};
+  fw.use_default_policies();
+  fw.trace().enable();
+  topo::WorkloadSpec spec;
+  spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
+  spec.seed = 21;
+  topo::attach_workload(fw, spec);
+  (void)fw.run(5_ms);
+
+  bool dark = false;
+  std::uint64_t grants_checked = 0;
+  for (const auto& e : fw.trace().events()) {
+    if (e.category == TraceCategory::kReconfigStart) dark = true;
+    if (e.category == TraceCategory::kReconfigDone) dark = false;
+    if (e.category == TraceCategory::kGrant) {
+      EXPECT_FALSE(dark) << "grant released during a dark period at " << e.at.to_string();
+      ++grants_checked;
+    }
+  }
+  EXPECT_GT(grants_checked, 0u);
+}
+
+TEST(Protocol, ScheduleAlwaysPrecedesItsReconfiguration) {
+  HybridSwitchFramework fw{traced_config()};
+  fw.use_default_policies();
+  fw.trace().enable();
+  topo::WorkloadSpec spec;
+  spec.load = 0.4;
+  spec.seed = 23;
+  topo::attach_workload(fw, spec);
+  (void)fw.run(3_ms);
+
+  // Every reconfig-start must be preceded by at least one schedule-done.
+  bool scheduled = false;
+  for (const auto& e : fw.trace().events()) {
+    if (e.category == TraceCategory::kScheduleDone) scheduled = true;
+    if (e.category == TraceCategory::kReconfigStart) {
+      EXPECT_TRUE(scheduled);
+    }
+  }
+}
+
+TEST(Protocol, EveryDeliveryHasADequeueOrBypass) {
+  HybridSwitchFramework fw{traced_config()};
+  fw.use_default_policies();
+  fw.trace().enable();
+  topo::WorkloadSpec spec;
+  spec.load = 0.3;
+  spec.seed = 25;
+  topo::attach_workload(fw, spec);
+  topo::attach_voip(fw, 2, 40_us, 200);
+  (void)fw.run(3_ms);
+
+  const auto deliveries = fw.trace().count(TraceCategory::kDeliver);
+  const auto dequeues = fw.trace().count(TraceCategory::kDequeue);
+  const auto arrivals = fw.trace().count(TraceCategory::kPacketArrival);
+  EXPECT_GT(deliveries, 0u);
+  // Deliveries come from dequeued (granted) packets or the bypass path;
+  // both are bounded by arrivals.
+  EXPECT_LE(deliveries, arrivals);
+  EXPECT_LE(dequeues, arrivals);
+}
+
+TEST(Protocol, RequestsFireOncePerBusyPeriod) {
+  // The request trace must match the VOQ non-empty transitions: a request
+  // per busy period, not per packet.
+  HybridSwitchFramework fw{traced_config()};
+  fw.use_default_policies();
+  fw.trace().enable();
+  topo::WorkloadSpec spec;
+  spec.load = 0.5;
+  spec.seed = 27;
+  topo::attach_workload(fw, spec);
+  (void)fw.run(2_ms);
+
+  const auto requests = fw.trace().count(TraceCategory::kRequest);
+  const auto enqueues = fw.trace().count(TraceCategory::kEnqueue);
+  EXPECT_GT(requests, 0u);
+  EXPECT_LT(requests, enqueues);  // strictly fewer requests than packets
+}
+
+// ------------------------------------------------------- configuration grid
+
+struct GridCase {
+  SchedulingDiscipline discipline;
+  BufferPlacement placement;
+  bool strict_priority;
+  bool fallback;
+  const char* matcher;  // slotted only
+};
+
+class ConfigGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ConfigGrid, AccountingIdentitiesHold) {
+  const GridCase& g = GetParam();
+  FrameworkConfig c;
+  c.ports = 4;
+  c.discipline = g.discipline;
+  c.placement = g.placement;
+  c.eps_strict_priority = g.strict_priority;
+  c.eps_fallback_on_miss = g.fallback;
+  c.epoch = 100_us;
+  c.slot_time = 12'500_ns;
+  c.ocs_reconfig = 1_us;
+  c.min_circuit_hold = 10_us;
+  c.sync.max_skew = 1_us;
+  c.sync.guard_band = 2_us;
+  c.voq_limits.max_bytes_per_voq = 256 * 1024;
+
+  HybridSwitchFramework fw{c};
+  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
+  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
+  if (g.discipline == SchedulingDiscipline::kSlotted) {
+    fw.set_matcher(schedulers::make_matcher(g.matcher, c.ports, 3));
+  } else {
+    fw.use_default_policies();  // fills the circuit scheduler
+  }
+
+  topo::WorkloadSpec spec;
+  spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
+  spec.mean_on = 50_us;
+  spec.mean_off = 100_us;
+  spec.seed = 31;
+  topo::attach_workload(fw, spec);
+  topo::attach_voip(fw, 2, 40_us, 200);
+
+  const RunReport r = fw.run(3_ms, 500_us);
+
+  // Identities that must hold for every configuration:
+  EXPECT_LE(r.delivered_bytes, r.offered_bytes);
+  EXPECT_LE(r.delivered_packets, r.offered_packets);
+  EXPECT_EQ(r.class_bytes[0] + r.class_bytes[1] + r.class_bytes[2], r.delivered_bytes);
+  EXPECT_GE(r.serviced_bytes, r.delivered_bytes);
+  EXPECT_GE(r.ocs_duty_cycle, 0.0);
+  EXPECT_LE(r.ocs_duty_cycle, 1.0);
+  EXPECT_GE(r.peak_switch_buffer_bytes, r.peak_host_buffer_bytes);
+  // With ON/OFF traffic something must always get through.
+  EXPECT_GT(r.delivered_packets, 0u) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ConfigGrid,
+    ::testing::Values(
+        GridCase{SchedulingDiscipline::kHybridEpoch, BufferPlacement::kToRSwitch, false, false,
+                 ""},
+        GridCase{SchedulingDiscipline::kHybridEpoch, BufferPlacement::kToRSwitch, true, false,
+                 ""},
+        GridCase{SchedulingDiscipline::kHybridEpoch, BufferPlacement::kHost, false, false, ""},
+        GridCase{SchedulingDiscipline::kHybridEpoch, BufferPlacement::kHost, false, true, ""},
+        GridCase{SchedulingDiscipline::kHybridEpoch, BufferPlacement::kHost, true, true, ""},
+        GridCase{SchedulingDiscipline::kSlotted, BufferPlacement::kToRSwitch, false, false,
+                 "islip:2"},
+        GridCase{SchedulingDiscipline::kSlotted, BufferPlacement::kToRSwitch, true, false,
+                 "wavefront"},
+        GridCase{SchedulingDiscipline::kSlotted, BufferPlacement::kToRSwitch, false, false,
+                 "serena"},
+        GridCase{SchedulingDiscipline::kSlotted, BufferPlacement::kHost, false, true,
+                 "islip:2"}),
+    [](const ::testing::TestParamInfo<GridCase>& param_info) {
+      const GridCase& g = param_info.param;
+      std::string name = g.discipline == SchedulingDiscipline::kSlotted ? "slotted" : "hybrid";
+      name += g.placement == BufferPlacement::kHost ? "_host" : "_tor";
+      if (g.strict_priority) name += "_prio";
+      if (g.fallback) name += "_fb";
+      name += "_" + std::to_string(param_info.index);
+      return name;
+    });
+
+// Failure injection sweep: flaky optics degrade but never wedge the system.
+class FailureGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureGrid, FlakyOpticsDegradeGracefully) {
+  FrameworkConfig c;
+  c.ports = 4;
+  c.discipline = SchedulingDiscipline::kHybridEpoch;
+  c.epoch = 100_us;
+  c.ocs_reconfig = 1_us;
+  c.ocs_failure_prob = GetParam();
+  HybridSwitchFramework fw{c};
+  fw.use_default_policies();
+  topo::WorkloadSpec spec;
+  spec.load = 0.3;
+  spec.seed = 41;
+  topo::attach_workload(fw, spec);
+  const RunReport r = fw.run(3_ms, 500_us);
+  EXPECT_GT(r.delivered_packets, 0u);
+  EXPECT_GT(r.delivery_ratio(), 0.5) << "p=" << GetParam() << "\n" << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureRates, FailureGrid, ::testing::Values(0.0, 0.2, 0.5, 0.8));
+
+}  // namespace
+}  // namespace xdrs::core

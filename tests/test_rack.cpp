@@ -1,0 +1,147 @@
+// Tests for the multi-rack aggregation layer.
+#include <gtest/gtest.h>
+
+#include "topo/rack.hpp"
+
+namespace xdrs::topo {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+RackAggregator::Config base_config() {
+  RackAggregator::Config c;
+  c.rack_id = 0;
+  c.racks = 4;
+  c.hosts = 4;
+  c.host_rate = sim::DataRate::gbps(10);
+  c.uplink_rate = sim::DataRate::gbps(40);
+  c.load_per_host = 0.5;
+  c.seed = 5;
+  return c;
+}
+
+TEST(RackAggregator, ValidatesConfig) {
+  auto c = base_config();
+  c.racks = 1;
+  EXPECT_THROW(RackAggregator{c}, std::invalid_argument);
+  c = base_config();
+  c.rack_id = 4;
+  EXPECT_THROW(RackAggregator{c}, std::invalid_argument);
+  c = base_config();
+  c.hosts = 0;
+  EXPECT_THROW(RackAggregator{c}, std::invalid_argument);
+  c = base_config();
+  c.uplink_rate = sim::DataRate{};
+  EXPECT_THROW(RackAggregator{c}, std::invalid_argument);
+}
+
+TEST(RackAggregator, PacketsCarryTheRackPort) {
+  sim::Simulator sim;
+  RackAggregator agg{base_config()};
+  int n = 0;
+  agg.start(sim, [&](const net::Packet& p) {
+    EXPECT_EQ(p.src, 0u);
+    EXPECT_LT(p.dst, 4u);
+    ++n;
+  }, 1_ms);
+  sim.run();
+  EXPECT_GT(n, 100);
+}
+
+TEST(RackAggregator, MatchedUplinkKeepsQueueShallow) {
+  // 4 hosts x 0.5 x 10G = 20G offered over a 40G uplink: the FIFO only
+  // absorbs coincidence bursts.
+  sim::Simulator sim;
+  RackAggregator agg{base_config()};
+  agg.start(sim, [](const net::Packet&) {}, 5_ms);
+  sim.run();
+  EXPECT_LT(agg.peak_uplink_queue_bytes(), 256 * 1024);
+  EXPECT_EQ(agg.uplink_drops(), 0u);
+}
+
+TEST(RackAggregator, OversubscriptionBuildsQueue) {
+  // 4 hosts x 0.9 x 10G = 36G offered over a 10G uplink: 3.6:1 overload.
+  sim::Simulator sim;
+  auto c = base_config();
+  c.load_per_host = 0.9;
+  c.uplink_rate = sim::DataRate::gbps(10);
+  c.uplink_buffer_bytes = 1 << 20;
+  RackAggregator agg{c};
+  std::int64_t delivered = 0;
+  agg.start(sim, [&](const net::Packet& p) {
+    if (sim.now() <= 5_ms) delivered += p.size_bytes;  // exclude the tail flush
+  }, 5_ms);
+  sim.run();
+  // The uplink caps throughput near its line rate...
+  const double gbps = static_cast<double>(delivered) * 8 / 0.005 / 1e9;
+  EXPECT_LT(gbps, 10.5);
+  EXPECT_GT(gbps, 8.0);
+  // ...and the finite buffer both fills and drops.
+  EXPECT_GT(agg.peak_uplink_queue_bytes(), (1 << 20) - 64 * 1024);
+  EXPECT_GT(agg.uplink_drops(), 0u);
+}
+
+TEST(RackAggregator, DeterministicPerSeed) {
+  const auto run_once = [] {
+    sim::Simulator sim;
+    RackAggregator agg{base_config()};
+    std::uint64_t n = 0;
+    std::int64_t bytes = 0;
+    agg.start(sim, [&](const net::Packet& p) {
+      ++n;
+      bytes += p.size_bytes;
+    }, 2_ms);
+    sim.run();
+    return std::pair{n, bytes};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(AttachRacks, BuildsOneRackPerCorePort) {
+  core::FrameworkConfig c;
+  c.ports = 4;
+  c.discipline = core::SchedulingDiscipline::kHybridEpoch;
+  c.epoch = 100_us;
+  c.ocs_reconfig = 1_us;
+  c.link_rate = sim::DataRate::gbps(40);  // rack uplinks
+  c.eps_rate = sim::DataRate::gbps(40);
+  core::HybridSwitchFramework fw{c};
+  fw.use_default_policies();
+
+  const auto racks = attach_racks(fw, /*hosts_per_rack=*/4, sim::DataRate::gbps(10),
+                                  /*load_per_host=*/0.4, /*seed=*/17);
+  ASSERT_EQ(racks.size(), 4u);
+
+  const core::RunReport r = fw.run(4_ms, 1_ms);
+  EXPECT_GT(r.offered_packets, 1000u);
+  EXPECT_GT(r.delivery_ratio(), 0.9) << r.summary();
+  for (const auto* rack : racks) {
+    EXPECT_EQ(rack->uplink_drops(), 0u);
+  }
+}
+
+TEST(AttachRacks, EndToEndLatencyIncludesUplinkQueueing) {
+  // Same core, one run with matched uplinks and one with heavily
+  // oversubscribed uplinks: the oversubscribed rack queue must show up in
+  // end-to-end latency.
+  const auto run_with = [](double load_per_host) {
+    core::FrameworkConfig c;
+    c.ports = 4;
+    c.discipline = core::SchedulingDiscipline::kHybridEpoch;
+    c.epoch = 100_us;
+    c.ocs_reconfig = 1_us;
+    c.link_rate = sim::DataRate::gbps(10);  // uplink == 1 host's rate
+    c.eps_rate = sim::DataRate::gbps(10);
+    core::HybridSwitchFramework fw{c};
+    fw.use_default_policies();
+    (void)attach_racks(fw, 4, sim::DataRate::gbps(10), load_per_host, 23);
+    return fw.run(4_ms, 1_ms);
+  };
+  const core::RunReport light = run_with(0.1);   // 4 Gbps onto 10 G uplink
+  const core::RunReport heavy = run_with(0.45);  // 18 Gbps onto 10 G uplink
+  EXPECT_GT(heavy.latency.quantile(0.99), 2 * light.latency.quantile(0.99));
+}
+
+}  // namespace
+}  // namespace xdrs::topo

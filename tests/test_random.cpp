@@ -1,0 +1,181 @@
+// Tests for the deterministic RNG and distribution helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace xdrs::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r{11};
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng r{13};
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), kDraws / 100);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r{17};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r{19};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r{23};
+  int hits = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{29};
+  double sum = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng r{31};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(r.pareto(1.5, 2.0), 2.0);
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // E[X] = alpha * xm / (alpha - 1) for alpha > 1; use alpha=3 (light tail)
+  // so the sample mean converges quickly.
+  Rng r{37};
+  double sum = 0;
+  constexpr int kDraws = 300'000;
+  for (int i = 0; i < kDraws; ++i) sum += r.pareto(3.0, 1.0);
+  EXPECT_NEAR(sum / kDraws, 1.5, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{41};
+  double sum = 0, sq = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, GeometricMean) {
+  // Mean failures before first success = (1-p)/p = 4 for p = 0.2.
+  Rng r{43};
+  double sum = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(r.geometric(0.2));
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndReproducible) {
+  Rng parent1{99}, parent2{99};
+  Rng childa1 = parent1.fork(1);
+  Rng childb1 = parent1.fork(2);
+  Rng childa2 = parent2.fork(1);
+  // Same parent state + same tag -> same stream.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(childa1.next_u64(), childa2.next_u64());
+  // Different tags -> different streams.
+  Rng childa3 = Rng{99}.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += childb1.next_u64() == childa3.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSampler, ValidatesArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(4, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfSampler, ZeroSkewIsUniform) {
+  ZipfSampler z{4, 0.0};
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(z.pmf(k), 0.25, 1e-12);
+}
+
+TEST(ZipfSampler, PmfDecreasesWithRank) {
+  ZipfSampler z{16, 1.2};
+  for (std::size_t k = 1; k < 16; ++k) EXPECT_GT(z.pmf(k - 1), z.pmf(k));
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z{32, 0.9};
+  double total = 0;
+  for (std::size_t k = 0; k < 32; ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, SampleFrequenciesMatchPmf) {
+  ZipfSampler z{8, 1.0};
+  Rng r{47};
+  constexpr int kDraws = 200'000;
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(r)];
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kDraws, z.pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfSampler, PmfOutOfRangeThrows) {
+  ZipfSampler z{4, 1.0};
+  EXPECT_THROW((void)z.pmf(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace xdrs::sim

@@ -1,0 +1,191 @@
+// Tests for the event queue and the discrete-event engine: ordering,
+// determinism, cancellation and horizon semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace xdrs::sim {
+namespace {
+
+using namespace xdrs::sim::literals;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  (void)q.push(3_us, [&] { order.push_back(3); });
+  (void)q.push(1_us, [&] { order.push_back(1); });
+  (void)q.push(2_us, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    (void)q.push(5_us, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1_us, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{12345}));
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  const EventId id = q.push(1_us, [] {});
+  (void)q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1_us, [] {});
+  (void)q.push(2_us, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  (void)q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.push(1_us, [] {});
+  (void)q.push(7_us, [] {});
+  (void)q.cancel(a);
+  EXPECT_EQ(q.next_time(), 7_us);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<std::int64_t> stamps;
+  sim.schedule(2_us, [&] { stamps.push_back(sim.now().ps()); });
+  sim.schedule(1_us, [&] { stamps.push_back(sim.now().ps()); });
+  sim.run();
+  EXPECT_EQ(stamps, (std::vector<std::int64_t>{(1_us).ps(), (2_us).ps()}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1_us, [&] {
+    ++fired;
+    sim.schedule(1_us, [&] {
+      ++fired;
+      sim.schedule(1_us, [&] { ++fired; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 3_us);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1_us, [&] { ++fired; });
+  sim.schedule(10_us, [&] { ++fired; });
+  sim.run_until(5_us);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5_us);
+  sim.run_until(10_us);  // the horizon event itself still executes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator sim;
+  sim.run_until(3_us);
+  EXPECT_EQ(sim.now(), 3_us);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(5_us, [&] {
+    sim.schedule(1_us - 3_us, [&] { EXPECT_EQ(sim.now(), 5_us); });
+  });
+  sim.run();
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(5_us, [&] {
+    sim.schedule_at(1_us, [&] {
+      fired = true;
+      EXPECT_EQ(sim.now(), 5_us);
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1_us, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2_us, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(1_us, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.stats().events_cancelled, 1u);
+}
+
+TEST(Simulator, StatsCountExecutions) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(Time::microseconds(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.stats().events_scheduled, 5u);
+  EXPECT_EQ(sim.stats().events_executed, 5u);
+}
+
+TEST(Simulator, DeterministicInterleaving) {
+  // Two identically-seeded runs must produce identical event interleaving.
+  const auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule(Time::nanoseconds(100 * (i % 7)), [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace xdrs::sim

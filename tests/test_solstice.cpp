@@ -1,0 +1,139 @@
+// Tests for the Solstice-style threshold-halving hybrid circuit scheduler.
+#include <gtest/gtest.h>
+
+#include "schedulers/solstice.hpp"
+#include "sim/random.hpp"
+
+namespace xdrs::schedulers {
+namespace {
+
+demand::DemandMatrix random_demand(std::uint32_t n, sim::Rng& rng, double density) {
+  demand::DemandMatrix m{n};
+  for (net::PortId i = 0; i < n; ++i) {
+    for (net::PortId j = 0; j < n; ++j) {
+      if (rng.bernoulli(density)) m.set(i, j, rng.uniform_int(1, 100'000));
+    }
+  }
+  return m;
+}
+
+SolsticeConfig cheap_reconfig() {
+  SolsticeConfig c;
+  c.reconfig_cost_bytes = 0;  // circuits are free: cover everything
+  c.min_amortisation = 1.0;
+  return c;
+}
+
+TEST(Solstice, ValidatesConfig) {
+  SolsticeConfig bad = cheap_reconfig();
+  bad.reconfig_cost_bytes = -1;
+  EXPECT_THROW(SolsticeScheduler{bad}, std::invalid_argument);
+  bad = cheap_reconfig();
+  bad.min_amortisation = -0.5;
+  EXPECT_THROW(SolsticeScheduler{bad}, std::invalid_argument);
+}
+
+TEST(Solstice, RequiresSquareMatrix) {
+  SolsticeScheduler s{cheap_reconfig()};
+  EXPECT_THROW((void)s.plan(demand::DemandMatrix{2, 3}), std::invalid_argument);
+}
+
+TEST(Solstice, EmptyDemandYieldsEmptyPlan) {
+  SolsticeScheduler s{cheap_reconfig()};
+  const CircuitPlan plan = s.plan(demand::DemandMatrix{4});
+  EXPECT_TRUE(plan.slots.empty());
+  EXPECT_EQ(plan.residual.total(), 0);
+}
+
+TEST(Solstice, FreeReconfigCoversAllDemand) {
+  sim::Rng rng{21};
+  SolsticeScheduler s{cheap_reconfig()};
+  for (int round = 0; round < 10; ++round) {
+    const auto d = random_demand(8, rng, 0.5);
+    const CircuitPlan plan = s.plan(d);
+    EXPECT_EQ(plan.residual.total(), 0) << "round " << round;
+    EXPECT_FALSE(plan.slots.empty());
+  }
+}
+
+TEST(Solstice, SlotsArePerfectMatchingsWithPowerOfTwoWeights) {
+  sim::Rng rng{23};
+  SolsticeScheduler s{cheap_reconfig()};
+  const auto d = random_demand(6, rng, 0.6);
+  for (const auto& slot : s.plan(d).slots) {
+    EXPECT_TRUE(slot.configuration.is_perfect());
+    EXPECT_GT(slot.weight_bytes, 0);
+    EXPECT_EQ(slot.weight_bytes & (slot.weight_bytes - 1), 0)
+        << slot.weight_bytes << " is not a power of two";
+  }
+}
+
+TEST(Solstice, ThresholdsAreNonIncreasing) {
+  sim::Rng rng{25};
+  SolsticeScheduler s{cheap_reconfig()};
+  const auto d = random_demand(8, rng, 0.7);
+  const CircuitPlan plan = s.plan(d);
+  for (std::size_t k = 1; k < plan.slots.size(); ++k) {
+    EXPECT_LE(plan.slots[k].weight_bytes, plan.slots[k - 1].weight_bytes);
+  }
+}
+
+TEST(Solstice, ReconfigCostPushesSmallDemandToEps) {
+  demand::DemandMatrix d{4};
+  d.set(0, 1, 1 << 20);  // 1 MiB elephant
+  d.set(1, 0, 1 << 20);
+  d.set(2, 3, 100);      // tiny mice
+  d.set(3, 2, 100);
+  SolsticeConfig c;
+  c.reconfig_cost_bytes = 10'000;  // a slot must move >= 10 KB per pair
+  c.min_amortisation = 1.0;
+  SolsticeScheduler s{c};
+  const CircuitPlan plan = s.plan(d);
+  // Elephants get circuits; the mice must remain in the residual.
+  EXPECT_GT(plan.residual.at(2, 3), 0);
+  EXPECT_GT(plan.residual.at(3, 2), 0);
+  EXPECT_LT(plan.residual.at(0, 1), 1 << 20);
+  for (const auto& slot : plan.slots) {
+    EXPECT_GE(slot.weight_bytes, 10'000);
+  }
+}
+
+TEST(Solstice, MaxSlotsBudgetHonoured) {
+  sim::Rng rng{27};
+  SolsticeConfig c = cheap_reconfig();
+  c.max_slots = 3;
+  SolsticeScheduler s{c};
+  const auto d = random_demand(8, rng, 0.8);
+  const CircuitPlan plan = s.plan(d);
+  EXPECT_LE(plan.slots.size(), 3u);
+}
+
+TEST(Solstice, ResidualBookkeepingIsExact) {
+  sim::Rng rng{29};
+  SolsticeConfig c;
+  c.reconfig_cost_bytes = 50'000;
+  SolsticeScheduler s{c};
+  const auto d = random_demand(6, rng, 0.5);
+  const CircuitPlan plan = s.plan(d);
+
+  demand::DemandMatrix expect = d;
+  for (const auto& slot : plan.slots) {
+    slot.configuration.for_each_pair([&](net::PortId i, net::PortId j) {
+      expect.subtract_clamped(i, j, slot.weight_bytes);
+    });
+  }
+  EXPECT_EQ(plan.residual, expect);
+}
+
+TEST(CircuitPlan, CircuitBytesSumsSlotService) {
+  CircuitPlan plan;
+  plan.residual = demand::DemandMatrix{2};
+  CircuitSlot s1;
+  s1.configuration = Matching::rotation(2, 1);
+  s1.weight_bytes = 100;
+  plan.slots.push_back(s1);
+  EXPECT_EQ(plan.circuit_bytes(), 200);  // 2 pairs x 100 bytes
+}
+
+}  // namespace
+}  // namespace xdrs::schedulers

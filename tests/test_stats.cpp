@@ -1,0 +1,250 @@
+// Tests for the statistics toolkit: histogram quantiles, Welford summary,
+// RFC 3550 jitter, time series decimation and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+
+namespace xdrs::stats {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.quantile(0.0), 42);
+  EXPECT_EQ(h.quantile(1.0), 42);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (int v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 15);
+}
+
+TEST(Histogram, QuantileWithinRelativeError) {
+  // Log-bucketed with 16 sub-buckets: worst-case ~6.25% relative error.
+  Histogram h;
+  for (std::int64_t v = 1; v <= 100'000; ++v) h.record(v);
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    const double exact = q * 100'000;
+    const auto approx = static_cast<double>(h.quantile(q));
+    EXPECT_NEAR(approx, exact, exact * 0.07 + 2) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-100);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, QuantilesAreMonotone) {
+  Histogram h;
+  for (std::int64_t v = 1; v < 10'000; v = v * 3 / 2 + 1) h.record(v);
+  std::int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const std::int64_t cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int v = 0; v < 100; ++v) a.record(v);
+  for (int v = 100; v < 200; ++v) b.record(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 199);
+  EXPECT_NEAR(static_cast<double>(a.quantile(0.5)), 100.0, 8.0);
+}
+
+TEST(Histogram, RecordTimeAndQuantileTime) {
+  Histogram h;
+  h.record_time(10_us);
+  h.record_time(20_us);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.quantile_time(1.0), 19_us);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, SummaryStringContainsFields) {
+  Histogram h;
+  h.record_time(1_us);
+  const std::string s = h.summary_time();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(Summary, WelfordMatchesDirectComputation) {
+  Summary s;
+  const std::vector<double> xs{1.5, 2.5, 3.5, 10.0, -4.0, 7.25};
+  double sum = 0;
+  for (const double x : xs) {
+    s.record(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.record(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Rfc3550Jitter, ConstantTransitMeansZeroJitter) {
+  Rfc3550Jitter j;
+  for (int i = 0; i < 100; ++i) {
+    const Time sent = Time::microseconds(20 * i);
+    j.record(sent, sent + 150_us);  // identical transit every packet
+  }
+  EXPECT_EQ(j.jitter(), Time::zero());
+  EXPECT_EQ(j.samples(), 99u);
+}
+
+TEST(Rfc3550Jitter, AlternatingTransitConvergesToDelta) {
+  // Transit alternates +/- 1 ms around a base: |D| = 1 ms every step, so
+  // J converges towards 1 ms (from below, gain 1/16).
+  Rfc3550Jitter j;
+  for (int i = 0; i < 500; ++i) {
+    const Time sent = Time::milliseconds(20 * i);
+    const Time transit = (i % 2 == 0) ? 10_ms : 11_ms;
+    j.record(sent, sent + transit);
+  }
+  EXPECT_GT(j.jitter(), 900_us);
+  EXPECT_LE(j.jitter(), 1_ms);
+}
+
+TEST(Rfc3550Jitter, SinglePacketNoSamples) {
+  Rfc3550Jitter j;
+  j.record(Time::zero(), 1_ms);
+  EXPECT_EQ(j.samples(), 0u);
+  EXPECT_EQ(j.jitter(), Time::zero());
+}
+
+TEST(TimeSeries, RecordsAndReturnsSamples) {
+  TimeSeries ts{16};
+  ts.record(1_us, 10.0);
+  ts.record(2_us, 20.0);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.samples()[0].at, 1_us);
+  EXPECT_DOUBLE_EQ(ts.samples()[1].value, 20.0);
+}
+
+TEST(TimeSeries, DecimatesAtCapacity) {
+  TimeSeries ts{8};
+  for (int i = 0; i < 100; ++i) ts.record(Time::microseconds(i), static_cast<double>(i));
+  EXPECT_LE(ts.size(), 8u);
+  EXPECT_GT(ts.stride(), 1u);
+  // Samples stay in time order after decimation.
+  for (std::size_t k = 1; k < ts.size(); ++k) {
+    EXPECT_LT(ts.samples()[k - 1].at, ts.samples()[k].at);
+  }
+}
+
+TEST(TimeSeries, PeakSeesAllOfferedSamples) {
+  TimeSeries ts{4};
+  for (int i = 0; i < 1000; ++i) {
+    ts.record(Time::microseconds(i), i == 637 ? 9999.0 : 1.0);
+  }
+  EXPECT_DOUBLE_EQ(ts.peak(), 9999.0);  // even though the sample was decimated
+}
+
+TEST(TimeSeries, ValidatesCapacity) {
+  EXPECT_THROW(TimeSeries{1}, std::invalid_argument);
+}
+
+TEST(TimeSeries, ClearResets) {
+  TimeSeries ts{8};
+  ts.record(1_us, 5.0);
+  ts.clear();
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.stride(), 1u);
+}
+
+TEST(Table, MarkdownLayout) {
+  Table t{{"algo", "value"}};
+  t.row().cell("islip").cell(std::int64_t{42});
+  t.row().cell("pim").cell(3.14159, 3);
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| algo  | value |"), std::string::npos);
+  EXPECT_NE(md.find("| islip | 42    |"), std::string::npos);
+  EXPECT_NE(md.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t{{"a", "b"}};
+  t.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, Validation) {
+  EXPECT_THROW(Table{{}}, std::invalid_argument);
+  Table t{{"a"}};
+  EXPECT_THROW(t.cell("x"), std::logic_error);  // no row yet
+  t.row().cell("1");
+  EXPECT_THROW(t.cell("overflow"), std::logic_error);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t{{"h"}};
+  t.row().cell("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace xdrs::stats

@@ -1,0 +1,86 @@
+// Tests for the host <-> switch synchronisation model.
+#include <gtest/gtest.h>
+
+#include "control/sync.hpp"
+
+namespace xdrs::control {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+SyncConfig config(Time skew, Time jitter = Time::zero()) {
+  SyncConfig c;
+  c.max_skew = skew;
+  c.jitter = jitter;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SyncModel, ValidatesArguments) {
+  EXPECT_THROW(SyncModel(0, config(1_us)), std::invalid_argument);
+  SyncConfig bad = config(1_us);
+  bad.guard_band = Time::zero() - 1_ns;
+  EXPECT_THROW(SyncModel(4, bad), std::invalid_argument);
+}
+
+TEST(SyncModel, OffsetsBoundedBySkew) {
+  SyncModel m{64, config(5_us)};
+  for (std::uint32_t h = 0; h < 64; ++h) {
+    EXPECT_LE(m.offset_of(h).ps(), (5_us).ps());
+    EXPECT_GE(m.offset_of(h).ps(), -(5_us).ps());
+  }
+}
+
+TEST(SyncModel, ZeroSkewMeansZeroOffsets) {
+  SyncModel m{16, config(Time::zero())};
+  for (std::uint32_t h = 0; h < 16; ++h) EXPECT_EQ(m.offset_of(h), Time::zero());
+}
+
+TEST(SyncModel, DeterministicPerSeed) {
+  SyncModel a{8, config(2_us)}, b{8, config(2_us)};
+  for (std::uint32_t h = 0; h < 8; ++h) EXPECT_EQ(a.offset_of(h), b.offset_of(h));
+}
+
+TEST(SyncModel, DifferentSeedsGiveDifferentOffsets) {
+  SyncConfig c1 = config(2_us);
+  SyncConfig c2 = config(2_us);
+  c2.seed = 8;
+  SyncModel a{8, c1}, b{8, c2};
+  int same = 0;
+  for (std::uint32_t h = 0; h < 8; ++h) same += a.offset_of(h) == b.offset_of(h);
+  EXPECT_LT(same, 4);
+}
+
+TEST(SyncModel, HostsHaveIndividualOffsets) {
+  SyncModel m{32, config(3_us)};
+  bool any_differ = false;
+  for (std::uint32_t h = 1; h < 32; ++h) any_differ |= m.offset_of(h) != m.offset_of(0);
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(SyncModel, JitterIsNonNegativeAndBounded) {
+  SyncModel m{4, config(Time::zero(), 500_ns)};
+  for (int i = 0; i < 1000; ++i) {
+    const Time j = m.sample_jitter();
+    EXPECT_GE(j, Time::zero());
+    EXPECT_LE(j, 500_ns);
+  }
+}
+
+TEST(SyncModel, HostActionTimeShiftsByOffset) {
+  SyncModel m{4, config(2_us)};
+  const Time granted = 100_us;
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    const Time acted = m.host_action_time(h, granted);
+    EXPECT_EQ(acted, granted + m.offset_of(h));  // zero jitter configured
+  }
+}
+
+TEST(SyncModel, OffsetOutOfRangeThrows) {
+  SyncModel m{4, config(1_us)};
+  EXPECT_THROW((void)m.offset_of(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace xdrs::control

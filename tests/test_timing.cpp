@@ -1,0 +1,122 @@
+// Tests for the scheduler decision-latency models — the paper's central
+// quantitative contrast (software: milliseconds; hardware: nanoseconds).
+#include <gtest/gtest.h>
+
+#include "control/timing.hpp"
+
+namespace xdrs::control {
+namespace {
+
+using sim::Time;
+using namespace xdrs::sim::literals;
+
+TEST(SoftwareModel, OperatesInMilliseconds) {
+  // Paper §2: "Software based schedulers ... operate in the order of
+  // milliseconds."  A 64-port switch running a few iSLIP-like iterations.
+  SoftwareSchedulerTimingModel model;
+  const TimingBreakdown b = model.decision_latency(64, 4, true);
+  EXPECT_GE(b.total(), 500_us);
+  EXPECT_LE(b.total(), 50_ms);
+}
+
+TEST(HardwareModel, OperatesInNanoseconds) {
+  HardwareSchedulerTimingModel model;
+  const TimingBreakdown b = model.decision_latency(64, 4, true);
+  EXPECT_LE(b.total(), 1_us);
+  EXPECT_GT(b.total(), Time::zero());
+}
+
+TEST(Models, HardwareOrdersOfMagnitudeFaster) {
+  SoftwareSchedulerTimingModel sw;
+  HardwareSchedulerTimingModel hw;
+  for (const std::uint32_t ports : {8u, 16u, 64u, 128u}) {
+    const auto s = sw.decision_latency(ports, 4, true).total();
+    const auto h = hw.decision_latency(ports, 4, true).total();
+    // At least three orders of magnitude, per the ms-vs-ns framing.
+    EXPECT_GT(s.ps() / h.ps(), 1000) << ports << " ports";
+  }
+}
+
+TEST(SoftwareModel, ComputationGrowsWithPorts) {
+  SoftwareSchedulerTimingModel m;
+  const auto small = m.decision_latency(8, 2, true).schedule_computation;
+  const auto large = m.decision_latency(64, 2, true).schedule_computation;
+  EXPECT_GT(large, small);
+  // Quadratic in ports for parallel-style algorithms run in software.
+  EXPECT_EQ(large.ps(), small.ps() * 64);
+}
+
+TEST(SoftwareModel, ComputationGrowsWithIterations) {
+  SoftwareSchedulerTimingModel m;
+  const auto one = m.decision_latency(16, 1, true).schedule_computation;
+  const auto four = m.decision_latency(16, 4, true).schedule_computation;
+  EXPECT_EQ(four.ps(), one.ps() * 4);
+}
+
+TEST(HardwareModel, ParallelIterationCostIndependentOfPorts) {
+  HardwareSchedulerTimingModel m;
+  const auto p8 = m.decision_latency(8, 3, true).schedule_computation;
+  const auto p256 = m.decision_latency(256, 3, true).schedule_computation;
+  EXPECT_EQ(p8, p256);  // an arbitration pass is parallel across ports
+}
+
+TEST(HardwareModel, SequentialAlgorithmsPayPortDepth) {
+  HardwareSchedulerTimingModel m;
+  const auto p8 = m.decision_latency(8, 3, false).schedule_computation;
+  const auto p256 = m.decision_latency(256, 3, false).schedule_computation;
+  EXPECT_GT(p256, p8);  // priority-tree depth grows with log2(ports)
+}
+
+TEST(HardwareModel, NoSynchronisationComponent) {
+  // Scheduler and VOQ state share a clock domain on-chip.
+  HardwareSchedulerTimingModel m;
+  EXPECT_EQ(m.decision_latency(64, 2, true).synchronisation, Time::zero());
+}
+
+TEST(SoftwareModel, HasAllLatencyComponents) {
+  // §2 enumerates: demand estimation, schedule calculation, IO processing,
+  // propagation; plus host synchronisation.
+  SoftwareSchedulerTimingModel m;
+  const TimingBreakdown b = m.decision_latency(64, 2, true);
+  EXPECT_GT(b.demand_estimation, Time::zero());
+  EXPECT_GT(b.schedule_computation, Time::zero());
+  EXPECT_GT(b.io_processing, Time::zero());
+  EXPECT_GT(b.propagation, Time::zero());
+  EXPECT_GT(b.synchronisation, Time::zero());
+}
+
+TEST(Breakdown, TotalSumsComponents) {
+  TimingBreakdown b;
+  b.demand_estimation = 1_us;
+  b.schedule_computation = 2_us;
+  b.io_processing = 3_us;
+  b.propagation = 4_us;
+  b.synchronisation = 5_us;
+  EXPECT_EQ(b.total(), 15_us);
+}
+
+TEST(IdealModel, IsZero) {
+  IdealTimingModel m;
+  EXPECT_EQ(m.decision_latency(64, 100, false).total(), Time::zero());
+}
+
+TEST(Models, NamesDistinct) {
+  SoftwareSchedulerTimingModel sw;
+  HardwareSchedulerTimingModel hw;
+  IdealTimingModel ideal;
+  EXPECT_NE(sw.name(), hw.name());
+  EXPECT_NE(hw.name(), ideal.name());
+}
+
+TEST(HardwareModel, CustomClockScalesLatency) {
+  HardwareTimingConfig slow;
+  slow.clock_period = 10_ns;
+  HardwareTimingConfig fast;
+  fast.clock_period = 1_ns;
+  HardwareSchedulerTimingModel a{slow}, b{fast};
+  EXPECT_EQ(a.decision_latency(16, 2, true).schedule_computation.ps(),
+            10 * b.decision_latency(16, 2, true).schedule_computation.ps());
+}
+
+}  // namespace
+}  // namespace xdrs::control
