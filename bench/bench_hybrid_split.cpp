@@ -9,10 +9,14 @@
 // worth carrying if the scheduler gives them circuits; Solstice's
 // amortisation rule keeps sub-burst backlogs electrical.  A second table
 // ablates the demand estimator (DESIGN.md §6).
-#include <memory>
-#include <string_view>
+//
+// Both tables are ExperimentRunner grids over one base ScenarioSpec: the
+// burst share and the estimator are just sweep axes.
+#include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -21,56 +25,61 @@ using namespace xdrs;
 using namespace xdrs::sim::literals;
 using sim::Time;
 
-core::RunReport run_split(double burst_share, std::string_view estimator) {
-  core::FrameworkConfig c = bench::hybrid_base(8);
-  c.eps_rate = sim::DataRate::mbps(2500);  // 4:1 electrical oversubscription
-  c.eps_buffer_bytes = 4 << 20;
-  core::HybridSwitchFramework fw{c};
+const std::vector<double> kBurstShares{0.0, 0.1, 0.2, 0.4, 0.6};
 
-  if (estimator == "ewma") {
-    fw.set_estimator(std::make_unique<demand::EwmaEstimator>(c.ports, c.ports, 0.25));
-  } else if (estimator == "windowed") {
-    fw.set_estimator(
-        std::make_unique<demand::WindowedRateEstimator>(c.ports, c.ports, 25_us, 4));
-  } else {
-    fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-  }
-  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  schedulers::SolsticeConfig sc;
-  sc.reconfig_cost_bytes = core::reconfig_cost_bytes(c);
-  sc.min_amortisation = 10.0;  // a circuit must move 10x its dark-time cost
-  sc.max_slots = c.ports;
-  fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+/// Mice floor + 4:1-oversubscribed EPS + Solstice with a strict
+/// amortisation rule: the E5 testbed as one declarative point.
+exp::ScenarioSpec split_base() {
+  exp::ScenarioSpec s = exp::make_scenario("uniform", 8, 0.1, 41);
+  s.scenario = "hybrid-split";
+  s.config.discipline = core::SchedulingDiscipline::kHybridEpoch;
+  s.config.epoch = 100_us;
+  s.config.ocs_reconfig = 1_us;
+  s.config.min_circuit_hold = 10_us;
+  s.config.eps_rate = sim::DataRate::mbps(2500);  // 4:1 electrical oversubscription
+  s.config.eps_buffer_bytes = 4 << 20;
+  s.solstice_min_amortisation = 10.0;  // a circuit must move 10x its dark-time cost
+  s.workloads.front().seed = 41;
+  return s.with_window(20_ms, 4_ms);
+}
 
-  // Mice floor: 0.1 load of small packets on every port.
-  topo::WorkloadSpec mice;
-  mice.kind = topo::WorkloadSpec::Kind::kPoissonUniform;
-  mice.load = 0.1;
-  mice.seed = 41;
-  topo::attach_workload(fw, mice);
-
-  // Burst overlay: ON at line rate with duty cycle = burst_share.
-  if (burst_share > 0.0) {
+/// Overlays Pareto ON/OFF line-rate bursts with duty cycle `bs` on top of
+/// the mice floor.
+exp::Mutator burst_share(double bs) {
+  return [bs](exp::ScenarioSpec& s) {
+    char label[48];
+    std::snprintf(label, sizeof label, "burst-share %.2f", bs);
+    s.with_label(label);
+    if (bs <= 0.0) return;
     topo::WorkloadSpec bursts;
     bursts.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
     bursts.mean_on = 80_us;
-    bursts.mean_off = Time::seconds_f(80e-6 * (1.0 - burst_share) / burst_share);
+    bursts.mean_off = Time::seconds_f(80e-6 * (1.0 - bs) / bs);
     bursts.seed = 43;
-    topo::attach_workload(fw, bursts);
-  }
-  return fw.run(20_ms, 4_ms);
+    s.workloads.push_back(bursts);
+  };
+}
+
+std::vector<exp::Mutator> axis_burst_share() {
+  std::vector<exp::Mutator> axis;
+  for (const double bs : kBurstShares) axis.push_back(burst_share(bs));
+  return axis;
 }
 
 void split_sweep() {
   bench::print_header(
       "E5", "OCS/EPS byte split vs burst share (mice floor 0.1, EPS oversubscribed 4:1)");
+
+  const exp::SweepResult res =
+      exp::ExperimentRunner{}.run(exp::expand({split_base()}, axis_burst_share()));
+
   stats::Table t{{"burst share", "ocs bytes", "eps bytes", "ocs fraction", "duty cycle",
                   "reconfigs", "delivery"}};
-  for (const double bs : {0.0, 0.1, 0.2, 0.4, 0.6}) {
-    const core::RunReport r = run_split(bs, "instantaneous");
+  for (std::size_t i = 0; i < res.points.size(); ++i) {
+    const core::RunReport& r = res.points[i].report;
     const double total = static_cast<double>(r.ocs_bytes + r.eps_bytes);
     t.row()
-        .cell(bs, 2)
+        .cell(kBurstShares[i], 2)
         .cell(sim::format_bytes(static_cast<double>(r.ocs_bytes)))
         .cell(sim::format_bytes(static_cast<double>(r.eps_bytes)))
         .cell(total > 0 ? static_cast<double>(r.ocs_bytes) / total : 0.0, 3)
@@ -87,12 +96,21 @@ void split_sweep() {
 
 void estimator_ablation() {
   bench::print_header("E5 ablation", "demand estimator choice (burst share 0.4)");
-  stats::Table t{{"estimator", "ocs fraction", "delivery", "reconfigs"}};
+
+  std::vector<exp::ScenarioSpec> grid{split_base()};
+  grid = exp::expand(grid, {burst_share(0.4)});
+  std::vector<exp::Mutator> estimators;
   for (const char* est : {"instantaneous", "ewma", "windowed"}) {
-    const core::RunReport r = run_split(0.4, est);
+    estimators.push_back([est](exp::ScenarioSpec& s) { s.with_estimator(est).with_label(est); });
+  }
+  const exp::SweepResult res = exp::ExperimentRunner{}.run(exp::expand(grid, estimators));
+
+  stats::Table t{{"estimator", "ocs fraction", "delivery", "reconfigs"}};
+  for (const auto& p : res.points) {
+    const core::RunReport& r = p.report;
     const double total = static_cast<double>(r.ocs_bytes + r.eps_bytes);
     t.row()
-        .cell(est)
+        .cell(p.spec.estimator)
         .cell(total > 0 ? static_cast<double>(r.ocs_bytes) / total : 0.0, 3)
         .cell(r.delivery_ratio(), 3)
         .cell(r.reconfigurations);

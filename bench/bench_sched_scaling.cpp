@@ -3,60 +3,56 @@
 //
 // The hardware framework's payoff (paper §2): a request-grant-accept
 // iteration is a constant-depth parallel circuit, so hardware latency is
-// flat in the port count, while software cost grows polynomially.  This
-// bench prints the modelled decision latency per algorithm and port count,
-// using each algorithm's *measured* iteration count on representative
-// demand.
-#include "control/timing.hpp"
-#include "demand/demand_matrix.hpp"
-#include "schedulers/factory.hpp"
-#include "sim/random.hpp"
-#include "stats/table.hpp"
+// flat in the port count, while software cost grows polynomially.  Unlike
+// the seed version of this bench (which queried the timing models against
+// stand-alone matcher runs), the latency here is *lived*: every cell is a
+// full framework simulation where grants really arrive that late, swept as
+// one matcher x ports x timing grid on the parallel ExperimentRunner.
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "exp/runner.hpp"
+#include "stats/table.hpp"
 
 namespace {
 
 using namespace xdrs;
+using namespace xdrs::sim::literals;
 
-demand::DemandMatrix random_demand(std::uint32_t n, std::uint64_t seed, double density) {
-  sim::Rng rng{seed};
-  demand::DemandMatrix m{n};
-  for (net::PortId i = 0; i < n; ++i) {
-    for (net::PortId j = 0; j < n; ++j) {
-      if (rng.bernoulli(density)) m.set(i, j, rng.uniform_int(1, 1'000'000));
-    }
-  }
-  return m;
-}
+const std::vector<std::string> kMatchers{"islip:1", "islip:4", "pim:4", "wavefront",
+                                         "ilqf",    "maxweight", "maxsize"};
+const std::vector<std::uint32_t> kPorts{8, 16, 32, 64};
+const std::vector<std::string> kTimings{"hardware", "software"};
 
 }  // namespace
 
 int main() {
   using namespace xdrs;
-  bench::print_header("E3", "modelled decision latency vs ports (measured iteration counts)");
+  bench::print_header("E3", "measured decision latency vs ports (hardware vs software timing)");
 
-  const control::HardwareSchedulerTimingModel hw;
-  const control::SoftwareSchedulerTimingModel sw;
+  std::vector<exp::ScenarioSpec> grid{
+      exp::make_scenario("uniform", 8, 0.5, 7).with_window(2_ms, 400_us)};
+  grid = exp::expand(grid, exp::axis_matcher(kMatchers));
+  grid = exp::expand(grid, exp::axis_ports(kPorts));
+  grid = exp::expand(grid, exp::axis_timing(kTimings));
+  const exp::SweepResult res = exp::ExperimentRunner{}.run(grid);
 
-  stats::Table t{{"algorithm", "ports", "iterations", "hardware latency", "software latency",
+  stats::Table t{{"algorithm", "ports", "decisions", "hardware latency", "software latency",
                   "sw/hw"}};
-  for (const char* spec : {"islip:1", "islip:4", "pim:4", "wavefront", "ilqf", "maxweight", "maxsize"}) {
-    for (const std::uint32_t ports : {16u, 64u, 256u}) {
-      auto matcher = schedulers::make_matcher(spec, ports, 7);
-      const auto d = random_demand(ports, ports, 0.5);
-      (void)matcher->compute(d);
-      const std::uint32_t iters = matcher->last_iterations();
-      const bool parallel = matcher->hardware_parallel();
-      const sim::Time h = hw.decision_latency(ports, iters, parallel).total();
-      const sim::Time s = sw.decision_latency(ports, iters, parallel).total();
+  // Grid order: matcher-major, then ports, then (hardware, software).
+  std::size_t i = 0;
+  for (const auto& matcher : kMatchers) {
+    for (const std::uint32_t ports : kPorts) {
+      const auto& hw = res.points[i++].report;
+      const auto& sw = res.points[i++].report;
       t.row()
-          .cell(matcher->name())
+          .cell(matcher)
           .cell(static_cast<std::int64_t>(ports))
-          .cell(static_cast<std::int64_t>(iters))
-          .cell(h.to_string())
-          .cell(s.to_string())
-          .cell(s.ratio(h), 3);
+          .cell(hw.scheduler_decisions)
+          .cell(hw.mean_decision_latency.to_string())
+          .cell(sw.mean_decision_latency.to_string())
+          .cell(sw.mean_decision_latency.ratio(hw.mean_decision_latency), 1);
     }
   }
   std::printf("%s\n", t.markdown().c_str());

@@ -6,62 +6,46 @@
 // reaches high throughput under uniform traffic and improves with
 // iterations, PIM sits between, maximum-weight is the quality ceiling.
 // Ablation per DESIGN.md §6: iSLIP iteration count.
+//
+// Each traffic pattern is one load x matcher grid handed to the parallel
+// ExperimentRunner; the scenario registry supplies the slotted baseline
+// configuration.
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "schedulers/factory.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
 
 namespace {
 
 using namespace xdrs;
 using namespace xdrs::sim::literals;
-using sim::Time;
 
-struct Result {
-  double throughput;
-  Time p99;
-};
+const std::vector<double> kLoads{0.3, 0.5, 0.7, 0.85, 0.95};
 
-Result run_point(const std::string& matcher, topo::WorkloadSpec::Kind kind, double load) {
-  core::FrameworkConfig c;
-  c.ports = 8;
-  c.discipline = core::SchedulingDiscipline::kSlotted;
-  // ~10 MTUs per slot: the decision+reconfiguration overhead (~200 ns) and
-  // the unusable slot tail stay small against the 12.5 us slot, so the
-  // matching algorithm — not slot quantisation — dominates the curves.
-  c.slot_time = Time::nanoseconds(12'500);
-  c.ocs_reconfig = 50_ns;
-  core::HybridSwitchFramework fw{c};
-  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  fw.set_matcher(schedulers::make_matcher(matcher, c.ports, 97));
-
-  topo::WorkloadSpec spec;
-  spec.kind = kind;
-  spec.load = load;
-  spec.skew = kind == topo::WorkloadSpec::Kind::kPoissonHotspot ? 0.5 : 0.0;
-  spec.seed = 53;
-  topo::attach_workload(fw, spec);
-
-  const core::RunReport r = fw.run(40_ms, 8_ms);
-  return Result{r.service_fraction(c.link_rate, c.ports), r.latency.quantile_time(0.99)};
-}
-
-void sweep(const char* title, topo::WorkloadSpec::Kind kind,
-           const std::vector<std::string>& matchers, bool with_delay = false) {
+void sweep(const char* title, const char* scenario, const std::vector<std::string>& matchers,
+           bool with_delay = false) {
   bench::print_header("E6", title);
+
+  std::vector<exp::ScenarioSpec> grid{
+      exp::make_scenario(scenario, 8, 0.5, 53).with_window(40_ms, 8_ms)};
+  grid = exp::expand(grid, exp::axis_load(kLoads));
+  grid = exp::expand(grid, exp::axis_matcher(matchers));
+  const exp::SweepResult res = exp::ExperimentRunner{}.run(grid);
+
   std::vector<std::string> headers{"offered load"};
   headers.insert(headers.end(), matchers.begin(), matchers.end());
   stats::Table t{headers};
   stats::Table delays{headers};
-  for (const double load : {0.3, 0.5, 0.7, 0.85, 0.95}) {
+  std::size_t i = 0;
+  for (const double load : kLoads) {
     auto& row = t.row().cell(load, 2);
     auto& drow = delays.row().cell(load, 2);
-    for (const auto& m : matchers) {
-      const Result res = run_point(m, kind, load);
-      row.cell(res.throughput, 3);
-      drow.cell(res.p99.to_string());
+    for (std::size_t m = 0; m < matchers.size(); ++m, ++i) {
+      const auto& p = res.points[i];
+      row.cell(p.report.service_fraction(p.spec.config.link_rate, p.spec.config.ports), 3);
+      drow.cell(p.report.latency.quantile_time(0.99).to_string());
     }
   }
   std::printf("%s\n", t.markdown().c_str());
@@ -75,14 +59,13 @@ void sweep(const char* title, topo::WorkloadSpec::Kind kind,
 }  // namespace
 
 int main() {
-  sweep("delivered throughput, uniform traffic (8 ports, slotted)",
-        topo::WorkloadSpec::Kind::kPoissonUniform,
+  sweep("delivered throughput, uniform traffic (8 ports, slotted)", "uniform",
         {"rrm:1", "islip:1", "islip:4", "pim:1", "wavefront", "serena", "ilqf", "maxweight"},
         /*with_delay=*/true);
-  sweep("delivered throughput, permutation traffic",
-        topo::WorkloadSpec::Kind::kPermutation, {"rrm:1", "islip:1", "islip:4", "rotor"});
-  sweep("delivered throughput, hotspot traffic (50% to port 0)",
-        topo::WorkloadSpec::Kind::kPoissonHotspot, {"islip:4", "ilqf", "maxweight"});
+  sweep("delivered throughput, permutation traffic", "permutation",
+        {"rrm:1", "islip:1", "islip:4", "rotor"});
+  sweep("delivered throughput, hotspot traffic (50% to port 0)", "hotspot",
+        {"islip:4", "ilqf", "maxweight"});
   bench::print_note(
       "Expected shape (and observed): all algorithms track the offered load while it is low;\n"
       "under high uniform load RRM falls behind (pointer synchronisation), iSLIP with more\n"

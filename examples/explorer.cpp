@@ -32,7 +32,7 @@ struct Options {
   std::string discipline{"hybrid"};   // hybrid | slotted
   std::string placement{"tor"};       // tor | host
   std::string timing{"hardware"};     // hardware | software | distributed
-  std::string pattern{"uniform"};     // uniform|hotspot|zipf|permutation|onoff|flows
+  std::string pattern{"uniform"};     // uniform|hotspot|zipf|permutation|onoff|flows|shuffle|incast
   double load{0.5};
   double skew{0.5};
   std::int64_t reconfig_us{1};
@@ -55,7 +55,7 @@ void usage() {
       "  --circuit=C         hybrid planner: solstice | cthrough | tms\n"
       "  --placement=P       tor | host (Figure 1 regimes)\n"
       "  --timing=T          hardware | software | distributed\n"
-      "  --pattern=W         uniform|hotspot|zipf|permutation|onoff|flows\n"
+      "  --pattern=W         uniform|hotspot|zipf|permutation|onoff|flows|shuffle|incast\n"
       "  --load=F            per-port offered load in [0,1]\n"
       "  --skew=F            hotspot fraction / zipf exponent\n"
       "  --reconfig-us=N     OCS dark time\n"
@@ -170,6 +170,8 @@ int main(int argc, char** argv) {
       {"permutation", topo::WorkloadSpec::Kind::kPermutation},
       {"onoff", topo::WorkloadSpec::Kind::kOnOffBursts},
       {"flows", topo::WorkloadSpec::Kind::kFlows},
+      {"shuffle", topo::WorkloadSpec::Kind::kShuffle},
+      {"incast", topo::WorkloadSpec::Kind::kIncast},
   };
   const auto kind = kinds.find(opt.pattern);
   if (kind == kinds.end()) {

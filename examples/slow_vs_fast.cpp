@@ -6,55 +6,46 @@
 //   FAST: hardware scheduler (ns pipeline), ToR-buffered VOQs, on-chip
 //         grants, 1 us retune.
 // Watch where the buffering lands and what happens to latency.
+//
+// Each plane is one declarative ScenarioSpec; the two-point "grid" runs
+// through the same ExperimentRunner the parameter sweeps use.
 #include <cstdio>
-#include <memory>
 
 #include "analysis/buffering.hpp"
-#include "core/framework.hpp"
-#include "schedulers/solstice.hpp"
+#include "exp/runner.hpp"
 #include "stats/table.hpp"
-#include "topo/testbed.hpp"
 
 namespace {
 
 using namespace xdrs;
 using namespace xdrs::sim::literals;
 
-core::RunReport run_plane(bool fast) {
-  core::FrameworkConfig c;
-  c.ports = 8;
-  c.link_rate = sim::DataRate::gbps(10);
-  c.ocs_reconfig = fast ? sim::Time::microseconds(1) : sim::Time::milliseconds(1);
-  c.epoch = fast ? sim::Time::microseconds(100) : sim::Time::milliseconds(10);
-  c.min_circuit_hold = fast ? sim::Time::microseconds(10) : sim::Time::milliseconds(2);
-  c.discipline = core::SchedulingDiscipline::kHybridEpoch;
-  c.placement = fast ? core::BufferPlacement::kToRSwitch : core::BufferPlacement::kHost;
+exp::ScenarioSpec plane(bool fast) {
+  exp::ScenarioSpec s;
+  s.scenario = "figure1";
+  s.label = fast ? "fast" : "slow";
+  s.config.ports = 8;
+  s.config.link_rate = sim::DataRate::gbps(10);
+  s.config.ocs_reconfig = fast ? 1_us : 1_ms;
+  s.config.epoch = fast ? 100_us : 10_ms;
+  s.config.min_circuit_hold = fast ? 10_us : 2_ms;
+  s.config.discipline = core::SchedulingDiscipline::kHybridEpoch;
+  s.config.placement = fast ? core::BufferPlacement::kToRSwitch : core::BufferPlacement::kHost;
   if (!fast) {
-    c.sync.max_skew = 2_us;
-    c.sync.guard_band = 5_us;
+    s.config.sync.max_skew = 2_us;
+    s.config.sync.guard_band = 5_us;
   }
+  s.timing = fast ? "hardware" : "software";
 
-  core::HybridSwitchFramework fw{c};
-  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-  if (fast) {
-    fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  } else {
-    fw.set_timing_model(std::make_unique<control::SoftwareSchedulerTimingModel>());
-  }
-  schedulers::SolsticeConfig sc;
-  sc.reconfig_cost_bytes = core::reconfig_cost_bytes(c);
-  sc.max_slots = c.ports;
-  fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+  topo::WorkloadSpec bursts;
+  bursts.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
+  bursts.mean_on = 80_us;
+  bursts.mean_off = 160_us;
+  bursts.seed = 11;
+  s.workloads.push_back(bursts);
+  s.voip_pairs = 4;
 
-  topo::WorkloadSpec spec;
-  spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
-  spec.mean_on = 80_us;
-  spec.mean_off = 160_us;
-  spec.seed = 11;
-  topo::attach_workload(fw, spec);
-  topo::attach_voip(fw, 4, 20_us, 200);
-
-  return fw.run(fast ? 20_ms : 60_ms, fast ? 4_ms : 12_ms);
+  return s.with_window(fast ? 20_ms : 60_ms, fast ? 4_ms : 12_ms);
 }
 
 }  // namespace
@@ -63,10 +54,11 @@ int main() {
   std::printf("Slow (software, host-buffered, ms optics) vs fast (hardware, ToR-buffered,\n"
               "us optics) scheduling on the same 8x10G rack — Figure 1, lived.\n\n");
 
-  stats::Table t{{"metric", "SLOW plane", "FAST plane"}};
-  const core::RunReport slow = run_plane(false);
-  const core::RunReport fast = run_plane(true);
+  const exp::SweepResult res = exp::ExperimentRunner{}.run({plane(false), plane(true)});
+  const core::RunReport& slow = res.points[0].report;
+  const core::RunReport& fast = res.points[1].report;
 
+  stats::Table t{{"metric", "SLOW plane", "FAST plane"}};
   const auto add = [&t](const char* metric, const std::string& s, const std::string& f) {
     t.row().cell(metric).cell(s).cell(f);
   };

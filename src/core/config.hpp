@@ -11,6 +11,7 @@
 #include "sim/time.hpp"
 #include "sim/units.hpp"
 #include "stats/histogram.hpp"
+#include "stats/serialize.hpp"
 #include "stats/summary.hpp"
 
 namespace xdrs::core {
@@ -81,6 +82,13 @@ struct FrameworkConfig {
 };
 
 /// Aggregated outcome of one framework run.
+///
+/// RunReport is a *mergeable* record: merge() folds another report in as if
+/// both runs' packets had been observed by one measurement window, so a
+/// parameter sweep can aggregate per-point reports into grid totals.  It is
+/// also *self-describing*: fields() names every scalar it carries, and the
+/// CSV/JSON emitters are derived from that list, so new metrics propagate to
+/// every output format by editing one function.
 struct RunReport {
   sim::Time duration{};
 
@@ -138,6 +146,24 @@ struct RunReport {
                                   duration.sec() * static_cast<double>(ports);
     return capacity_bytes == 0.0 ? 0.0 : static_cast<double>(serviced_bytes) / capacity_bytes;
   }
+
+  /// Folds `other` into this report: counters and byte totals sum,
+  /// durations accumulate, peaks take the maximum, latency/jitter
+  /// distributions merge, and derived rates (duty cycle, mean decision
+  /// latency) are re-weighted by their denominators.
+  void merge(const RunReport& other);
+
+  /// Ordered name/value view of every scalar metric, including the
+  /// distribution digests (count/mean/quantiles).  The basis of csv_row()
+  /// and to_json().
+  [[nodiscard]] std::vector<stats::Field> fields() const;
+
+  /// Single-line JSON object of fields().
+  [[nodiscard]] std::string to_json() const;
+
+  /// CSV emit; header and row orderings both come from fields().
+  [[nodiscard]] static std::string csv_header();
+  [[nodiscard]] std::string csv_row() const;
 
   [[nodiscard]] std::string summary() const;
 };

@@ -123,7 +123,12 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
     g->start(sim_, [this](const net::Packet& p) { inject(p); }, horizon);
   }
 
-  if (warmup > sim::Time::zero()) sim_.run_until(warmup);
+  // Stop 1 ps short of the boundary: run_until() executes events stamped
+  // exactly at its horizon, and packets injected at t == warmup must fall
+  // inside the measured window (counted offered), not at the tail of the
+  // unmeasured warmup — otherwise synchronized sources (incast rounds, CBR
+  // phases) deliver packets that were never offered.
+  if (warmup > sim::Time::zero()) sim_.run_until(warmup - sim::Time::picoseconds(1));
 
   // Measurement window begins: reset high-water marks and snapshot the
   // monotonic counters so the report shows deltas.
@@ -137,7 +142,7 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
   base_.ocs_busy = ocs_.stats().busy_time_total;
   base_.decisions = scheduling_.stats().decisions;
   base_.decision_latency_total = scheduling_.stats().decision_latency_total;
-  measure_start_ = sim_.now();
+  measure_start_ = warmup;  // not now(): the queue stopped 1 ps early
   measuring_ = true;
 
   sim_.run_until(horizon);

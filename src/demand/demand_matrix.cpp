@@ -58,6 +58,19 @@ void DemandMatrix::resize(std::uint32_t inputs, std::uint32_t outputs) {
   total_ = 0;
 }
 
+void DemandMatrix::fill(std::int64_t v) {
+  if (v < 0) throw std::invalid_argument{"DemandMatrix: negative demand"};
+  std::fill(v_.begin(), v_.end(), v);
+  total_ = v * static_cast<std::int64_t>(v_.size());
+}
+
+void DemandMatrix::copy_from(const DemandMatrix& other) {
+  inputs_ = other.inputs_;
+  outputs_ = other.outputs_;
+  v_.assign(other.v_.begin(), other.v_.end());
+  total_ = other.total_;
+}
+
 std::int64_t DemandMatrix::row_sum(net::PortId i) const {
   if (i >= inputs_) throw std::out_of_range{"DemandMatrix::row_sum"};
   std::int64_t s = 0;

@@ -29,11 +29,30 @@ class DemandMatrix {
   void set(net::PortId i, net::PortId j, std::int64_t v);
   void add(net::PortId i, net::PortId j, std::int64_t delta);
 
+  // Unchecked flat-store accessors for hot paths (matcher inner loops,
+  // estimator snapshots).  Preconditions: i < inputs(), j < outputs(), and
+  // for add_unchecked the element must stay non-negative.
+  [[nodiscard]] std::int64_t at_unchecked(net::PortId i, net::PortId j) const noexcept {
+    return v_[static_cast<std::size_t>(i) * outputs_ + j];
+  }
+  void add_unchecked(net::PortId i, net::PortId j, std::int64_t delta) noexcept {
+    v_[static_cast<std::size_t>(i) * outputs_ + j] += delta;
+    total_ += delta;
+  }
+
   /// Clamped subtraction: never drives an element below zero.
   void subtract_clamped(net::PortId i, net::PortId j, std::int64_t delta);
 
   void clear() noexcept;
   void resize(std::uint32_t inputs, std::uint32_t outputs);
+
+  /// Sets every element to `v` (>= 0) without changing the shape.
+  void fill(std::int64_t v);
+
+  /// Becomes a copy of `other`, reusing the existing allocation when the
+  /// element count already matches — the per-snapshot path of the sweep
+  /// runner, where reallocation churn would dominate small matrices.
+  void copy_from(const DemandMatrix& other);
 
   [[nodiscard]] std::int64_t row_sum(net::PortId i) const;
   [[nodiscard]] std::int64_t col_sum(net::PortId j) const;

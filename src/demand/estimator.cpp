@@ -21,7 +21,9 @@ void InstantaneousEstimator::on_departure(net::PortId src, net::PortId dst, std:
   backlog_.subtract_clamped(src, dst, bytes);
 }
 
-void InstantaneousEstimator::snapshot(sim::Time /*now*/, DemandMatrix& out) { out = backlog_; }
+void InstantaneousEstimator::snapshot(sim::Time /*now*/, DemandMatrix& out) {
+  out.copy_from(backlog_);
+}
 
 // ------------------------------------------------------------------------ EWMA
 
@@ -49,7 +51,7 @@ void EwmaEstimator::snapshot(sim::Time /*now*/, DemandMatrix& out) {
   std::size_t k = 0;
   for (std::uint32_t i = 0; i < backlog_.inputs(); ++i) {
     for (std::uint32_t j = 0; j < backlog_.outputs(); ++j, ++k) {
-      est_[k] = alpha_ * static_cast<double>(backlog_.at(i, j)) + (1.0 - alpha_) * est_[k];
+      est_[k] = alpha_ * static_cast<double>(backlog_.at_unchecked(i, j)) + (1.0 - alpha_) * est_[k];
       out.set(i, j, static_cast<std::int64_t>(std::llround(est_[k])));
     }
   }
@@ -142,7 +144,7 @@ void HysteresisEstimator::snapshot(sim::Time now, DemandMatrix& out) {
   std::size_t k = 0;
   for (std::uint32_t i = 0; i < scratch_.inputs(); ++i) {
     for (std::uint32_t j = 0; j < scratch_.outputs(); ++j, ++k) {
-      const std::int64_t d = scratch_.at(i, j);
+      const std::int64_t d = scratch_.at_unchecked(i, j);
       if (active_[k]) {
         if (d < off_threshold_) active_[k] = false;
       } else {

@@ -1,0 +1,183 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace xdrs::exp {
+
+// --------------------------------------------------------------- SweepResult
+
+core::RunReport SweepResult::merged() const {
+  core::RunReport total;
+  for (const auto& p : points) total.merge(p.report);
+  return total;
+}
+
+namespace {
+
+std::vector<stats::Field> point_fields(const PointResult& p) {
+  std::vector<stats::Field> f = p.spec.fields();
+  std::vector<stats::Field> r = p.report.fields();
+  f.insert(f.end(), std::make_move_iterator(r.begin()), std::make_move_iterator(r.end()));
+  return f;
+}
+
+}  // namespace
+
+std::string SweepResult::to_csv() const {
+  std::string out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto fields = point_fields(points[i]);
+    if (i == 0) out += stats::csv_header(fields) + '\n';
+    out += stats::csv_row(fields) + '\n';
+  }
+  return out;
+}
+
+std::string SweepResult::to_json() const {
+  std::string out{"{\n  \"points\": [\n"};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out += "    " + stats::to_json_object(point_fields(points[i]));
+    if (i + 1 < points.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ],\n  \"merged\": " + merged().to_json() + "\n}\n";
+  return out;
+}
+
+stats::Table SweepResult::table(const std::vector<std::string>& columns) const {
+  stats::Table t{columns};
+  for (const auto& p : points) {
+    const auto fields = point_fields(p);
+    auto& row = t.row();
+    for (const auto& col : columns) {
+      const auto it = std::find_if(fields.begin(), fields.end(),
+                                   [&col](const stats::Field& f) { return f.name() == col; });
+      row.cell(it == fields.end() ? std::string{"-"} : it->csv());
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------- ExperimentRunner
+
+SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
+  SweepResult result;
+  result.points.resize(grid.size());
+  if (grid.empty()) return result;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::size_t completed = 0;
+  std::mutex mutex;  // guards `completed`, `error` and the progress callback
+  std::exception_ptr error;
+
+  const auto work = [&] {
+    for (;;) {
+      // A failed point aborts the whole sweep: don't burn the remaining
+      // grid on the surviving workers just to rethrow afterwards.
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= grid.size()) return;
+      PointResult& slot = result.points[i];
+      slot.spec = grid[i];
+      try {
+        slot.report = run_scenario(slot.spec);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock{mutex};
+        if (!error) error = std::current_exception();
+        return;
+      }
+      if (opts_.progress) {
+        const std::lock_guard<std::mutex> lock{mutex};
+        opts_.progress(++completed, grid.size(), slot.spec);
+      }
+    }
+  };
+
+  unsigned threads = opts_.threads != 0 ? opts_.threads
+                                        : std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, grid.size()));
+
+  if (threads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+
+  if (error) std::rethrow_exception(error);
+  return result;
+}
+
+// ------------------------------------------------------------------- grids
+
+std::vector<ScenarioSpec> expand(const std::vector<ScenarioSpec>& in,
+                                 const std::vector<Mutator>& axis) {
+  if (axis.empty()) throw std::invalid_argument{"expand: empty axis"};
+  std::vector<ScenarioSpec> out;
+  out.reserve(in.size() * axis.size());
+  for (const auto& spec : in) {
+    for (const auto& mutate : axis) {
+      ScenarioSpec s = spec;
+      mutate(s);
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<Mutator> axis_ports(const std::vector<std::uint32_t>& values) {
+  std::vector<Mutator> axis;
+  axis.reserve(values.size());
+  for (const std::uint32_t v : values) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_ports(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_load(const std::vector<double>& values) {
+  std::vector<Mutator> axis;
+  axis.reserve(values.size());
+  for (const double v : values) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_load(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_matcher(const std::vector<std::string>& specs) {
+  std::vector<Mutator> axis;
+  axis.reserve(specs.size());
+  for (const auto& v : specs) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_matcher(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_timing(const std::vector<std::string>& models) {
+  std::vector<Mutator> axis;
+  axis.reserve(models.size());
+  for (const auto& v : models) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_timing(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_seed(const std::vector<std::uint64_t>& seeds) {
+  std::vector<Mutator> axis;
+  axis.reserve(seeds.size());
+  for (const std::uint64_t v : seeds) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_seed(v); });
+  }
+  return axis;
+}
+
+}  // namespace xdrs::exp

@@ -1,0 +1,347 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "control/timing.hpp"
+#include "demand/estimator.hpp"
+#include "schedulers/baselines.hpp"
+#include "schedulers/factory.hpp"
+#include "schedulers/solstice.hpp"
+
+namespace xdrs::exp {
+
+namespace {
+
+/// Re-derives the workload fields that encode load/ports indirectly, so the
+/// fluent mutators stay meaningful for every scenario kind: ON/OFF bursts
+/// express load as a duty cycle (mean_off from mean_on), incast expresses
+/// load x ports as the per-worker response size.  `load_changed` guards the
+/// ON/OFF case so hand-set mean_on/mean_off pairs survive a ports change.
+void rederive_workload(topo::WorkloadSpec& w, const core::FrameworkConfig& cfg,
+                       bool load_changed) {
+  using Kind = topo::WorkloadSpec::Kind;
+  if (w.kind == Kind::kOnOffBursts && load_changed) {
+    const double duty = std::clamp(w.load, 0.05, 0.95);
+    w.mean_off = sim::Time::seconds_f(w.mean_on.sec() * (1.0 - duty) / duty);
+  } else if (w.kind == Kind::kIncast) {
+    const std::uint32_t workers = cfg.ports > 1 ? cfg.ports - 1 : 1;
+    const std::int64_t window_bytes = cfg.link_rate.bytes_in(w.period);
+    w.response_bytes = std::max<std::int64_t>(
+        static_cast<std::int64_t>(w.load * static_cast<double>(window_bytes)) / workers,
+        sim::kMinFrameBytes);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ScenarioSpec
+
+ScenarioSpec& ScenarioSpec::with_ports(std::uint32_t ports) {
+  config.ports = ports;
+  for (auto& w : workloads) rederive_workload(w, config, /*load_changed=*/false);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_load(double load) {
+  for (auto& w : workloads) {
+    w.load = load;
+    rederive_workload(w, config, /*load_changed=*/true);
+  }
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_matcher(std::string spec) {
+  matcher = std::move(spec);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_timing(std::string model) {
+  timing = std::move(model);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_estimator(std::string name) {
+  estimator = std::move(name);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_seed(std::uint64_t seed) {
+  config.seed = seed;
+  std::uint64_t i = 0;
+  for (auto& w : workloads) w.seed = seed + 100 * ++i;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_window(sim::Time d, sim::Time w) {
+  duration = d;
+  warmup = w;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_label(std::string l) {
+  label = std::move(l);
+  return *this;
+}
+
+double ScenarioSpec::load() const noexcept {
+  return workloads.empty() ? 0.0 : workloads.front().load;
+}
+
+std::string ScenarioSpec::key() const {
+  const bool slotted = config.discipline == core::SchedulingDiscipline::kSlotted;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s/%s/p%u/l%.2f/s%llu", scenario.c_str(),
+                slotted ? matcher.c_str() : circuit.c_str(), config.ports, load(),
+                static_cast<unsigned long long>(config.seed));
+  return buf;
+}
+
+std::vector<stats::Field> ScenarioSpec::fields() const {
+  using stats::Field;
+  std::string names;
+  for (const auto& w : workloads) {
+    if (!names.empty()) names += '+';
+    names += w.name();
+  }
+  std::vector<Field> f;
+  f.reserve(14);
+  f.push_back(Field::str("label", label.empty() ? key() : label));
+  f.push_back(Field::str("scenario", scenario));
+  f.push_back(Field::u64("ports", config.ports));
+  f.push_back(Field::f64("load", load()));
+  f.push_back(Field::str("discipline", to_string(config.discipline)));
+  f.push_back(Field::str("matcher", matcher));
+  f.push_back(Field::str("circuit", circuit));
+  f.push_back(Field::str("estimator", estimator));
+  f.push_back(Field::str("timing", timing));
+  f.push_back(Field::str("workloads", names));
+  f.push_back(Field::u64("seed", config.seed));
+  f.push_back(Field::i64("spec_duration_ps", duration.ps()));
+  f.push_back(Field::i64("warmup_ps", warmup.ps()));
+  return f;
+}
+
+// ------------------------------------------------------------- materialize
+
+std::unique_ptr<core::HybridSwitchFramework> materialize(const ScenarioSpec& spec) {
+  auto fw = std::make_unique<core::HybridSwitchFramework>(spec.config);
+  const std::uint32_t ports = spec.config.ports;
+
+  if (spec.estimator == "instantaneous") {
+    fw->set_estimator(std::make_unique<demand::InstantaneousEstimator>(ports, ports));
+  } else if (spec.estimator == "ewma") {
+    fw->set_estimator(std::make_unique<demand::EwmaEstimator>(ports, ports, spec.ewma_alpha));
+  } else if (spec.estimator == "windowed") {
+    fw->set_estimator(std::make_unique<demand::WindowedRateEstimator>(
+        ports, ports, sim::Time::microseconds(25), 4));
+  } else {
+    throw std::invalid_argument{"materialize: unknown estimator '" + spec.estimator + "'"};
+  }
+
+  if (spec.timing == "hardware") {
+    fw->set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
+  } else if (spec.timing == "software") {
+    fw->set_timing_model(std::make_unique<control::SoftwareSchedulerTimingModel>());
+  } else if (spec.timing == "distributed") {
+    fw->set_timing_model(std::make_unique<control::DistributedSchedulerTimingModel>());
+  } else if (spec.timing == "ideal") {
+    fw->set_timing_model(std::make_unique<control::IdealTimingModel>());
+  } else {
+    throw std::invalid_argument{"materialize: unknown timing model '" + spec.timing + "'"};
+  }
+
+  if (spec.config.discipline == core::SchedulingDiscipline::kSlotted) {
+    fw->set_matcher(schedulers::make_matcher(spec.matcher, ports, spec.config.seed));
+  } else if (spec.circuit == "solstice") {
+    schedulers::SolsticeConfig sc;
+    sc.reconfig_cost_bytes = core::reconfig_cost_bytes(spec.config);
+    sc.max_slots = ports;
+    if (spec.solstice_min_amortisation > 0.0) sc.min_amortisation = spec.solstice_min_amortisation;
+    fw->set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+  } else if (spec.circuit == "cthrough") {
+    fw->set_circuit_scheduler(std::make_unique<schedulers::CThroughScheduler>());
+  } else if (spec.circuit == "tms") {
+    fw->set_circuit_scheduler(std::make_unique<schedulers::TmsScheduler>(4));
+  } else {
+    throw std::invalid_argument{"materialize: unknown circuit scheduler '" + spec.circuit + "'"};
+  }
+
+  for (const auto& w : spec.workloads) topo::attach_workload(*fw, w);
+  if (spec.voip_pairs > 0) {
+    topo::attach_voip(*fw, spec.voip_pairs, spec.voip_period, spec.voip_packet_bytes,
+                      spec.config.seed + 99);
+  }
+  return fw;
+}
+
+core::RunReport run_scenario(const ScenarioSpec& spec) {
+  return materialize(spec)->run(spec.duration, spec.warmup);
+}
+
+// ---------------------------------------------------------------- registry
+
+namespace {
+
+ScenarioSpec slotted_base(std::uint32_t ports, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.config.ports = ports;
+  s.config.discipline = core::SchedulingDiscipline::kSlotted;
+  // ~10 MTUs per slot: decision + reconfiguration overhead stays small
+  // against the slot, so the matcher — not slot quantisation — dominates.
+  s.config.slot_time = sim::Time::nanoseconds(12'500);
+  s.config.ocs_reconfig = sim::Time::nanoseconds(50);
+  s.config.seed = seed;
+  return s;
+}
+
+ScenarioSpec hybrid_base(std::uint32_t ports, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.config.ports = ports;
+  s.config.discipline = core::SchedulingDiscipline::kHybridEpoch;
+  s.config.epoch = sim::Time::microseconds(100);
+  s.config.ocs_reconfig = sim::Time::microseconds(1);
+  s.config.min_circuit_hold = sim::Time::microseconds(10);
+  s.config.seed = seed;
+  return s;
+}
+
+topo::WorkloadSpec poisson(topo::WorkloadSpec::Kind kind, double load, double skew,
+                           std::uint64_t seed) {
+  topo::WorkloadSpec w;
+  w.kind = kind;
+  w.load = load;
+  w.skew = skew;
+  w.seed = seed;
+  return w;
+}
+
+using Registry = std::map<std::string, ScenarioBuilder>;
+
+Registry built_in_scenarios() {
+  using Kind = topo::WorkloadSpec::Kind;
+  Registry r;
+  r["uniform"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = slotted_base(ports, seed);
+    s.scenario = "uniform";
+    s.workloads.push_back(poisson(Kind::kPoissonUniform, load, 0.0, seed + 100));
+    return s;
+  };
+  r["hotspot"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = slotted_base(ports, seed);
+    s.scenario = "hotspot";
+    s.workloads.push_back(poisson(Kind::kPoissonHotspot, load, 0.5, seed + 100));
+    return s;
+  };
+  r["zipf"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = slotted_base(ports, seed);
+    s.scenario = "zipf";
+    s.workloads.push_back(poisson(Kind::kPoissonZipf, load, 1.2, seed + 100));
+    return s;
+  };
+  r["permutation"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = slotted_base(ports, seed);
+    s.scenario = "permutation";
+    s.workloads.push_back(poisson(Kind::kPermutation, load, 0.0, seed + 100));
+    return s;
+  };
+  r["onoff"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = hybrid_base(ports, seed);
+    s.scenario = "onoff";
+    topo::WorkloadSpec w;
+    w.kind = Kind::kOnOffBursts;
+    w.load = load;  // line-rate bursts with duty cycle = load
+    w.mean_on = sim::Time::microseconds(80);
+    w.seed = seed + 100;
+    rederive_workload(w, s.config, /*load_changed=*/true);
+    s.workloads.push_back(w);
+    return s;
+  };
+  r["flows"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = hybrid_base(ports, seed);
+    s.scenario = "flows";
+    s.workloads.push_back(poisson(Kind::kFlows, load, 0.0, seed + 100));
+    return s;
+  };
+  r["shuffle"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = hybrid_base(ports, seed);
+    s.scenario = "shuffle";
+    topo::WorkloadSpec w = poisson(Kind::kShuffle, load, 0.0, seed + 100);
+    w.elephant_fraction = 0.3;  // shuffle partitions skew long
+    s.workloads.push_back(w);
+    return s;
+  };
+  r["incast"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = hybrid_base(ports, seed);
+    s.scenario = "incast";
+    topo::WorkloadSpec w;
+    w.kind = Kind::kIncast;
+    w.load = load;  // response sizes make the aggregator downlink see `load`
+    w.period = sim::Time::milliseconds(1);
+    w.seed = seed + 100;
+    rederive_workload(w, s.config, /*load_changed=*/true);
+    s.workloads.push_back(w);
+    return s;
+  };
+  r["voip"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = hybrid_base(ports, seed);
+    s.scenario = "voip";
+    s.workloads.push_back(poisson(Kind::kPoissonUniform, load, 0.0, seed + 100));
+    s.voip_pairs = std::max(1u, ports / 2);
+    return s;
+  };
+  return r;
+}
+
+std::mutex g_registry_mutex;
+
+Registry& registry() {
+  static Registry r = built_in_scenarios();
+  return r;
+}
+
+}  // namespace
+
+void register_scenario(const std::string& name, ScenarioBuilder builder) {
+  if (!builder) throw std::invalid_argument{"register_scenario: null builder"};
+  const std::lock_guard<std::mutex> lock{g_registry_mutex};
+  const auto [it, inserted] = registry().emplace(name, std::move(builder));
+  if (!inserted) {
+    throw std::invalid_argument{"register_scenario: '" + name + "' already registered"};
+  }
+}
+
+ScenarioSpec make_scenario(const std::string& name, std::uint32_t ports, double load,
+                           std::uint64_t seed) {
+  ScenarioBuilder builder;
+  {
+    const std::lock_guard<std::mutex> lock{g_registry_mutex};
+    const auto it = registry().find(name);
+    if (it == registry().end()) {
+      std::string known;
+      for (const auto& [n, b] : registry()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw std::invalid_argument{"make_scenario: unknown scenario '" + name +
+                                  "' (known: " + known + ")"};
+    }
+    builder = it->second;
+  }
+  ScenarioSpec s = builder(ports, load, seed);
+  if (s.scenario.empty()) s.scenario = name;
+  return s;
+}
+
+std::vector<std::string> known_scenarios() {
+  const std::lock_guard<std::mutex> lock{g_registry_mutex};
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [n, b] : registry()) names.push_back(n);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace xdrs::exp

@@ -1,0 +1,109 @@
+// Declarative experiment points.
+//
+// A ScenarioSpec is a copyable, value-typed description of ONE experiment:
+// the switch (FrameworkConfig), the workloads (topo::WorkloadSpec list plus
+// optional VOIP overlay), the policy stack (matcher / circuit scheduler /
+// estimator / timing model, all chosen by name through the factories), the
+// seed and the measurement window.  materialize() turns a spec into a
+// ready-to-run HybridSwitchFramework; run_scenario() runs it to a RunReport.
+//
+// The scenario registry maps workload names ("uniform", "permutation",
+// "incast", "shuffle", "hotspot", "voip", ...) to base specs, so benches,
+// examples and sweeps select scenarios the way they already select matchers:
+// by string.  New scenarios are one register_scenario() call.
+#ifndef XDRS_EXP_SCENARIO_HPP
+#define XDRS_EXP_SCENARIO_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "stats/serialize.hpp"
+#include "topo/testbed.hpp"
+
+namespace xdrs::exp {
+
+struct ScenarioSpec {
+  /// Registry name this spec was built from ("uniform", "incast", ...).
+  std::string scenario{"uniform"};
+  /// Point label for reports; empty means "derive from key()".
+  std::string label;
+
+  core::FrameworkConfig config{};
+  std::vector<topo::WorkloadSpec> workloads;
+
+  // Optional latency-sensitive CBR overlay (topo::attach_voip).
+  std::uint32_t voip_pairs{0};
+  sim::Time voip_period{sim::Time::microseconds(20)};
+  std::int64_t voip_packet_bytes{200};
+
+  // Policy stack, selected by name.
+  std::string matcher{"islip:2"};       ///< kSlotted (schedulers::make_matcher spec)
+  std::string circuit{"solstice"};      ///< kHybridEpoch: solstice | cthrough | tms
+  double solstice_min_amortisation{0.0};  ///< 0 = library default
+  std::string estimator{"instantaneous"};  ///< instantaneous | ewma | windowed
+  double ewma_alpha{0.25};
+  std::string timing{"hardware"};       ///< hardware | software | distributed | ideal
+
+  sim::Time duration{sim::Time::milliseconds(10)};
+  sim::Time warmup{sim::Time::milliseconds(2)};
+
+  // ---- fluent mutators for grid construction ------------------------------
+  /// Sets the port count and re-derives ports-dependent workload fields
+  /// (incast response sizes).
+  ScenarioSpec& with_ports(std::uint32_t ports);
+  /// Applies `load` to every workload, re-deriving kinds that encode it
+  /// indirectly: ON/OFF burst duty cycle (mean_off), incast response sizes.
+  ScenarioSpec& with_load(double load);
+  ScenarioSpec& with_matcher(std::string spec);
+  ScenarioSpec& with_timing(std::string model);
+  ScenarioSpec& with_estimator(std::string name);
+  ScenarioSpec& with_seed(std::uint64_t seed);   ///< config and workload seeds
+  ScenarioSpec& with_window(sim::Time duration, sim::Time warmup);
+  ScenarioSpec& with_label(std::string label);
+
+  /// First workload's load, or 0 with no workloads — the conventional
+  /// x-axis of load sweeps.
+  [[nodiscard]] double load() const noexcept;
+
+  /// Canonical point key, e.g. "uniform/islip:4/p8/l0.50/s7".  Used as the
+  /// default label and as the deterministic identity in serialized sweeps.
+  [[nodiscard]] std::string key() const;
+
+  /// Self-describing identity fields (prepended to the report's fields in
+  /// sweep CSV/JSON emits).
+  [[nodiscard]] std::vector<stats::Field> fields() const;
+};
+
+/// Builds the framework a spec describes: configuration, policy stack and
+/// workloads, ready for run().  Throws std::invalid_argument on unknown
+/// policy or scenario names.
+[[nodiscard]] std::unique_ptr<core::HybridSwitchFramework> materialize(const ScenarioSpec& spec);
+
+/// materialize() + run(): the whole experiment point, one call.
+[[nodiscard]] core::RunReport run_scenario(const ScenarioSpec& spec);
+
+// ---------------------------------------------------------------- registry
+
+using ScenarioBuilder =
+    std::function<ScenarioSpec(std::uint32_t ports, double load, std::uint64_t seed)>;
+
+/// Registers a scenario under `name`.  Throws std::invalid_argument if the
+/// name is already taken.  Built-in scenarios: uniform, hotspot, zipf,
+/// permutation, onoff, flows, shuffle, incast, voip.
+void register_scenario(const std::string& name, ScenarioBuilder builder);
+
+/// Instantiates a registered scenario.  Throws std::invalid_argument on
+/// unknown names (the message lists what is known).
+[[nodiscard]] ScenarioSpec make_scenario(const std::string& name, std::uint32_t ports = 8,
+                                         double load = 0.5, std::uint64_t seed = 7);
+
+/// All registered names, sorted.
+[[nodiscard]] std::vector<std::string> known_scenarios();
+
+}  // namespace xdrs::exp
+
+#endif  // XDRS_EXP_SCENARIO_HPP

@@ -41,7 +41,7 @@ Matching RgaMatcherBase::compute(const demand::DemandMatrix& demand) {
       if (m.input_matched(i)) continue;
       for (std::uint32_t j = 0; j < outputs; ++j) {
         if (m.output_matched(j)) continue;
-        if (demand.at(i, j) > 0) {
+        if (demand.at_unchecked(i, j) > 0) {
           requests[j].push_back(i);
           any_request = true;
         }

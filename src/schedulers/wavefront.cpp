@@ -24,7 +24,7 @@ Matching WavefrontMatcher::compute(const demand::DemandMatrix& demand) {
     for (std::uint32_t i = 0; i < ports_; ++i) {
       const std::uint32_t j = (i + d) % ports_;
       if (m.input_matched(i) || m.output_matched(j)) continue;
-      if (demand.at(i, j) > 0) m.match(i, j);
+      if (demand.at_unchecked(i, j) > 0) m.match(i, j);
     }
   }
   last_iterations_ = ports_;

@@ -5,7 +5,7 @@
 // reconfiguration) advances by scheduling callbacks on one of these engines.
 // Single-threaded by design — determinism is worth more to a scheduling
 // study than parallel speed, and each experiment instead parallelises across
-// parameter points.
+// parameter points (exp::ExperimentRunner, see exp/runner.hpp).
 #ifndef XDRS_SIM_SIMULATOR_HPP
 #define XDRS_SIM_SIMULATOR_HPP
 

@@ -1,0 +1,113 @@
+#include "stats/serialize.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace xdrs::stats {
+
+Field Field::i64(std::string name, std::int64_t v) {
+  Field f{std::move(name), Kind::kI64};
+  f.i_ = v;
+  return f;
+}
+
+Field Field::u64(std::string name, std::uint64_t v) {
+  Field f{std::move(name), Kind::kU64};
+  f.u_ = v;
+  return f;
+}
+
+Field Field::f64(std::string name, double v) {
+  Field f{std::move(name), Kind::kF64};
+  f.d_ = v;
+  return f;
+}
+
+Field Field::str(std::string name, std::string v) {
+  Field f{std::move(name), Kind::kStr};
+  f.s_ = std::move(v);
+  return f;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e999" : (v < 0 ? "-1e999" : "0");
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string{"0"};
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Field::json() const {
+  switch (kind_) {
+    case Kind::kI64: return std::to_string(i_);
+    case Kind::kU64: return std::to_string(u_);
+    case Kind::kF64: return format_double(d_);
+    case Kind::kStr: return '"' + json_escape(s_) + '"';
+  }
+  return "null";
+}
+
+std::string Field::csv() const {
+  if (kind_ != Kind::kStr) return json();
+  if (s_.find_first_of(",\"\n\r") == std::string::npos) return s_;
+  std::string out{'"'};
+  for (const char c : s_) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_json_object(const std::vector<Field>& fields) {
+  std::string out{'{'};
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + json_escape(fields[i].name()) + "\":" + fields[i].json();
+  }
+  out += '}';
+  return out;
+}
+
+std::string csv_header(const std::vector<Field>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += fields[i].name();
+  }
+  return out;
+}
+
+std::string csv_row(const std::vector<Field>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += fields[i].csv();
+  }
+  return out;
+}
+
+}  // namespace xdrs::stats

@@ -1,0 +1,63 @@
+// Deterministic serialization primitives for self-describing records.
+//
+// Every result artefact the experiment engine emits (CSV rows, JSON sweep
+// files, golden test fixtures) is built from `Field`s: ordered name/value
+// pairs with exactly one textual rendering per value.  Doubles use
+// shortest-round-trip formatting (std::to_chars), so output is bit-identical
+// across runs, thread counts and optimisation levels for identical inputs.
+#ifndef XDRS_STATS_SERIALIZE_HPP
+#define XDRS_STATS_SERIALIZE_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xdrs::stats {
+
+/// One named scalar of a self-describing record.
+class Field {
+ public:
+  [[nodiscard]] static Field i64(std::string name, std::int64_t v);
+  [[nodiscard]] static Field u64(std::string name, std::uint64_t v);
+  [[nodiscard]] static Field f64(std::string name, double v);
+  [[nodiscard]] static Field str(std::string name, std::string v);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// JSON literal: quoted/escaped for strings, shortest-round-trip numbers.
+  [[nodiscard]] std::string json() const;
+
+  /// CSV cell: like json() but strings are unquoted (commas/quotes escaped
+  /// per RFC 4180 if present).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  enum class Kind : std::uint8_t { kI64, kU64, kF64, kStr };
+
+  Field(std::string name, Kind kind) : name_{std::move(name)}, kind_{kind} {}
+
+  std::string name_;
+  Kind kind_;
+  std::int64_t i_{0};
+  std::uint64_t u_{0};
+  double d_{0.0};
+  std::string s_;
+};
+
+/// Shortest decimal string that round-trips to exactly `v`.
+[[nodiscard]] std::string format_double(double v);
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Renders `fields` as a single-line JSON object in insertion order.
+[[nodiscard]] std::string to_json_object(const std::vector<Field>& fields);
+
+/// CSV header / row for a field list (insertion order, comma-separated).
+[[nodiscard]] std::string csv_header(const std::vector<Field>& fields);
+[[nodiscard]] std::string csv_row(const std::vector<Field>& fields);
+
+}  // namespace xdrs::stats
+
+#endif  // XDRS_STATS_SERIALIZE_HPP

@@ -35,6 +35,25 @@ class Summary {
   [[nodiscard]] double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
   [[nodiscard]] double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
 
+  /// Combines another summary as if its samples had been recorded here too
+  /// (Chan et al. parallel Welford update).  Deterministic for identical
+  /// operand states, which the mergeable RunReport relies on.
+  void merge(const Summary& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const std::uint64_t n = n_ + other.n_;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / static_cast<double>(n);
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    n_ = n;
+  }
+
   void clear() noexcept { *this = Summary{}; }
 
  private:

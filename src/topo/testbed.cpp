@@ -20,6 +20,8 @@ std::string WorkloadSpec::name() const {
     case Kind::kPermutation: return "permutation";
     case Kind::kOnOffBursts: return "onoff";
     case Kind::kFlows: return "flows";
+    case Kind::kShuffle: return "shuffle";
+    case Kind::kIncast: return "incast";
   }
   return "unknown";
 }
@@ -27,6 +29,20 @@ std::string WorkloadSpec::name() const {
 void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) {
   const auto& cfg = fw.config();
   const std::uint32_t ports = cfg.ports;
+
+  // Incast is a single many-to-one generator, not one source per port.
+  if (spec.kind == WorkloadSpec::Kind::kIncast) {
+    traffic::IncastGenerator::Config gc;
+    gc.aggregator = 0;
+    gc.ports = ports;
+    gc.fan_in = 0;  // every other port answers each round
+    gc.response_bytes = spec.response_bytes;
+    gc.period = spec.period;
+    gc.line_rate = cfg.link_rate;
+    gc.seed = spec.seed;
+    fw.add_generator(std::make_unique<traffic::IncastGenerator>(gc));
+    return;
+  }
 
   for (std::uint32_t p = 0; p < ports; ++p) {
     const std::uint64_t seed = spec.seed * 1000003ULL + p;
@@ -46,6 +62,11 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
       case WorkloadSpec::Kind::kPermutation:
         dest = std::make_shared<traffic::PermutationChooser>(ports, 1);
         break;
+      case WorkloadSpec::Kind::kShuffle:
+        dest = std::make_shared<traffic::ShuffleChooser>(ports);
+        break;
+      case WorkloadSpec::Kind::kIncast:
+        break;  // handled above
     }
 
     switch (spec.kind) {
@@ -61,6 +82,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
         fw.add_generator(std::make_unique<OnOffGenerator>(gc));
         break;
       }
+      case WorkloadSpec::Kind::kShuffle:
       case WorkloadSpec::Kind::kFlows: {
         FlowGenerator::Config gc;
         gc.src = p;

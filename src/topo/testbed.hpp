@@ -22,6 +22,8 @@ struct WorkloadSpec {
     kPermutation,      ///< Poisson arrivals, fixed shifted permutation
     kOnOffBursts,      ///< Pareto ON/OFF bursts (OCS-friendly elephants)
     kFlows,            ///< flow-level mice/elephant mixture
+    kShuffle,          ///< flow-level all-to-all (MapReduce shuffle rotation)
+    kIncast,           ///< periodic partition/aggregate fan-in to port 0
   };
 
   Kind kind{Kind::kPoissonUniform};
@@ -29,7 +31,9 @@ struct WorkloadSpec {
   double skew{0.0};          ///< hotspot fraction or Zipf exponent
   sim::Time mean_on{sim::Time::microseconds(100)};   ///< kOnOffBursts
   sim::Time mean_off{sim::Time::microseconds(100)};  ///< kOnOffBursts
-  double elephant_fraction{0.1};                     ///< kFlows
+  double elephant_fraction{0.1};                     ///< kFlows / kShuffle
+  sim::Time period{sim::Time::milliseconds(1)};      ///< kIncast round period
+  std::int64_t response_bytes{64'000};               ///< kIncast per-worker answer
   std::uint64_t seed{7};
 
   [[nodiscard]] std::string name() const;

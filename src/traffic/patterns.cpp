@@ -36,6 +36,16 @@ net::PortId HotspotChooser::pick(sim::Rng& rng, net::PortId src) {
   return uniform_.pick(rng, src);
 }
 
+ShuffleChooser::ShuffleChooser(std::uint32_t ports) : ports_{ports}, next_(ports, 0) {
+  if (ports < 2) throw std::invalid_argument{"ShuffleChooser: need >= 2 ports"};
+}
+
+net::PortId ShuffleChooser::pick(sim::Rng& /*rng*/, net::PortId src) {
+  const std::uint32_t offset = 1 + next_[src] % (ports_ - 1);
+  ++next_[src];
+  return (src + offset) % ports_;
+}
+
 ZipfChooser::ZipfChooser(std::uint32_t ports, double skew)
     : ports_{ports}, sampler_{ports - 1, skew} {
   if (ports < 2) throw std::invalid_argument{"ZipfChooser: need >= 2 ports"};

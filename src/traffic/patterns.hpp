@@ -62,6 +62,21 @@ class HotspotChooser final : public DestinationChooser {
   UniformChooser uniform_;
 };
 
+/// MapReduce-shuffle destinations: every source walks its peers in rotating
+/// order (src+1, src+2, ... mod N), so demand spreads all-to-all
+/// deterministically — each mapper streaming a partition to each reducer in
+/// turn, rather than sampling destinations.
+class ShuffleChooser final : public DestinationChooser {
+ public:
+  explicit ShuffleChooser(std::uint32_t ports);
+  [[nodiscard]] net::PortId pick(sim::Rng& rng, net::PortId src) override;
+  [[nodiscard]] std::string name() const override { return "shuffle"; }
+
+ private:
+  std::uint32_t ports_;
+  std::vector<std::uint32_t> next_;  ///< per-source rotation state
+};
+
 /// Zipf-ranked destinations: rank r maps to port (src + 1 + r) mod N, so
 /// every source has its own skewed preference list (avoids all sources
 /// converging on one port, which HotspotChooser covers).

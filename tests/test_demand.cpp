@@ -29,6 +29,38 @@ TEST(DemandMatrix, SetGetAndTotal) {
   EXPECT_EQ(m.total(), 80);
 }
 
+TEST(DemandMatrix, UncheckedAccessorsTrackTotals) {
+  DemandMatrix m{3};
+  m.add_unchecked(0, 1, 100);
+  m.add_unchecked(2, 2, 50);
+  EXPECT_EQ(m.at_unchecked(0, 1), 100);
+  EXPECT_EQ(m.at(2, 2), 50);  // checked view sees the same store
+  EXPECT_EQ(m.total(), 150);
+  m.add_unchecked(0, 1, -40);
+  EXPECT_EQ(m.at_unchecked(0, 1), 60);
+  EXPECT_EQ(m.total(), 110);
+}
+
+TEST(DemandMatrix, FillAndCopyFrom) {
+  DemandMatrix m{2, 3};
+  m.fill(7);
+  EXPECT_EQ(m.at(1, 2), 7);
+  EXPECT_EQ(m.total(), 7 * 6);
+  EXPECT_THROW(m.fill(-1), std::invalid_argument);
+
+  DemandMatrix src{2, 3};
+  src.set(0, 0, 11);
+  src.set(1, 2, 22);
+  m.copy_from(src);  // same shape: reuses storage
+  EXPECT_EQ(m, src);
+
+  DemandMatrix other{5};
+  other.copy_from(src);  // shape change
+  EXPECT_EQ(other, src);
+  EXPECT_EQ(other.inputs(), 2u);
+  EXPECT_EQ(other.total(), 33);
+}
+
 TEST(DemandMatrix, AddAndSubtractClamped) {
   DemandMatrix m{2};
   m.add(0, 1, 100);

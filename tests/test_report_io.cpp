@@ -1,0 +1,163 @@
+// Tests for the mergeable, self-describing RunReport: merge algebra,
+// field enumeration, and golden CSV/JSON renderings.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config.hpp"
+#include "stats/serialize.hpp"
+
+namespace xdrs::core {
+namespace {
+
+using sim::Time;
+
+/// A fully populated synthetic report with easy-to-check numbers.
+RunReport sample_report() {
+  RunReport r;
+  r.duration = Time::milliseconds(1);
+  r.offered_packets = 10;
+  r.offered_bytes = 15'000;
+  r.delivered_packets = 8;
+  r.delivered_bytes = 12'000;
+  r.serviced_bytes = 13'000;
+  r.ocs_bytes = 9'000;
+  r.eps_bytes = 3'000;
+  r.class_bytes = {1'000, 2'000, 9'000};
+  r.voq_drops = 1;
+  r.eps_drops = 2;
+  r.sync_losses = 3;
+  r.reconfig_cuts = 4;
+  r.reconfigurations = 5;
+  r.dark_time = Time::microseconds(2);
+  r.ocs_duty_cycle = 0.5;
+  r.peak_switch_buffer_bytes = 400;
+  r.peak_host_buffer_bytes = 200;
+  r.scheduler_decisions = 4;
+  r.mean_decision_latency = Time::nanoseconds(250);
+  r.latency.record(3);
+  r.latency.record(7);
+  r.latency_sensitive.record(5);
+  r.jitter_us.record(1.5);
+  return r;
+}
+
+TEST(RunReportMerge, CountersSumAndPeaksMax) {
+  RunReport a = sample_report();
+  RunReport b = sample_report();
+  b.peak_switch_buffer_bytes = 900;
+  b.peak_host_buffer_bytes = 100;
+  a.merge(b);
+  EXPECT_EQ(a.duration, Time::milliseconds(2));
+  EXPECT_EQ(a.offered_packets, 20u);
+  EXPECT_EQ(a.offered_bytes, 30'000);
+  EXPECT_EQ(a.delivered_bytes, 24'000);
+  EXPECT_EQ(a.class_bytes[1], 4'000);
+  EXPECT_EQ(a.voq_drops, 2u);
+  EXPECT_EQ(a.reconfigurations, 10u);
+  EXPECT_EQ(a.dark_time, Time::microseconds(4));
+  EXPECT_EQ(a.peak_switch_buffer_bytes, 900);
+  EXPECT_EQ(a.peak_host_buffer_bytes, 200);
+  EXPECT_EQ(a.latency.count(), 4u);
+  EXPECT_EQ(a.latency_sensitive.count(), 2u);
+}
+
+TEST(RunReportMerge, DerivedRatesAreReweighted) {
+  RunReport a = sample_report();  // 1 ms at duty 0.5, 4 decisions at 250 ns
+  RunReport b = sample_report();
+  b.duration = Time::milliseconds(3);
+  b.ocs_duty_cycle = 0.9;
+  b.scheduler_decisions = 12;
+  b.mean_decision_latency = Time::nanoseconds(500);
+  a.merge(b);
+  EXPECT_NEAR(a.ocs_duty_cycle, (0.5 * 1.0 + 0.9 * 3.0) / 4.0, 1e-12);
+  EXPECT_EQ(a.scheduler_decisions, 16u);
+  EXPECT_EQ(a.mean_decision_latency.ps(), (4 * 250'000 + 12 * 500'000) / 16);
+}
+
+TEST(RunReportMerge, MergingEmptyIsIdentity) {
+  RunReport a = sample_report();
+  const std::string before = a.to_json();
+  a.merge(RunReport{});
+  EXPECT_EQ(a.to_json(), before);
+}
+
+TEST(RunReportMerge, SummaryMergeMatchesDirectRecording) {
+  stats::Summary left, right, direct;
+  for (const double x : {1.0, 2.0, 3.0}) {
+    left.record(x);
+    direct.record(x);
+  }
+  for (const double x : {10.0, 20.0}) {
+    right.record(x);
+    direct.record(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), direct.count());
+  EXPECT_NEAR(left.mean(), direct.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), direct.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), 1.0);
+  EXPECT_DOUBLE_EQ(left.max(), 20.0);
+}
+
+TEST(RunReportFields, EveryFieldHasAUniqueName) {
+  const auto fields = sample_report().fields();
+  ASSERT_FALSE(fields.empty());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    for (std::size_t j = i + 1; j < fields.size(); ++j) {
+      EXPECT_NE(fields[i].name(), fields[j].name());
+    }
+  }
+}
+
+TEST(RunReportFields, CsvHeaderAndRowAgreeOnColumnCount) {
+  const auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count_commas(RunReport::csv_header()), count_commas(sample_report().csv_row()));
+}
+
+// Golden renderings: these strings are the stable serialization contract.
+// If a change to RunReport alters them intentionally, update the goldens —
+// and know that every archived BENCH_sweep.json just changed schema.
+
+TEST(RunReportGolden, Json) {
+  EXPECT_EQ(
+      sample_report().to_json(),
+      R"({"duration_ps":1000000000,"offered_packets":10,"offered_bytes":15000,)"
+      R"("delivered_packets":8,"delivered_bytes":12000,"serviced_bytes":13000,)"
+      R"("ocs_bytes":9000,"eps_bytes":3000,"latency_sensitive_bytes":1000,)"
+      R"("throughput_bytes":2000,"best_effort_bytes":9000,"voq_drops":1,"eps_drops":2,)"
+      R"("sync_losses":3,"reconfig_cuts":4,"reconfigurations":5,"dark_time_ps":2000000,)"
+      R"("ocs_duty_cycle":0.5,"peak_switch_buffer_bytes":400,"peak_host_buffer_bytes":200,)"
+      R"("scheduler_decisions":4,"mean_decision_latency_ps":250000,"delivery_ratio":0.8,)"
+      R"("latency_count":2,"latency_mean_ps":5,"latency_p50_ps":3,"latency_p99_ps":3,)"
+      R"("latency_max_ps":7,"latency_sensitive_count":1,"latency_sensitive_mean_ps":5,)"
+      R"("latency_sensitive_p99_ps":5,"jitter_flows":1,"jitter_mean_us":1.5,"jitter_max_us":1.5})");
+}
+
+TEST(RunReportGolden, CsvRow) {
+  EXPECT_EQ(RunReport::csv_header(),
+            "duration_ps,offered_packets,offered_bytes,delivered_packets,delivered_bytes,"
+            "serviced_bytes,ocs_bytes,eps_bytes,latency_sensitive_bytes,throughput_bytes,"
+            "best_effort_bytes,voq_drops,eps_drops,sync_losses,reconfig_cuts,reconfigurations,"
+            "dark_time_ps,ocs_duty_cycle,peak_switch_buffer_bytes,peak_host_buffer_bytes,"
+            "scheduler_decisions,mean_decision_latency_ps,delivery_ratio,latency_count,"
+            "latency_mean_ps,latency_p50_ps,latency_p99_ps,latency_max_ps,"
+            "latency_sensitive_count,latency_sensitive_mean_ps,latency_sensitive_p99_ps,"
+            "jitter_flows,jitter_mean_us,jitter_max_us");
+  EXPECT_EQ(sample_report().csv_row(),
+            "1000000000,10,15000,8,12000,13000,9000,3000,1000,2000,9000,1,2,3,4,5,2000000,0.5,"
+            "400,200,4,250000,0.8,2,5,3,3,7,1,5,5,1,1.5,1.5");
+}
+
+TEST(SerializeField, JsonEscapingAndCsvQuoting) {
+  const auto f = stats::Field::str("note", "a \"quoted\", line\nnext");
+  EXPECT_EQ(f.json(), R"("a \"quoted\", line\nnext")");
+  EXPECT_EQ(f.csv(), "\"a \"\"quoted\"\", line\nnext\"");
+  EXPECT_EQ(stats::Field::f64("x", 0.1).json(), "0.1");
+  EXPECT_EQ(stats::Field::i64("n", -3).csv(), "-3");
+}
+
+}  // namespace
+}  // namespace xdrs::core

@@ -1,0 +1,138 @@
+// Tests for the declarative scenario layer: registry round-trips, fluent
+// grid mutators, materialization of the policy stack, and error paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exp/scenario.hpp"
+
+namespace xdrs::exp {
+namespace {
+
+using namespace xdrs::sim::literals;
+
+TEST(ScenarioRegistry, KnowsTheBuiltInScenarios) {
+  const auto names = known_scenarios();
+  for (const char* expected : {"uniform", "hotspot", "zipf", "permutation", "onoff", "flows",
+                               "shuffle", "incast", "voip"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing scenario " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsWithKnownList) {
+  try {
+    (void)make_scenario("no-such-scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("uniform"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, RegisterExtendAndDuplicateRejected) {
+  register_scenario("test-custom", [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = make_scenario("uniform", ports, load, seed);
+    s.scenario = "test-custom";
+    return s;
+  });
+  const ScenarioSpec s = make_scenario("test-custom", 4, 0.25, 3);
+  EXPECT_EQ(s.scenario, "test-custom");
+  EXPECT_EQ(s.config.ports, 4u);
+  EXPECT_DOUBLE_EQ(s.load(), 0.25);
+  EXPECT_THROW(register_scenario("test-custom", [](std::uint32_t, double, std::uint64_t) {
+                 return ScenarioSpec{};
+               }),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, RoundTripsThroughRegistryParameters) {
+  for (const auto& name : known_scenarios()) {
+    const ScenarioSpec s = make_scenario(name, 8, 0.4, 11);
+    EXPECT_EQ(s.scenario, name);
+    EXPECT_EQ(s.config.ports, 8u);
+    EXPECT_EQ(s.config.seed, 11u);
+    EXPECT_FALSE(s.workloads.empty()) << name;
+  }
+}
+
+TEST(ScenarioSpec, FluentMutatorsComposeAndKeyReflectsThem) {
+  ScenarioSpec s = make_scenario("uniform", 8, 0.5, 7)
+                       .with_ports(16)
+                       .with_load(0.75)
+                       .with_matcher("islip:4")
+                       .with_seed(21)
+                       .with_window(1_ms, 100_us);
+  EXPECT_EQ(s.config.ports, 16u);
+  EXPECT_DOUBLE_EQ(s.load(), 0.75);
+  EXPECT_EQ(s.matcher, "islip:4");
+  EXPECT_EQ(s.config.seed, 21u);
+  EXPECT_EQ(s.duration, 1_ms);
+  EXPECT_EQ(s.warmup, 100_us);
+  EXPECT_EQ(s.key(), "uniform/islip:4/p16/l0.75/s21");
+}
+
+TEST(ScenarioSpec, LoadAndPortsMutatorsRederiveIndirectWorkloadFields) {
+  // ON/OFF bursts encode load as a duty cycle: mean_off must track it.
+  ScenarioSpec onoff = make_scenario("onoff", 8, 0.5, 7);
+  const sim::Time off_at_half = onoff.workloads.front().mean_off;
+  onoff.with_load(0.9);
+  EXPECT_LT(onoff.workloads.front().mean_off, off_at_half);
+  EXPECT_DOUBLE_EQ(onoff.load(), 0.9);
+
+  // Incast encodes load x ports as the per-worker response size.
+  ScenarioSpec incast = make_scenario("incast", 8, 0.5, 7);
+  const std::int64_t resp = incast.workloads.front().response_bytes;
+  incast.with_load(0.9);
+  EXPECT_GT(incast.workloads.front().response_bytes, resp);
+  incast.with_ports(4);  // fewer workers -> bigger per-worker answers
+  EXPECT_GT(incast.workloads.front().response_bytes,
+            make_scenario("incast", 8, 0.9, 7).workloads.front().response_bytes);
+  EXPECT_EQ(make_scenario("incast", 4, 0.9, 7).workloads.front().response_bytes,
+            incast.workloads.front().response_bytes);
+}
+
+TEST(ScenarioSpec, MaterializeBuildsTheConfiguredFramework) {
+  const ScenarioSpec s = make_scenario("uniform", 4, 0.5, 7);
+  const auto fw = materialize(s);
+  ASSERT_NE(fw, nullptr);
+  EXPECT_EQ(fw->config().ports, 4u);
+  EXPECT_EQ(fw->config().discipline, core::SchedulingDiscipline::kSlotted);
+}
+
+TEST(ScenarioSpec, MaterializeRejectsUnknownPolicies) {
+  ScenarioSpec s = make_scenario("uniform", 4, 0.5, 7);
+  s.estimator = "psychic";
+  EXPECT_THROW((void)materialize(s), std::invalid_argument);
+
+  s = make_scenario("uniform", 4, 0.5, 7);
+  s.timing = "quantum";
+  EXPECT_THROW((void)materialize(s), std::invalid_argument);
+
+  s = make_scenario("onoff", 4, 0.5, 7);
+  s.circuit = "wormhole";
+  EXPECT_THROW((void)materialize(s), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, EveryBuiltInScenarioActuallyRuns) {
+  for (const auto& name : known_scenarios()) {
+    if (name == "test-custom") continue;  // registered by an earlier test
+    // Flow-level scenarios start slowly (flow interarrivals are milliseconds
+    // at low load), so give every scenario a window long enough to observe.
+    ScenarioSpec s = make_scenario(name, 4, 0.5, 5).with_window(5_ms, 500_us);
+    const core::RunReport r = run_scenario(s);
+    EXPECT_GT(r.offered_packets, 0u) << name;
+    EXPECT_GT(r.delivered_packets, 0u) << name;
+  }
+}
+
+TEST(ScenarioSpec, SameSpecIsReproducible) {
+  const ScenarioSpec s = make_scenario("shuffle", 4, 0.4, 13).with_window(500_us, 100_us);
+  const core::RunReport a = run_scenario(s);
+  const core::RunReport b = run_scenario(s);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+}  // namespace
+}  // namespace xdrs::exp
