@@ -94,11 +94,9 @@ void simulation_validation() {
 
     core::HybridSwitchFramework fw{c};
     if (pt.hardware) {
-      bench::install_hybrid_policies(fw,
-                                     std::make_unique<control::HardwareSchedulerTimingModel>());
+      bench::install_hybrid_policies(fw, "hardware");
     } else {
-      bench::install_hybrid_policies(fw,
-                                     std::make_unique<control::SoftwareSchedulerTimingModel>());
+      bench::install_hybrid_policies(fw, "software");
     }
     topo::WorkloadSpec spec;
     spec.kind = topo::WorkloadSpec::Kind::kPoissonUniform;

@@ -32,7 +32,7 @@ PipelineStats run_traced(bool configure_before_grant) {
   c.min_circuit_hold = 30_us;
   c.configure_before_grant = configure_before_grant;
   core::HybridSwitchFramework fw{c};
-  bench::install_hybrid_policies(fw, std::make_unique<control::HardwareSchedulerTimingModel>());
+  bench::install_hybrid_policies(fw, "hardware");
   fw.trace().enable();
 
   topo::WorkloadSpec spec;

@@ -38,7 +38,7 @@ exp::ScenarioSpec split_base() {
   s.config.min_circuit_hold = 10_us;
   s.config.eps_rate = sim::DataRate::mbps(2500);  // 4:1 electrical oversubscription
   s.config.eps_buffer_bytes = 4 << 20;
-  s.solstice_min_amortisation = 10.0;  // a circuit must move 10x its dark-time cost
+  s.with_circuit("solstice:10");  // a circuit must move 10x its dark-time cost
   s.workloads.front().seed = 41;
   return s.with_window(20_ms, 4_ms);
 }
@@ -110,7 +110,7 @@ void estimator_ablation() {
     const core::RunReport& r = p.report;
     const double total = static_cast<double>(r.ocs_bytes + r.eps_bytes);
     t.row()
-        .cell(p.spec.estimator)
+        .cell(p.spec.policies.estimator)
         .cell(total > 0 ? static_cast<double>(r.ocs_bytes) / total : 0.0, 3)
         .cell(r.delivery_ratio(), 3)
         .cell(r.reconfigurations);

@@ -1,14 +1,22 @@
 // E3a — wall-clock compute cost of each scheduling algorithm vs port count
-// (google-benchmark microbenchmark).
+// (google-benchmark microbenchmark), plus the steady-state zero-allocation
+// gate CI runs (`--alloc-check`).
 //
 // Grounds the paper's claim that schedule computation is the bottleneck a
 // hardware scheduler removes: even on a modern CPU, exact max-weight
 // matching at 128 ports costs hundreds of microseconds per decision —
-// far beyond a nanosecond-scale optical switching time.
+// far beyond a nanosecond-scale optical switching time.  The measured loop
+// is the framework's real hot path: MatchingAlgorithm::compute_into with a
+// recycled Matching, which must not touch the heap once warm.
+#define XDRS_BENCH_ALLOC_COUNTER
+#include "bench_util.hpp"
+
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "demand/demand_matrix.hpp"
-#include "schedulers/factory.hpp"
+#include "schedulers/policy_registry.hpp"
 #include "sim/random.hpp"
 
 namespace {
@@ -28,10 +36,13 @@ demand::DemandMatrix random_demand(std::uint32_t n, std::uint64_t seed, double d
 
 void run_matcher(benchmark::State& state, const char* spec) {
   const auto ports = static_cast<std::uint32_t>(state.range(0));
-  auto matcher = schedulers::make_matcher(spec, ports, 42);
+  auto matcher = schedulers::PolicyRegistry::instance().make_matcher(
+      spec, {.ports = ports, .seed = 42});
   const demand::DemandMatrix d = random_demand(ports, ports * 7 + 1, 0.5);
+  schedulers::Matching out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(matcher->compute(d));
+    matcher->compute_into(d, out);
+    benchmark::DoNotOptimize(out.size());
   }
   state.SetLabel(matcher->name());
   state.counters["ports"] = ports;
@@ -58,6 +69,51 @@ BENCHMARK(BM_MaxSizeHk)->RangeMultiplier(2)->Range(kLo, kHi);
 BENCHMARK(BM_MaxWeightHungarian)->RangeMultiplier(2)->Range(kLo, kHi);
 BENCHMARK(BM_Rotor)->RangeMultiplier(2)->Range(kLo, kHi);
 
+/// `--alloc-check`: for every registered matcher spec, warm the decision
+/// loop, then count heap allocations over a steady-state window.  Any
+/// allocation is a regression of the allocation-free compute contract.
+int alloc_check() {
+  constexpr std::uint32_t kPorts = 64;
+  constexpr int kWarmupDecisions = 64;
+  constexpr int kMeasuredDecisions = 256;
+
+  const auto& registry = schedulers::PolicyRegistry::instance();
+  const demand::DemandMatrix d = random_demand(kPorts, 7, 0.5);
+
+  int failures = 0;
+  std::printf("steady-state heap allocations per %d decisions (%u ports):\n",
+              kMeasuredDecisions, kPorts);
+  for (const auto& spec : registry.known_specs(schedulers::PolicyKind::kMatcher)) {
+    auto matcher = registry.make_matcher(spec, {.ports = kPorts, .seed = 42});
+    schedulers::Matching out;
+    for (int i = 0; i < kWarmupDecisions; ++i) matcher->compute_into(d, out);
+
+    const std::uint64_t before = bench::heap_allocs();
+    for (int i = 0; i < kMeasuredDecisions; ++i) matcher->compute_into(d, out);
+    const std::uint64_t allocs = bench::heap_allocs() - before;
+
+    const bool ok = allocs == 0;
+    if (!ok) ++failures;
+    std::printf("  %-12s %-18s %8llu %s\n", spec.c_str(), matcher->name().c_str(),
+                static_cast<unsigned long long>(allocs), ok ? "OK" : "FAIL");
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "alloc-check: %d matcher(s) allocate in steady state\n", failures);
+    return 1;
+  }
+  std::printf("alloc-check: all matchers run allocation-free in steady state\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--alloc-check") == 0) return alloc_check();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,7 +27,7 @@ int main() {
     core::FrameworkConfig c = bench::hybrid_base(ports);
     c.epoch = 200_us;
     core::HybridSwitchFramework fw{c};
-    bench::install_hybrid_policies(fw, std::make_unique<control::HardwareSchedulerTimingModel>());
+    bench::install_hybrid_policies(fw, "hardware");
 
     topo::WorkloadSpec spec;
     spec.kind = topo::WorkloadSpec::Kind::kPoissonUniform;

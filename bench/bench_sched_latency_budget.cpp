@@ -58,11 +58,9 @@ void lived_latency() {
         hardware ? core::BufferPlacement::kToRSwitch : core::BufferPlacement::kHost;
     core::HybridSwitchFramework fw{c};
     if (hardware) {
-      bench::install_hybrid_policies(fw,
-                                     std::make_unique<control::HardwareSchedulerTimingModel>());
+      bench::install_hybrid_policies(fw, "hardware");
     } else {
-      bench::install_hybrid_policies(fw,
-                                     std::make_unique<control::SoftwareSchedulerTimingModel>());
+      bench::install_hybrid_policies(fw, "software");
     }
     topo::WorkloadSpec spec;
     spec.load = 0.4;

@@ -23,7 +23,7 @@ core::RunReport run_point(core::BufferPlacement placement, Time skew, Time guard
   c.sync.guard_band = guard;
   c.sync.seed = 77;
   core::HybridSwitchFramework fw{c};
-  bench::install_hybrid_policies(fw, std::make_unique<control::HardwareSchedulerTimingModel>());
+  bench::install_hybrid_policies(fw, "hardware");
 
   topo::WorkloadSpec spec;
   spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;

@@ -27,7 +27,7 @@ int main() {
   c.ocs_reconfig = 20_us;  // deliberately slow switch: visible transients
   c.min_circuit_hold = 50_us;
   core::HybridSwitchFramework fw{c};
-  bench::install_hybrid_policies(fw, std::make_unique<control::HardwareSchedulerTimingModel>());
+  bench::install_hybrid_policies(fw, "hardware");
   fw.trace().enable();
 
   topo::WorkloadSpec spec;

@@ -24,9 +24,9 @@ core::RunReport run_scenario(bool hardware, double background_load) {
 
   core::HybridSwitchFramework fw{c};
   if (hardware) {
-    bench::install_hybrid_policies(fw, std::make_unique<control::HardwareSchedulerTimingModel>());
+    bench::install_hybrid_policies(fw, "hardware");
   } else {
-    bench::install_hybrid_policies(fw, std::make_unique<control::SoftwareSchedulerTimingModel>());
+    bench::install_hybrid_policies(fw, "software");
   }
 
   topo::attach_voip(fw, 4, 20_us, 200);

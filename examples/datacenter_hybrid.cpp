@@ -11,8 +11,6 @@
 #include <memory>
 
 #include "core/framework.hpp"
-#include "schedulers/baselines.hpp"
-#include "schedulers/solstice.hpp"
 #include "stats/table.hpp"
 #include "topo/testbed.hpp"
 
@@ -33,19 +31,9 @@ core::RunReport run_with(const char* scheduler) {
   c.discipline = core::SchedulingDiscipline::kHybridEpoch;
 
   core::HybridSwitchFramework fw{c};
-  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  if (std::string_view{scheduler} == "cthrough") {
-    fw.set_circuit_scheduler(std::make_unique<schedulers::CThroughScheduler>());
-  } else if (std::string_view{scheduler} == "tms") {
-    fw.set_circuit_scheduler(std::make_unique<schedulers::TmsScheduler>(4));
-  } else {
-    schedulers::SolsticeConfig sc;
-    sc.reconfig_cost_bytes = core::reconfig_cost_bytes(c);
-    sc.min_amortisation = 10.0;
-    sc.max_slots = c.ports;
-    fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
-  }
+  // `scheduler` is a circuit-scheduler spec: "cthrough", "tms:4" or
+  // "solstice:10" (amortisation 10x the dark-time cost).
+  fw.set_policies(core::PolicyStack{}.with_circuit(scheduler));
 
   // Bulk transfers: line-rate ON/OFF bursts on every server.
   topo::WorkloadSpec bulk;
@@ -76,7 +64,7 @@ int main() {
 
   stats::Table t{{"circuit scheduler", "delivery", "ocs share", "reconfigs", "duty",
                   "bulk+mice p99", "voip p99", "voip jitter"}};
-  for (const char* sched : {"cthrough", "tms", "solstice"}) {
+  for (const char* sched : {"cthrough", "tms:4", "solstice:10"}) {
     const core::RunReport r = run_with(sched);
     const double total = static_cast<double>(r.ocs_bytes + r.eps_bytes);
     char jitter[32];

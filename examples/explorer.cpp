@@ -15,9 +15,6 @@
 #include <string>
 
 #include "core/framework.hpp"
-#include "schedulers/baselines.hpp"
-#include "schedulers/factory.hpp"
-#include "schedulers/solstice.hpp"
 #include "topo/testbed.hpp"
 
 namespace {
@@ -50,11 +47,13 @@ void usage() {
       "explorer — run one hybrid-switch scheduling experiment\n"
       "  --ports=N           switch size (default 8)\n"
       "  --discipline=D      hybrid | slotted (default hybrid)\n"
-      "  --scheduler=S       slotted matcher: rrm[:i] islip[:i] pim[:i] ilqf\n"
+      "  --scheduler=S       slotted matcher spec: rrm[:i] islip[:i] pim[:i] ilqf\n"
       "                      maxweight maxsize rotor wavefront serena\n"
-      "  --circuit=C         hybrid planner: solstice | cthrough | tms\n"
+      "  --circuit=C         hybrid planner spec: solstice[:amort] | cthrough |\n"
+      "                      tms[:k] | bvn[:slots]\n"
       "  --placement=P       tor | host (Figure 1 regimes)\n"
-      "  --timing=T          hardware | software | distributed\n"
+      "  --timing=T          timing spec: hardware | hw:500MHz | software |\n"
+      "                      distributed | ideal\n"
       "  --pattern=W         uniform|hotspot|zipf|permutation|onoff|flows|shuffle|incast\n"
       "  --load=F            per-port offered load in [0,1]\n"
       "  --skew=F            hotspot fraction / zipf exponent\n"
@@ -141,26 +140,17 @@ int main(int argc, char** argv) {
   cfg.seed = opt.seed;
 
   core::HybridSwitchFramework fw{cfg};
-  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(cfg.ports, cfg.ports));
-  if (opt.timing == "software") {
-    fw.set_timing_model(std::make_unique<control::SoftwareSchedulerTimingModel>());
-  } else if (opt.timing == "distributed") {
-    fw.set_timing_model(std::make_unique<control::DistributedSchedulerTimingModel>());
-  } else {
-    fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  }
-
-  if (cfg.discipline == core::SchedulingDiscipline::kSlotted) {
-    fw.set_matcher(schedulers::make_matcher(opt.scheduler, cfg.ports, opt.seed));
-  } else if (opt.circuit == "cthrough") {
-    fw.set_circuit_scheduler(std::make_unique<schedulers::CThroughScheduler>());
-  } else if (opt.circuit == "tms") {
-    fw.set_circuit_scheduler(std::make_unique<schedulers::TmsScheduler>(4));
-  } else {
-    schedulers::SolsticeConfig sc;
-    sc.reconfig_cost_bytes = core::reconfig_cost_bytes(cfg);
-    sc.max_slots = cfg.ports;
-    fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+  // Every flag is a PolicyRegistry spec, so user-registered algorithms work
+  // here without touching the explorer.
+  core::PolicyStack stack;
+  stack.matcher = opt.scheduler;
+  stack.circuit = opt.circuit;
+  stack.timing = opt.timing;
+  try {
+    fw.set_policies(stack);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   }
 
   const std::map<std::string, topo::WorkloadSpec::Kind> kinds{

@@ -35,7 +35,7 @@ exp::ScenarioSpec plane(bool fast) {
     s.config.sync.max_skew = 2_us;
     s.config.sync.guard_band = 5_us;
   }
-  s.timing = fast ? "hardware" : "software";
+  s.with_timing(fast ? "hardware" : "software");
 
   topo::WorkloadSpec bursts;
   bursts.kind = topo::WorkloadSpec::Kind::kOnOffBursts;

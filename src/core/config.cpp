@@ -6,6 +6,13 @@
 namespace xdrs::core {
 
 void RunReport::merge(const RunReport& other) {
+  // A merged report speaks for one stack only if every contributor agrees.
+  if (policy_stack.empty()) {
+    policy_stack = other.policy_stack;
+  } else if (!other.policy_stack.empty() && other.policy_stack != policy_stack) {
+    policy_stack = "mixed";
+  }
+
   // Re-weight derived rates first, while both denominators are still intact.
   const double w = duration.sec();
   const double wo = other.duration.sec();
@@ -49,7 +56,9 @@ void RunReport::merge(const RunReport& other) {
 std::vector<stats::Field> RunReport::fields() const {
   using stats::Field;
   std::vector<Field> f;
-  f.reserve(36);
+  f.reserve(38);
+  f.push_back(Field::u64("schema_version", kSchemaVersion));
+  f.push_back(Field::str("policy_stack", policy_stack));
   f.push_back(Field::i64("duration_ps", duration.ps()));
   f.push_back(Field::u64("offered_packets", offered_packets));
   f.push_back(Field::i64("offered_bytes", offered_bytes));

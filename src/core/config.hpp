@@ -90,7 +90,18 @@ struct FrameworkConfig {
 /// CSV/JSON emitters are derived from that list, so new metrics propagate to
 /// every output format by editing one function.
 struct RunReport {
+  /// Serialization schema version, emitted as the first CSV/JSON field so
+  /// archived artifacts stay interpretable across schema evolution.
+  /// History: 1 = unversioned seed schema; 2 = adds schema_version and
+  /// policy_stack (the unified policy-stack redesign).
+  static constexpr std::uint64_t kSchemaVersion = 2;
+
   sim::Time duration{};
+
+  /// "matcher/circuit/estimator/timing" names of the policy objects that
+  /// produced this report ('-' for kinds the discipline does not use);
+  /// "mixed" after merging reports from different stacks.
+  std::string policy_stack;
 
   std::uint64_t offered_packets{0};
   std::int64_t offered_bytes{0};

@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "schedulers/rga.hpp"
-#include "schedulers/solstice.hpp"
-
 namespace xdrs::core {
 
 std::int64_t reconfig_cost_bytes(const FrameworkConfig& cfg) {
@@ -60,17 +57,23 @@ void HybridSwitchFramework::wire() {
   });
 }
 
-void HybridSwitchFramework::use_default_policies() {
-  set_estimator(std::make_unique<demand::InstantaneousEstimator>(cfg_.ports, cfg_.ports));
-  set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
+schedulers::PolicyContext HybridSwitchFramework::policy_context() const {
+  schedulers::PolicyContext ctx;
+  ctx.ports = cfg_.ports;
+  ctx.seed = cfg_.seed;
+  ctx.reconfig_cost_bytes = reconfig_cost_bytes(cfg_);
+  return ctx;
+}
+
+void HybridSwitchFramework::set_policies(const PolicyStack& stack) {
+  const auto& registry = schedulers::PolicyRegistry::instance();
+  const schedulers::PolicyContext ctx = policy_context();
+  scheduling_.set_estimator(registry.make_estimator(stack.estimator, ctx));
+  scheduling_.set_timing_model(registry.make_timing(stack.timing, ctx));
   if (cfg_.discipline == SchedulingDiscipline::kSlotted) {
-    set_matcher(std::make_unique<schedulers::IslipMatcher>(cfg_.ports, 2));
+    scheduling_.set_matcher(registry.make_matcher(stack.matcher, ctx));
   } else {
-    schedulers::SolsticeConfig sc;
-    sc.reconfig_cost_bytes = reconfig_cost_bytes(cfg_);
-    sc.min_amortisation = 1.0;
-    sc.max_slots = cfg_.ports;
-    set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+    scheduling_.set_circuit_scheduler(registry.make_circuit(stack.circuit, ctx));
   }
 }
 
@@ -149,6 +152,9 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
   measuring_ = false;
 
   report_.duration = duration;
+  // Self-reported names of the objects that actually scheduled this run —
+  // truthful even when bespoke policies were installed via scheduling().
+  report_.policy_stack = scheduling_.installed_policy_names();
   report_.voq_drops = processing_.voqs().stats().dropped_packets - base_.voq_drops;
   report_.eps_drops = eps_.stats().packets_dropped - base_.eps_drops;
   report_.sync_losses = processing_.stats().sync_losses - base_.sync_losses;

@@ -15,10 +15,14 @@
 #define XDRS_CORE_FRAMEWORK_HPP
 
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "schedulers/policy_registry.hpp"
+
 #include "core/config.hpp"
+#include "core/policy_stack.hpp"
 #include "core/processing_logic.hpp"
 #include "core/scheduling_logic.hpp"
 #include "core/switching_logic.hpp"
@@ -39,24 +43,27 @@ class HybridSwitchFramework {
   HybridSwitchFramework& operator=(const HybridSwitchFramework&) = delete;
 
   // ---- pluggable scheduling logic ----------------------------------------
-  void set_matcher(std::unique_ptr<schedulers::MatchingAlgorithm> m) {
-    scheduling_.set_matcher(std::move(m));
-  }
-  void set_circuit_scheduler(std::unique_ptr<schedulers::CircuitScheduler> s) {
-    scheduling_.set_circuit_scheduler(std::move(s));
-  }
-  void set_estimator(std::unique_ptr<demand::DemandEstimator> e) {
-    scheduling_.set_estimator(std::move(e));
-  }
-  void set_timing_model(std::unique_ptr<control::SchedulerTimingModel> t) {
-    scheduling_.set_timing_model(std::move(t));
-  }
+  /// Installs the whole policy stack by spec, constructing every component
+  /// through the PolicyRegistry with this switch's context (ports, seed,
+  /// reconfiguration cost).  The matcher is built only for kSlotted and the
+  /// circuit scheduler only for kHybridEpoch — the stack's other spec may
+  /// then name anything.  Throws std::invalid_argument on unknown specs.
+  ///
+  /// Bespoke (unregistered) policy objects can still be installed through
+  /// scheduling().set_matcher() and friends; registering them instead makes
+  /// them sweepable by name.
+  void set_policies(const PolicyStack& stack);
 
-  /// Installs a sane default policy stack for the configured discipline:
-  /// instantaneous estimator + hardware timing; iSLIP(2) for kSlotted,
-  /// Solstice for kHybridEpoch.  Call before run() unless all plugins were
-  /// set explicitly.
-  void use_default_policies();
+  /// set_policies overload for the spec-string grammar, e.g.
+  /// `set_policies("islip:4/instant/hw:500MHz")`.
+  void set_policies(std::string_view stack_spec) { set_policies(PolicyStack::parse(stack_spec)); }
+
+  /// Installs the default stack (PolicyStack{}): iSLIP(2) for kSlotted or
+  /// Solstice for kHybridEpoch, instantaneous estimator, hardware timing.
+  void use_default_policies() { set_policies(PolicyStack{}); }
+
+  /// The registry context this framework constructs policies with.
+  [[nodiscard]] schedulers::PolicyContext policy_context() const;
 
   // ---- workload -----------------------------------------------------------
   /// Takes ownership; the generator starts when run() is called.

@@ -39,6 +39,17 @@ void SchedulingLogic::on_departure(net::PortId src, net::PortId dst, std::int64_
   estimator_->on_departure(src, dst, bytes, at);
 }
 
+std::string SchedulingLogic::installed_policy_names() const {
+  std::string s = matcher_ ? matcher_->name() : std::string{"-"};
+  s += '/';
+  s += circuit_scheduler_ ? circuit_scheduler_->name() : std::string{"-"};
+  s += '/';
+  s += estimator_ ? estimator_->name() : "-";
+  s += '/';
+  s += timing_ ? timing_->name() : std::string{"-"};
+  return s;
+}
+
 void SchedulingLogic::tick() {
   if (cfg_.discipline == SchedulingDiscipline::kSlotted) {
     decide_slotted();
@@ -60,13 +71,16 @@ void SchedulingLogic::decide_slotted() {
   trace_.record(sim_.now(), TraceCategory::kDemandUpdate);
   estimator_->snapshot(sim_.now(), demand_);
   trace_.record(sim_.now(), TraceCategory::kScheduleStart);
-  schedulers::Matching m = matcher_->compute(demand_);
-  trace_.record(sim_.now(), TraceCategory::kScheduleDone, m.size());
+  // Borrow a recycled matching; in-flight grant events from previous slots
+  // hold their own references, so this never clobbers a live schedule.
+  std::shared_ptr<schedulers::Matching> m = acquire(matching_pool_);
+  matcher_->compute_into(demand_, *m);
+  trace_.record(sim_.now(), TraceCategory::kScheduleDone, m->size());
 
   const control::TimingBreakdown b = timing_->decision_latency(
       cfg_.ports, matcher_->last_iterations(), matcher_->hardware_parallel());
   account_decision(b);
-  if (m.empty()) return;
+  if (m->empty()) return;
 
   const std::uint64_t epoch = ++epoch_counter_;
   const std::int64_t slot_capacity = cfg_.link_rate.bytes_in(cfg_.slot_time);
@@ -77,13 +91,13 @@ void SchedulingLogic::decide_slotted() {
   const Time slot_end = sim_.now() + cfg_.slot_time;
   sim_.schedule(b.total(), [this, m = std::move(m), epoch, slot_capacity, slot_end] {
     switching_.configure(
-        m,
+        *m,
         [this, m, epoch, slot_capacity, slot_end](Time up) {
           control::GrantSet gs;
           gs.epoch = epoch;
           gs.computed_at = up;
           const Time guard = cfg_.sync.guard_band;
-          m.for_each_pair([&](net::PortId i, net::PortId j) {
+          m->for_each_pair([&](net::PortId i, net::PortId j) {
             control::Grant g;
             g.src = i;
             g.dst = j;
@@ -103,7 +117,13 @@ void SchedulingLogic::decide_hybrid() {
   trace_.record(sim_.now(), TraceCategory::kDemandUpdate);
   estimator_->snapshot(sim_.now(), demand_);
   trace_.record(sim_.now(), TraceCategory::kScheduleStart);
-  auto plan = std::make_shared<schedulers::CircuitPlan>(circuit_scheduler_->plan(demand_));
+  // Borrow a recycled plan (slot matchings and residual buffer included):
+  // plan_into overwrites it in place, so the per-epoch DemandMatrix and
+  // slot-vector copies of the old by-value path are gone.  Plans still
+  // referenced by in-flight day sequences keep their extra pool reference
+  // and are skipped by acquire().
+  std::shared_ptr<schedulers::CircuitPlan> plan = acquire(plan_pool_);
+  circuit_scheduler_->plan_into(demand_, *plan);
   trace_.record(sim_.now(), TraceCategory::kScheduleDone, plan->slots.size());
 
   // Circuit planning is sequential work: roughly one bipartite-matching

@@ -77,6 +77,11 @@ class SchedulingLogic {
     return last_breakdown_;
   }
 
+  /// "matcher/circuit/estimator/timing" self-reported names of the
+  /// installed policy objects ('-' for absent ones) — stamped into
+  /// RunReport so artifacts name the stack that actually scheduled them.
+  [[nodiscard]] std::string installed_policy_names() const;
+
  private:
   void tick();
   void decide_slotted();
@@ -105,6 +110,24 @@ class SchedulingLogic {
   control::TimingBreakdown last_breakdown_;
   std::uint64_t epoch_counter_{0};
   SchedulingStats stats_;
+
+  // Recycled decision buffers.  Each decision borrows an entry whose only
+  // reference is the pool's (in-flight grant/configure events hold extra
+  // references), so steady-state decisions reuse matchings, plans and their
+  // residual matrices instead of allocating per slot/epoch.  The pool grows
+  // only while decisions outlive a period (slow software schedulers), then
+  // stabilises.
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<T> acquire(std::vector<std::shared_ptr<T>>& pool) {
+    for (const auto& entry : pool) {
+      if (entry.use_count() == 1) return entry;
+    }
+    pool.push_back(std::make_shared<T>());
+    return pool.back();
+  }
+
+  std::vector<std::shared_ptr<schedulers::Matching>> matching_pool_;
+  std::vector<std::shared_ptr<schedulers::CircuitPlan>> plan_pool_;
 };
 
 }  // namespace xdrs::core

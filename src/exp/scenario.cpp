@@ -6,12 +6,6 @@
 #include <mutex>
 #include <stdexcept>
 
-#include "control/timing.hpp"
-#include "demand/estimator.hpp"
-#include "schedulers/baselines.hpp"
-#include "schedulers/factory.hpp"
-#include "schedulers/solstice.hpp"
-
 namespace xdrs::exp {
 
 namespace {
@@ -54,18 +48,28 @@ ScenarioSpec& ScenarioSpec::with_load(double load) {
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::with_policies(core::PolicyStack stack) {
+  policies = std::move(stack);
+  return *this;
+}
+
 ScenarioSpec& ScenarioSpec::with_matcher(std::string spec) {
-  matcher = std::move(spec);
+  policies.matcher = std::move(spec);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_circuit(std::string spec) {
+  policies.circuit = std::move(spec);
   return *this;
 }
 
 ScenarioSpec& ScenarioSpec::with_timing(std::string model) {
-  timing = std::move(model);
+  policies.timing = std::move(model);
   return *this;
 }
 
 ScenarioSpec& ScenarioSpec::with_estimator(std::string name) {
-  estimator = std::move(name);
+  policies.estimator = std::move(name);
   return *this;
 }
 
@@ -95,8 +99,8 @@ std::string ScenarioSpec::key() const {
   const bool slotted = config.discipline == core::SchedulingDiscipline::kSlotted;
   char buf[160];
   std::snprintf(buf, sizeof buf, "%s/%s/p%u/l%.2f/s%llu", scenario.c_str(),
-                slotted ? matcher.c_str() : circuit.c_str(), config.ports, load(),
-                static_cast<unsigned long long>(config.seed));
+                slotted ? policies.matcher.c_str() : policies.circuit.c_str(), config.ports,
+                load(), static_cast<unsigned long long>(config.seed));
   return buf;
 }
 
@@ -114,10 +118,10 @@ std::vector<stats::Field> ScenarioSpec::fields() const {
   f.push_back(Field::u64("ports", config.ports));
   f.push_back(Field::f64("load", load()));
   f.push_back(Field::str("discipline", to_string(config.discipline)));
-  f.push_back(Field::str("matcher", matcher));
-  f.push_back(Field::str("circuit", circuit));
-  f.push_back(Field::str("estimator", estimator));
-  f.push_back(Field::str("timing", timing));
+  f.push_back(Field::str("matcher", policies.matcher));
+  f.push_back(Field::str("circuit", policies.circuit));
+  f.push_back(Field::str("estimator", policies.estimator));
+  f.push_back(Field::str("timing", policies.timing));
   f.push_back(Field::str("workloads", names));
   f.push_back(Field::u64("seed", config.seed));
   f.push_back(Field::i64("spec_duration_ps", duration.ps()));
@@ -129,46 +133,10 @@ std::vector<stats::Field> ScenarioSpec::fields() const {
 
 std::unique_ptr<core::HybridSwitchFramework> materialize(const ScenarioSpec& spec) {
   auto fw = std::make_unique<core::HybridSwitchFramework>(spec.config);
-  const std::uint32_t ports = spec.config.ports;
-
-  if (spec.estimator == "instantaneous") {
-    fw->set_estimator(std::make_unique<demand::InstantaneousEstimator>(ports, ports));
-  } else if (spec.estimator == "ewma") {
-    fw->set_estimator(std::make_unique<demand::EwmaEstimator>(ports, ports, spec.ewma_alpha));
-  } else if (spec.estimator == "windowed") {
-    fw->set_estimator(std::make_unique<demand::WindowedRateEstimator>(
-        ports, ports, sim::Time::microseconds(25), 4));
-  } else {
-    throw std::invalid_argument{"materialize: unknown estimator '" + spec.estimator + "'"};
-  }
-
-  if (spec.timing == "hardware") {
-    fw->set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  } else if (spec.timing == "software") {
-    fw->set_timing_model(std::make_unique<control::SoftwareSchedulerTimingModel>());
-  } else if (spec.timing == "distributed") {
-    fw->set_timing_model(std::make_unique<control::DistributedSchedulerTimingModel>());
-  } else if (spec.timing == "ideal") {
-    fw->set_timing_model(std::make_unique<control::IdealTimingModel>());
-  } else {
-    throw std::invalid_argument{"materialize: unknown timing model '" + spec.timing + "'"};
-  }
-
-  if (spec.config.discipline == core::SchedulingDiscipline::kSlotted) {
-    fw->set_matcher(schedulers::make_matcher(spec.matcher, ports, spec.config.seed));
-  } else if (spec.circuit == "solstice") {
-    schedulers::SolsticeConfig sc;
-    sc.reconfig_cost_bytes = core::reconfig_cost_bytes(spec.config);
-    sc.max_slots = ports;
-    if (spec.solstice_min_amortisation > 0.0) sc.min_amortisation = spec.solstice_min_amortisation;
-    fw->set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
-  } else if (spec.circuit == "cthrough") {
-    fw->set_circuit_scheduler(std::make_unique<schedulers::CThroughScheduler>());
-  } else if (spec.circuit == "tms") {
-    fw->set_circuit_scheduler(std::make_unique<schedulers::TmsScheduler>(4));
-  } else {
-    throw std::invalid_argument{"materialize: unknown circuit scheduler '" + spec.circuit + "'"};
-  }
+  // The whole stack comes from the PolicyRegistry; scenario code needs no
+  // by-name construction of its own, and user-registered policies are
+  // immediately sweepable.
+  fw->set_policies(spec.policies);
 
   for (const auto& w : spec.workloads) topo::attach_workload(*fw, w);
   if (spec.voip_pairs > 0) {

@@ -2,10 +2,10 @@
 //
 // A ScenarioSpec is a copyable, value-typed description of ONE experiment:
 // the switch (FrameworkConfig), the workloads (topo::WorkloadSpec list plus
-// optional VOIP overlay), the policy stack (matcher / circuit scheduler /
-// estimator / timing model, all chosen by name through the factories), the
-// seed and the measurement window.  materialize() turns a spec into a
-// ready-to-run HybridSwitchFramework; run_scenario() runs it to a RunReport.
+// optional VOIP overlay), the policy stack (core::PolicyStack — every
+// component chosen by PolicyRegistry spec string), the seed and the
+// measurement window.  materialize() turns a spec into a ready-to-run
+// HybridSwitchFramework; run_scenario() runs it to a RunReport.
 //
 // The scenario registry maps workload names ("uniform", "permutation",
 // "incast", "shuffle", "hotspot", "voip", ...) to base specs, so benches,
@@ -40,13 +40,9 @@ struct ScenarioSpec {
   sim::Time voip_period{sim::Time::microseconds(20)};
   std::int64_t voip_packet_bytes{200};
 
-  // Policy stack, selected by name.
-  std::string matcher{"islip:2"};       ///< kSlotted (schedulers::make_matcher spec)
-  std::string circuit{"solstice"};      ///< kHybridEpoch: solstice | cthrough | tms
-  double solstice_min_amortisation{0.0};  ///< 0 = library default
-  std::string estimator{"instantaneous"};  ///< instantaneous | ewma | windowed
-  double ewma_alpha{0.25};
-  std::string timing{"hardware"};       ///< hardware | software | distributed | ideal
+  /// Policy stack, selected by PolicyRegistry spec strings; constructed by
+  /// materialize() through HybridSwitchFramework::set_policies.
+  core::PolicyStack policies;
 
   sim::Time duration{sim::Time::milliseconds(10)};
   sim::Time warmup{sim::Time::milliseconds(2)};
@@ -58,7 +54,9 @@ struct ScenarioSpec {
   /// Applies `load` to every workload, re-deriving kinds that encode it
   /// indirectly: ON/OFF burst duty cycle (mean_off), incast response sizes.
   ScenarioSpec& with_load(double load);
+  ScenarioSpec& with_policies(core::PolicyStack stack);
   ScenarioSpec& with_matcher(std::string spec);
+  ScenarioSpec& with_circuit(std::string spec);
   ScenarioSpec& with_timing(std::string model);
   ScenarioSpec& with_estimator(std::string name);
   ScenarioSpec& with_seed(std::uint64_t seed);   ///< config and workload seeds

@@ -3,43 +3,42 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "schedulers/bvn.hpp"
-#include "schedulers/hungarian.hpp"
-
 namespace xdrs::schedulers {
 
-CircuitPlan CThroughScheduler::plan(const demand::DemandMatrix& dem) {
-  CircuitPlan plan;
-  plan.residual = dem;
-  if (dem.total() == 0) return plan;
+void CThroughScheduler::plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) {
+  out.residual.copy_from(dem);
+  if (dem.total() == 0) {
+    out.slots.clear();
+    return;
+  }
 
-  HungarianMatcher hungarian;
-  const Matching m = hungarian.compute(dem);
-  if (m.empty()) return plan;
+  hungarian_.compute_into(dem, day_);
+  if (day_.empty()) {
+    out.slots.clear();
+    return;
+  }
 
   // The single configuration serves each matched pair's full demand: the
   // circuit day is long in c-Through, so the plan's weight is the largest
   // matched backlog, and lighter pairs simply finish early.
   std::int64_t w = 0;
-  m.for_each_pair([&](net::PortId i, net::PortId j) { w = std::max(w, dem.at(i, j)); });
+  day_.for_each_pair([&](net::PortId i, net::PortId j) { w = std::max(w, dem.at(i, j)); });
 
-  CircuitSlot slot;
-  slot.configuration = m;
+  CircuitSlot& slot = out.reuse_slot(0, dem.inputs(), dem.outputs());
   slot.weight_bytes = w;
-  m.for_each_pair([&](net::PortId i, net::PortId j) {
-    plan.residual.subtract_clamped(i, j, w);
+  day_.for_each_pair([&](net::PortId i, net::PortId j) {
+    slot.configuration.match(i, j);
+    out.residual.subtract_clamped(i, j, w);
   });
-  plan.slots.push_back(std::move(slot));
-  return plan;
+  out.slots.resize(1);
 }
 
-TmsScheduler::TmsScheduler(std::size_t max_days) : max_days_{max_days} {
+TmsScheduler::TmsScheduler(std::size_t max_days) : max_days_{max_days}, inner_{max_days} {
   if (max_days == 0) throw std::invalid_argument{"TmsScheduler: max_days must be >= 1"};
 }
 
-CircuitPlan TmsScheduler::plan(const demand::DemandMatrix& dem) {
-  BvnScheduler inner{max_days_};
-  return inner.plan(dem);
+void TmsScheduler::plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) {
+  inner_.plan_into(dem, out);
 }
 
 }  // namespace xdrs::schedulers

@@ -13,7 +13,9 @@
 
 #include <cstdint>
 
+#include "schedulers/bvn.hpp"
 #include "schedulers/circuit_scheduler.hpp"
+#include "schedulers/hungarian.hpp"
 
 namespace xdrs::schedulers {
 
@@ -21,8 +23,12 @@ class CThroughScheduler final : public CircuitScheduler {
  public:
   CThroughScheduler() = default;
 
-  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) override;
+  void plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) override;
   [[nodiscard]] std::string name() const override { return "cthrough"; }
+
+ private:
+  HungarianMatcher hungarian_;  ///< recycled max-weight solver
+  Matching day_;                ///< recycled epoch configuration
 };
 
 class TmsScheduler final : public CircuitScheduler {
@@ -30,11 +36,12 @@ class TmsScheduler final : public CircuitScheduler {
   /// `max_days`: circuit configurations kept per epoch (k).
   explicit TmsScheduler(std::size_t max_days);
 
-  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) override;
+  void plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) override;
   [[nodiscard]] std::string name() const override { return "tms-" + std::to_string(max_days_); }
 
  private:
   std::size_t max_days_;
+  BvnScheduler inner_;
 };
 
 }  // namespace xdrs::schedulers

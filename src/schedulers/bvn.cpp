@@ -80,7 +80,11 @@ BvnResult bvn_decompose(const demand::DemandMatrix& dem, std::size_t max_terms) 
   return result;
 }
 
-CircuitPlan BvnScheduler::plan(const demand::DemandMatrix& dem) {
+void BvnScheduler::plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) {
+  // The full decomposition is inherently allocation-heavy (unbounded term
+  // list, one permutation per term), so bvn/tms stay off the zero-alloc
+  // contract the simpler planners honour; Solstice is the default hybrid
+  // scheduler for exactly this reason.
   BvnResult d = bvn_decompose(dem, 0);
   // Keep the heaviest slots by real coverage; everything else goes electric.
   std::sort(d.terms.begin(), d.terms.end(), [](const BvnTerm& a, const BvnTerm& b) {
@@ -88,17 +92,22 @@ CircuitPlan BvnScheduler::plan(const demand::DemandMatrix& dem) {
   });
   if (max_slots_ > 0 && d.terms.size() > max_slots_) d.terms.resize(max_slots_);
 
-  CircuitPlan plan;
-  plan.residual = dem;
+  out.residual.copy_from(dem);
+  std::size_t used = 0;
   for (auto& t : d.terms) {
     // Per-pair circuit service is min(weight, pair demand); subtract from
     // the residual so the EPS sees exactly what circuits will not carry.
     t.permutation.for_each_pair([&](net::PortId i, net::PortId j) {
-      plan.residual.subtract_clamped(i, j, t.weight);
+      out.residual.subtract_clamped(i, j, t.weight);
     });
-    plan.slots.push_back(CircuitSlot{std::move(t.permutation), t.weight});
+    // No reuse_slot here: the freshly decomposed permutation replaces the
+    // slot's configuration wholesale, so resetting it first would be wasted.
+    if (out.slots.size() <= used) out.slots.resize(used + 1);
+    CircuitSlot& slot = out.slots[used++];
+    slot.configuration = std::move(t.permutation);
+    slot.weight_bytes = t.weight;
   }
-  return plan;
+  out.slots.resize(used);
 }
 
 }  // namespace xdrs::schedulers

@@ -42,7 +42,7 @@ class BvnScheduler final : public CircuitScheduler {
  public:
   explicit BvnScheduler(std::size_t max_slots) : max_slots_{max_slots} {}
 
-  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) override;
+  void plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) override;
   [[nodiscard]] std::string name() const override { return "bvn-" + std::to_string(max_slots_); }
 
  private:

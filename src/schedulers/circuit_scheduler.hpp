@@ -24,9 +24,27 @@ struct CircuitSlot {
 };
 
 /// A full plan for one scheduling epoch.
+///
+/// Plans are recyclable: plan_into implementations claim slots through
+/// reuse_slot() and refresh `residual` with DemandMatrix::copy_from, so an
+/// epoch whose shape matches the previous one reuses every buffer.
 struct CircuitPlan {
   std::vector<CircuitSlot> slots;
   demand::DemandMatrix residual;  ///< demand left for the EPS
+
+  /// Returns slot `k` ready for writing: grows the list if needed, resets
+  /// the slot's configuration to `inputs` x `outputs` and zeroes its weight
+  /// — reusing the allocations of a previous epoch's slot when present.
+  CircuitSlot& reuse_slot(std::size_t k, std::uint32_t inputs, std::uint32_t outputs) {
+    if (slots.size() <= k) slots.resize(k + 1);
+    CircuitSlot& s = slots[k];
+    s.configuration.reset(inputs, outputs);
+    s.weight_bytes = 0;
+    return s;
+  }
+  CircuitSlot& reuse_slot(std::size_t k, std::uint32_t ports) {
+    return reuse_slot(k, ports, ports);
+  }
 
   /// Total bytes the plan routes over circuits (weight x pairs per slot).
   [[nodiscard]] std::int64_t circuit_bytes() const {
@@ -42,10 +60,23 @@ class CircuitScheduler {
  public:
   virtual ~CircuitScheduler() = default;
 
-  /// Plans circuit service for `dem`.  The plan's slot weights, summed per
-  /// pair, never exceed the pair's demand plus padding slack; `residual`
-  /// holds exactly the demand the slots do not cover.
-  [[nodiscard]] virtual CircuitPlan plan(const demand::DemandMatrix& dem) = 0;
+  /// Plans circuit service for `dem`, writing the result into `out`
+  /// (recycling its slot matchings and residual buffer).  The plan's slot
+  /// weights, summed per pair, never exceed the pair's demand plus padding
+  /// slack; `residual` holds exactly the demand the slots do not cover.
+  ///
+  /// Hot-path entry point: implementations keep per-instance workspaces so
+  /// that steady-state calls with a stable `dem` shape and a recycled `out`
+  /// avoid per-epoch heap allocation (solstice/cthrough honour this; the
+  /// bvn-backed planners allocate per decomposition term by nature).
+  virtual void plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) = 0;
+
+  /// By-value convenience wrapper over plan_into (tests, examples).
+  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) {
+    CircuitPlan out;
+    plan_into(dem, out);
+    return out;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

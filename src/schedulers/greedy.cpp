@@ -5,33 +5,26 @@
 
 namespace xdrs::schedulers {
 
-Matching GreedyMaxWeightMatcher::compute(const demand::DemandMatrix& demand) {
-  struct Edge {
-    std::int64_t w;
-    net::PortId i;
-    net::PortId j;
-  };
-  std::vector<Edge> edges;
-  edges.reserve(demand.nonzero_count());
+void GreedyMaxWeightMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
+  edges_.clear();
   demand.for_each_nonzero(
-      [&edges](net::PortId i, net::PortId j, std::int64_t w) { edges.push_back({w, i, j}); });
+      [this](net::PortId i, net::PortId j, std::int64_t w) { edges_.push_back({w, i, j}); });
 
   // Heaviest first; ties broken by (input, output) for determinism.
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
     if (a.w != b.w) return a.w > b.w;
     if (a.i != b.i) return a.i < b.i;
     return a.j < b.j;
   });
 
-  Matching m{demand.inputs(), demand.outputs()};
+  out.reset(demand.inputs(), demand.outputs());
   last_iterations_ = 0;
-  for (const Edge& e : edges) {
-    if (m.size() == std::min(demand.inputs(), demand.outputs())) break;
-    if (m.input_matched(e.i) || m.output_matched(e.j)) continue;
-    m.match(e.i, e.j);
+  for (const Edge& e : edges_) {
+    if (out.size() == std::min(demand.inputs(), demand.outputs())) break;
+    if (out.input_matched(e.i) || out.output_matched(e.j)) continue;
+    out.match(e.i, e.j);
     ++last_iterations_;
   }
-  return m;
 }
 
 }  // namespace xdrs::schedulers

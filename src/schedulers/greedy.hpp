@@ -8,6 +8,8 @@
 #ifndef XDRS_SCHEDULERS_GREEDY_HPP
 #define XDRS_SCHEDULERS_GREEDY_HPP
 
+#include <vector>
+
 #include "schedulers/matcher.hpp"
 
 namespace xdrs::schedulers {
@@ -16,13 +18,20 @@ class GreedyMaxWeightMatcher final : public MatchingAlgorithm {
  public:
   GreedyMaxWeightMatcher() = default;
 
-  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  void compute_into(const demand::DemandMatrix& demand, Matching& out) override;
   [[nodiscard]] std::string name() const override { return "ilqf-greedy"; }
   [[nodiscard]] std::uint32_t last_iterations() const noexcept override { return last_iterations_; }
   [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
 
  private:
+  struct Edge {
+    std::int64_t w;
+    net::PortId i;
+    net::PortId j;
+  };
+
   std::uint32_t last_iterations_{0};
+  std::vector<Edge> edges_;  ///< recycled sort workspace
 };
 
 }  // namespace xdrs::schedulers

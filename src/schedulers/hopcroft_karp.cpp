@@ -1,6 +1,5 @@
 #include "schedulers/hopcroft_karp.hpp"
 
-#include <deque>
 #include <limits>
 #include <stdexcept>
 
@@ -32,27 +31,43 @@ void HopcroftKarp::clear_edges() {
   phases_ = 0;
 }
 
+void HopcroftKarp::reset(std::uint32_t left_count, std::uint32_t right_count) {
+  if (left_count == left_count_ && right_count == right_count_) {
+    clear_edges();
+    return;
+  }
+  left_count_ = left_count;
+  right_count_ = right_count;
+  adj_.resize(left_count);
+  match_left_.resize(left_count);
+  match_right_.resize(right_count);
+  dist_.resize(left_count);
+  clear_edges();
+}
+
 bool HopcroftKarp::bfs() {
-  std::deque<std::uint32_t> queue;
+  // Each left vertex enters the FIFO at most once per phase, so a flat
+  // head-indexed vector replaces the deque without bounding assumptions.
+  queue_.clear();
+  std::size_t head = 0;
   for (std::uint32_t l = 0; l < left_count_; ++l) {
     if (match_left_[l] == kFree) {
       dist_[l] = 0;
-      queue.push_back(l);
+      queue_.push_back(l);
     } else {
       dist_[l] = kInfDist;
     }
   }
   bool found_augmenting = false;
-  while (!queue.empty()) {
-    const std::uint32_t l = queue.front();
-    queue.pop_front();
+  while (head < queue_.size()) {
+    const std::uint32_t l = queue_[head++];
     for (const std::uint32_t r : adj_[l]) {
       const std::uint32_t next = match_right_[r];
       if (next == kFree) {
         found_augmenting = true;
       } else if (dist_[next] == kInfDist) {
         dist_[next] = dist_[l] + 1;
-        queue.push_back(next);
+        queue_.push_back(next);
       }
     }
   }
@@ -91,19 +106,19 @@ std::uint32_t HopcroftKarp::match_of_left(std::uint32_t left) const {
   return match_left_[left];
 }
 
-Matching MaxSizeMatcher::compute(const demand::DemandMatrix& demand) {
-  HopcroftKarp hk{demand.inputs(), demand.outputs()};
+void MaxSizeMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
+  hk_.reset(demand.inputs(), demand.outputs());
+  auto& hk = hk_;
   demand.for_each_nonzero(
       [&hk](net::PortId i, net::PortId j, std::int64_t) { hk.add_edge(i, j); });
-  hk.solve();
-  last_iterations_ = hk.phases();
+  hk_.solve();
+  last_iterations_ = hk_.phases();
 
-  Matching m{demand.inputs(), demand.outputs()};
+  out.reset(demand.inputs(), demand.outputs());
   for (std::uint32_t l = 0; l < demand.inputs(); ++l) {
-    const std::uint32_t r = hk.match_of_left(l);
-    if (r != HopcroftKarp::kFree) m.match(l, r);
+    const std::uint32_t r = hk_.match_of_left(l);
+    if (r != HopcroftKarp::kFree) out.match(l, r);
   }
-  return m;
 }
 
 }  // namespace xdrs::schedulers

@@ -24,6 +24,11 @@ class HopcroftKarp {
   void add_edge(std::uint32_t left, std::uint32_t right);
   void clear_edges();
 
+  /// Re-dimensions the solver and clears all edges, reusing existing
+  /// allocations when the dimensions already match — lets one solver
+  /// instance serve every epoch of a circuit scheduler without churn.
+  void reset(std::uint32_t left_count, std::uint32_t right_count);
+
   /// Computes a maximum matching; returns its cardinality.
   std::uint32_t solve();
 
@@ -44,6 +49,7 @@ class HopcroftKarp {
   std::vector<std::uint32_t> match_left_;
   std::vector<std::uint32_t> match_right_;
   std::vector<std::uint32_t> dist_;
+  std::vector<std::uint32_t> queue_;  ///< recycled BFS FIFO (head-indexed)
   std::uint32_t phases_{0};
 };
 
@@ -52,13 +58,14 @@ class MaxSizeMatcher final : public MatchingAlgorithm {
  public:
   MaxSizeMatcher() = default;
 
-  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  void compute_into(const demand::DemandMatrix& demand, Matching& out) override;
   [[nodiscard]] std::string name() const override { return "maxsize-hk"; }
   [[nodiscard]] std::uint32_t last_iterations() const noexcept override { return last_iterations_; }
   [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
 
  private:
   std::uint32_t last_iterations_{0};
+  HopcroftKarp hk_{0, 0};  ///< recycled solver
 };
 
 }  // namespace xdrs::schedulers

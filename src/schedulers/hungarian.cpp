@@ -6,7 +6,7 @@
 
 namespace xdrs::schedulers {
 
-Matching HungarianMatcher::compute(const demand::DemandMatrix& demand) {
+void HungarianMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
   // Solve the assignment problem on the square padding of -demand (the
   // classic potentials formulation minimises cost; negation maximises
   // weight).  Zero-demand assignments are stripped afterwards: they carry no
@@ -24,18 +24,26 @@ Matching HungarianMatcher::compute(const demand::DemandMatrix& demand) {
   };
 
   // 1-indexed arrays per the standard formulation; row 0 / column 0 are
-  // sentinels.
-  std::vector<std::int64_t> u(n + 1, 0);
-  std::vector<std::int64_t> v(n + 1, 0);
-  std::vector<std::size_t> p(n + 1, 0);    // p[j]: row matched to column j
-  std::vector<std::size_t> way(n + 1, 0);  // alternating-path bookkeeping
+  // sentinels.  All six workspaces are per-instance and recycled: assign()
+  // reuses capacity, so repeated computes at a fixed port count stay off
+  // the heap.
+  auto& u = u_;
+  auto& v = v_;
+  auto& p = p_;      // p[j]: row matched to column j
+  auto& way = way_;  // alternating-path bookkeeping
+  u.assign(n + 1, 0);
+  v.assign(n + 1, 0);
+  p.assign(n + 1, 0);
+  way.assign(n + 1, 0);
 
   last_iterations_ = 0;
   for (std::size_t i = 1; i <= n; ++i) {
     p[0] = i;
     std::size_t j0 = 0;
-    std::vector<std::int64_t> minv(n + 1, kInf);
-    std::vector<bool> used(n + 1, false);
+    auto& minv = minv_;
+    auto& used = used_;
+    minv.assign(n + 1, kInf);
+    used.assign(n + 1, 0);
     do {
       ++last_iterations_;
       used[j0] = true;
@@ -72,7 +80,7 @@ Matching HungarianMatcher::compute(const demand::DemandMatrix& demand) {
     } while (j0 != 0);
   }
 
-  Matching m{demand.inputs(), demand.outputs()};
+  out.reset(demand.inputs(), demand.outputs());
   for (std::size_t j = 1; j <= n; ++j) {
     const std::size_t i = p[j];
     if (i == 0) continue;
@@ -80,10 +88,9 @@ Matching HungarianMatcher::compute(const demand::DemandMatrix& demand) {
     const std::size_t col = j - 1;
     if (row < demand.inputs() && col < demand.outputs() &&
         demand.at(static_cast<net::PortId>(row), static_cast<net::PortId>(col)) > 0) {
-      m.match(static_cast<net::PortId>(row), static_cast<net::PortId>(col));
+      out.match(static_cast<net::PortId>(row), static_cast<net::PortId>(col));
     }
   }
-  return m;
 }
 
 std::int64_t HungarianMatcher::matching_weight(const Matching& m,

@@ -8,6 +8,9 @@
 #ifndef XDRS_SCHEDULERS_HUNGARIAN_HPP
 #define XDRS_SCHEDULERS_HUNGARIAN_HPP
 
+#include <cstdint>
+#include <vector>
+
 #include "schedulers/matcher.hpp"
 
 namespace xdrs::schedulers {
@@ -16,7 +19,7 @@ class HungarianMatcher final : public MatchingAlgorithm {
  public:
   HungarianMatcher() = default;
 
-  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  void compute_into(const demand::DemandMatrix& demand, Matching& out) override;
   [[nodiscard]] std::string name() const override { return "maxweight-exact"; }
   [[nodiscard]] std::uint32_t last_iterations() const noexcept override { return last_iterations_; }
   [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
@@ -27,6 +30,10 @@ class HungarianMatcher final : public MatchingAlgorithm {
 
  private:
   std::uint32_t last_iterations_{0};
+  // Recycled potential/augmenting-path workspaces (1-indexed, see .cpp).
+  std::vector<std::int64_t> u_, v_, minv_;
+  std::vector<std::size_t> p_, way_;
+  std::vector<char> used_;
 };
 
 }  // namespace xdrs::schedulers

@@ -21,9 +21,21 @@ class MatchingAlgorithm {
  public:
   virtual ~MatchingAlgorithm() = default;
 
-  /// Computes a matching over the strictly positive entries of `demand`.
+  /// Computes a matching over the strictly positive entries of `demand`,
+  /// writing it into `out` (re-dimensioned via Matching::reset as needed).
   /// Must never grant a pair with zero demand.
-  [[nodiscard]] virtual Matching compute(const demand::DemandMatrix& demand) = 0;
+  ///
+  /// This is the hot-path entry point: implementations keep per-instance
+  /// workspaces so that steady-state calls with a stable `demand` shape and
+  /// a recycled `out` perform zero heap allocations.
+  virtual void compute_into(const demand::DemandMatrix& demand, Matching& out) = 0;
+
+  /// By-value convenience wrapper over compute_into (tests, examples).
+  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) {
+    Matching out;
+    compute_into(demand, out);
+    return out;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 

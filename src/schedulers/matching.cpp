@@ -60,6 +60,16 @@ void Matching::clear() noexcept {
   matched_ = 0;
 }
 
+void Matching::reset(std::uint32_t inputs, std::uint32_t outputs) {
+  if (out_of_.size() == inputs && in_of_.size() == outputs) {
+    clear();
+    return;
+  }
+  out_of_.assign(inputs, kUnmatched);
+  in_of_.assign(outputs, kUnmatched);
+  matched_ = 0;
+}
+
 std::string Matching::to_string() const {
   std::string s = "{";
   bool first = true;

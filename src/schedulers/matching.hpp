@@ -45,6 +45,12 @@ class Matching {
 
   void clear() noexcept;
 
+  /// Clears and re-dimensions in one step, reusing the existing allocation
+  /// when the shape already matches — the per-decision path of compute_into
+  /// implementations, which must not touch the heap in steady state.
+  void reset(std::uint32_t inputs, std::uint32_t outputs);
+  void reset(std::uint32_t ports) { reset(ports, ports); }
+
   /// Calls `fn(input, output)` for every matched pair, in input order.
   template <typename Fn>
   void for_each_pair(Fn&& fn) const {

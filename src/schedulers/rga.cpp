@@ -21,28 +21,37 @@ RgaMatcherBase::RgaMatcherBase(std::uint32_t max_iterations) : max_iterations_{m
   if (max_iterations == 0) throw std::invalid_argument{"RGA: iterations must be >= 1"};
 }
 
-Matching RgaMatcherBase::compute(const demand::DemandMatrix& demand) {
+void RgaMatcherBase::compute_into(const demand::DemandMatrix& demand, Matching& out) {
   const std::uint32_t inputs = demand.inputs();
   const std::uint32_t outputs = demand.outputs();
-  Matching m{inputs, outputs};
+  out.reset(inputs, outputs);
   last_iterations_ = 0;
 
-  std::vector<std::vector<net::PortId>> requests(outputs);   // per output: requesting inputs
-  std::vector<std::vector<net::PortId>> grants(inputs);      // per input: granting outputs
+  // Size the workspaces for the worst case up front (every input requesting
+  // every output), so steady-state arbitration — whatever the pointer state
+  // produces — never grows a list.
+  if (requests_.size() != outputs) {
+    requests_.resize(outputs);
+    for (auto& r : requests_) r.reserve(inputs);
+  }
+  if (grants_.size() != inputs) {
+    grants_.resize(inputs);
+    for (auto& g : grants_) g.reserve(outputs);
+  }
 
   for (std::uint32_t iter = 0; iter < max_iterations_; ++iter) {
     ++last_iterations_;
 
     // Request phase: every unmatched input requests all unmatched outputs
     // for which it has demand.
-    for (auto& r : requests) r.clear();
+    for (auto& r : requests_) r.clear();
     bool any_request = false;
     for (std::uint32_t i = 0; i < inputs; ++i) {
-      if (m.input_matched(i)) continue;
+      if (out.input_matched(i)) continue;
       for (std::uint32_t j = 0; j < outputs; ++j) {
-        if (m.output_matched(j)) continue;
+        if (out.output_matched(j)) continue;
         if (demand.at_unchecked(i, j) > 0) {
-          requests[j].push_back(i);
+          requests_[j].push_back(i);
           any_request = true;
         }
       }
@@ -50,25 +59,24 @@ Matching RgaMatcherBase::compute(const demand::DemandMatrix& demand) {
     if (!any_request) break;
 
     // Grant phase: each requested output grants one input.
-    for (auto& g : grants) g.clear();
+    for (auto& g : grants_) g.clear();
     for (std::uint32_t j = 0; j < outputs; ++j) {
-      if (requests[j].empty()) continue;
-      const net::PortId chosen = select_grant(j, requests[j]);
-      grants[chosen].push_back(j);
+      if (requests_[j].empty()) continue;
+      const net::PortId chosen = select_grant(j, requests_[j]);
+      grants_[chosen].push_back(j);
     }
 
     // Accept phase: each granted input accepts one output.
     bool any_accept = false;
     for (std::uint32_t i = 0; i < inputs; ++i) {
-      if (grants[i].empty()) continue;
-      const net::PortId chosen = select_accept(i, grants[i]);
-      m.match(i, chosen);
+      if (grants_[i].empty()) continue;
+      const net::PortId chosen = select_accept(i, grants_[i]);
+      out.match(i, chosen);
       on_accept(i, chosen, iter);
       any_accept = true;
     }
     if (!any_accept) break;  // converged: further iterations cannot add pairs
   }
-  return m;
 }
 
 // ----------------------------------------------------------------------- RRM

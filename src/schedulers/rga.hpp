@@ -29,7 +29,7 @@ namespace xdrs::schedulers {
 /// discipline and the pointer-update rule.
 class RgaMatcherBase : public MatchingAlgorithm {
  public:
-  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) final;
+  void compute_into(const demand::DemandMatrix& demand, Matching& out) final;
   [[nodiscard]] std::uint32_t last_iterations() const noexcept final { return last_iterations_; }
   [[nodiscard]] bool hardware_parallel() const noexcept final { return true; }
 
@@ -56,6 +56,11 @@ class RgaMatcherBase : public MatchingAlgorithm {
  private:
   std::uint32_t max_iterations_;
   std::uint32_t last_iterations_{0};
+  // Recycled arbitration workspaces: per-output requesting inputs and
+  // per-input granting outputs.  The inner vectors keep their capacity
+  // across decisions, so steady-state computes never allocate.
+  std::vector<std::vector<net::PortId>> requests_;
+  std::vector<std::vector<net::PortId>> grants_;
 };
 
 /// Round-robin matching with unconditionally advancing pointers.

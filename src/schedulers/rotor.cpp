@@ -8,13 +8,13 @@ RotorMatcher::RotorMatcher(std::uint32_t ports) : ports_{ports} {
   if (ports == 0) throw std::invalid_argument{"RotorMatcher: ports must be >= 1"};
 }
 
-Matching RotorMatcher::compute(const demand::DemandMatrix& demand) {
+void RotorMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
   if (demand.inputs() != ports_ || demand.outputs() != ports_) {
     throw std::invalid_argument{"RotorMatcher: demand dimensions mismatch"};
   }
-  const Matching m = Matching::rotation(ports_, shift_);
+  out.reset(ports_, ports_);
+  for (std::uint32_t i = 0; i < ports_; ++i) out.match(i, (i + shift_) % ports_);
   shift_ = ports_ > 1 ? (shift_ % (ports_ - 1)) + 1 : 0;  // cycle 1..N-1
-  return m;
 }
 
 }  // namespace xdrs::schedulers

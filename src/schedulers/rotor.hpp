@@ -16,11 +16,11 @@ class RotorMatcher final : public MatchingAlgorithm {
  public:
   explicit RotorMatcher(std::uint32_t ports);
 
-  /// Returns the next rotation regardless of demand (skipping shift 0 only
+  /// Writes the next rotation regardless of demand (skipping shift 0 only
   /// when ports == 1 would make it degenerate is unnecessary: shift 0 maps
   /// i -> i, which is a valid self-loop-free config because a port never has
   /// demand to itself in practice; we still start at shift 1 to avoid it).
-  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  void compute_into(const demand::DemandMatrix& demand, Matching& out) override;
 
   [[nodiscard]] std::string name() const override { return "rotor"; }
   [[nodiscard]] std::uint32_t last_iterations() const noexcept override { return 1; }

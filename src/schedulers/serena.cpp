@@ -7,24 +7,14 @@
 namespace xdrs::schedulers {
 namespace {
 
-/// Minimal union-find over 2N nodes (inputs then outputs).
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+/// Path-halving find over a caller-owned parent array (inputs then outputs).
+std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
   }
-  std::size_t find(std::size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
-
- private:
-  std::vector<std::size_t> parent_;
-};
+  return x;
+}
 
 }  // namespace
 
@@ -33,81 +23,82 @@ SerenaMatcher::SerenaMatcher(std::uint32_t ports, std::uint64_t seed)
   if (ports == 0) throw std::invalid_argument{"SerenaMatcher: ports must be >= 1"};
 }
 
-Matching SerenaMatcher::random_matching(const demand::DemandMatrix& demand) {
+void SerenaMatcher::random_matching_into(const demand::DemandMatrix& demand, Matching& out) {
   // Visit inputs in a random order; each grabs a random free positive-demand
   // output.  Maximality is not required — the merge step compensates.
-  std::vector<std::uint32_t> order(ports_);
-  std::iota(order.begin(), order.end(), 0u);
+  order_.resize(ports_);
+  std::iota(order_.begin(), order_.end(), 0u);
   for (std::uint32_t k = ports_ - 1; k > 0; --k) {
-    std::swap(order[k], order[rng_.next_below(k + 1)]);
+    std::swap(order_[k], order_[rng_.next_below(k + 1)]);
   }
 
-  Matching m{ports_, ports_};
-  std::vector<net::PortId> candidates;
-  for (const std::uint32_t i : order) {
-    candidates.clear();
+  out.reset(ports_, ports_);
+  for (const std::uint32_t i : order_) {
+    candidates_.clear();
     for (std::uint32_t j = 0; j < ports_; ++j) {
-      if (!m.output_matched(j) && demand.at(i, j) > 0) candidates.push_back(j);
+      if (!out.output_matched(j) && demand.at(i, j) > 0) candidates_.push_back(j);
     }
-    if (!candidates.empty()) {
-      m.match(i, candidates[rng_.next_below(candidates.size())]);
+    if (!candidates_.empty()) {
+      out.match(i, candidates_[rng_.next_below(candidates_.size())]);
     }
   }
-  return m;
 }
 
-Matching SerenaMatcher::merge(const Matching& a, const Matching& b,
-                              const demand::DemandMatrix& demand) {
+void SerenaMatcher::merge_into(const Matching& a, const Matching& b,
+                               const demand::DemandMatrix& demand, Matching& out) {
   // Union components of a ∪ b are alternating paths/cycles; pick, per
   // component, whichever sub-matching carries more demand.
-  UnionFind uf{static_cast<std::size_t>(ports_) * 2};
+  uf_parent_.resize(static_cast<std::size_t>(ports_) * 2);
+  std::iota(uf_parent_.begin(), uf_parent_.end(), std::size_t{0});
+  auto& uf = uf_parent_;
   const auto out_node = [this](net::PortId j) { return static_cast<std::size_t>(ports_) + j; };
-  a.for_each_pair([&](net::PortId i, net::PortId j) { uf.unite(i, out_node(j)); });
-  b.for_each_pair([&](net::PortId i, net::PortId j) { uf.unite(i, out_node(j)); });
+  const auto unite = [&uf](std::size_t x, std::size_t y) { uf[uf_find(uf, x)] = uf_find(uf, y); };
+  a.for_each_pair([&](net::PortId i, net::PortId j) { unite(i, out_node(j)); });
+  b.for_each_pair([&](net::PortId i, net::PortId j) { unite(i, out_node(j)); });
 
-  std::vector<std::int64_t> weight_a(static_cast<std::size_t>(ports_) * 2, 0);
-  std::vector<std::int64_t> weight_b(static_cast<std::size_t>(ports_) * 2, 0);
-  a.for_each_pair([&](net::PortId i, net::PortId j) { weight_a[uf.find(i)] += demand.at(i, j); });
-  b.for_each_pair([&](net::PortId i, net::PortId j) { weight_b[uf.find(i)] += demand.at(i, j); });
+  weight_a_.assign(static_cast<std::size_t>(ports_) * 2, 0);
+  weight_b_.assign(static_cast<std::size_t>(ports_) * 2, 0);
+  a.for_each_pair(
+      [&](net::PortId i, net::PortId j) { weight_a_[uf_find(uf, i)] += demand.at(i, j); });
+  b.for_each_pair(
+      [&](net::PortId i, net::PortId j) { weight_b_[uf_find(uf, i)] += demand.at(i, j); });
 
-  Matching result{ports_, ports_};
+  out.reset(ports_, ports_);
   a.for_each_pair([&](net::PortId i, net::PortId j) {
-    const std::size_t c = uf.find(i);
-    if (weight_a[c] >= weight_b[c]) result.match(i, j);
+    const std::size_t c = uf_find(uf, i);
+    if (weight_a_[c] >= weight_b_[c]) out.match(i, j);
   });
   b.for_each_pair([&](net::PortId i, net::PortId j) {
-    const std::size_t c = uf.find(i);
-    if (weight_b[c] > weight_a[c]) result.match(i, j);
+    const std::size_t c = uf_find(uf, i);
+    if (weight_b_[c] > weight_a_[c]) out.match(i, j);
   });
-  return result;
 }
 
-Matching SerenaMatcher::compute(const demand::DemandMatrix& demand) {
+void SerenaMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
   if (demand.inputs() != ports_ || demand.outputs() != ports_) {
     throw std::invalid_argument{"SerenaMatcher: demand dimensions mismatch"};
   }
   // Age out pairs whose demand has drained since the last slot.
-  Matching carried{ports_, ports_};
+  carried_.reset(ports_, ports_);
   previous_.for_each_pair([&](net::PortId i, net::PortId j) {
-    if (demand.at(i, j) > 0) carried.match(i, j);
+    if (demand.at(i, j) > 0) carried_.match(i, j);
   });
 
-  const Matching fresh = random_matching(demand);
-  Matching merged = merge(carried, fresh, demand);
+  random_matching_into(demand, fresh_);
+  merge_into(carried_, fresh_, demand, out);
 
   // Opportunistic completion: any still-free positive pair joins.
   for (std::uint32_t i = 0; i < ports_; ++i) {
-    if (merged.input_matched(i)) continue;
+    if (out.input_matched(i)) continue;
     for (std::uint32_t j = 0; j < ports_; ++j) {
-      if (!merged.output_matched(j) && demand.at(i, j) > 0) {
-        merged.match(i, j);
+      if (!out.output_matched(j) && demand.at(i, j) > 0) {
+        out.match(i, j);
         break;
       }
     }
   }
-  previous_ = merged;
+  previous_ = out;
   last_iterations_ = 1;
-  return merged;
 }
 
 }  // namespace xdrs::schedulers

@@ -7,6 +7,8 @@
 #ifndef XDRS_SCHEDULERS_SERENA_HPP
 #define XDRS_SCHEDULERS_SERENA_HPP
 
+#include <vector>
+
 #include "schedulers/matcher.hpp"
 #include "sim/random.hpp"
 
@@ -16,7 +18,7 @@ class SerenaMatcher final : public MatchingAlgorithm {
  public:
   SerenaMatcher(std::uint32_t ports, std::uint64_t seed);
 
-  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  void compute_into(const demand::DemandMatrix& demand, Matching& out) override;
   [[nodiscard]] std::string name() const override { return "serena"; }
   [[nodiscard]] std::uint32_t last_iterations() const noexcept override {
     return last_iterations_;
@@ -26,18 +28,24 @@ class SerenaMatcher final : public MatchingAlgorithm {
 
  private:
   /// A random maximal matching over positive-demand pairs (the "arrival"
-  /// matching of the original algorithm).
-  [[nodiscard]] Matching random_matching(const demand::DemandMatrix& demand);
+  /// matching of the original algorithm), written into `out`.
+  void random_matching_into(const demand::DemandMatrix& demand, Matching& out);
 
   /// MERGE: combines `a` and `b` by choosing, on every alternating
   /// cycle/path of their union, the sub-matching with the larger weight.
-  [[nodiscard]] Matching merge(const Matching& a, const Matching& b,
-                               const demand::DemandMatrix& demand);
+  void merge_into(const Matching& a, const Matching& b, const demand::DemandMatrix& demand,
+                  Matching& out);
 
   std::uint32_t ports_;
   sim::Rng rng_;
   Matching previous_;
   std::uint32_t last_iterations_{1};
+  // Recycled per-decision workspaces.
+  Matching carried_, fresh_;
+  std::vector<std::uint32_t> order_;
+  std::vector<net::PortId> candidates_;
+  std::vector<std::size_t> uf_parent_;
+  std::vector<std::int64_t> weight_a_, weight_b_;
 };
 
 }  // namespace xdrs::schedulers

@@ -5,33 +5,12 @@
 #include <stdexcept>
 #include <vector>
 
-#include "schedulers/hopcroft_karp.hpp"
-
 namespace xdrs::schedulers {
 namespace {
 
 /// Largest power of two <= v (v > 0).
 std::int64_t floor_pow2(std::int64_t v) {
   return std::int64_t{1} << (63 - std::countl_zero(static_cast<std::uint64_t>(v)));
-}
-
-demand::DemandMatrix pad_to_equal_lines(const demand::DemandMatrix& dem) {
-  const std::uint32_t n = dem.inputs();
-  const std::int64_t phi = dem.max_line_sum();
-  demand::DemandMatrix padded = dem;
-  std::vector<std::int64_t> r(n), c(n);
-  for (std::uint32_t i = 0; i < n; ++i) r[i] = phi - dem.row_sum(i);
-  for (std::uint32_t j = 0; j < n; ++j) c[j] = phi - dem.col_sum(j);
-  std::uint32_t i = 0, j = 0;
-  while (i < n && j < n) {
-    const std::int64_t s = std::min(r[i], c[j]);
-    if (s > 0) padded.add(i, j, s);
-    r[i] -= s;
-    c[j] -= s;
-    if (r[i] == 0) ++i;
-    if (j < n && c[j] == 0) ++j;
-  }
-  return padded;
 }
 
 }  // namespace
@@ -45,50 +24,69 @@ SolsticeScheduler::SolsticeScheduler(SolsticeConfig cfg) : cfg_{cfg} {
   }
 }
 
-CircuitPlan SolsticeScheduler::plan(const demand::DemandMatrix& dem) {
+void SolsticeScheduler::plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) {
   if (dem.inputs() != dem.outputs()) {
     throw std::invalid_argument{"SolsticeScheduler: matrix must be square"};
   }
   const std::uint32_t n = dem.inputs();
 
-  CircuitPlan plan;
-  plan.residual = dem;
-  if (dem.total() == 0) return plan;
+  out.residual.copy_from(dem);
+  if (dem.total() == 0) {
+    out.slots.clear();
+    return;
+  }
 
-  demand::DemandMatrix stuffed = pad_to_equal_lines(dem);
+  // Stuff the demand so all line sums equal phi (northwest-corner rule),
+  // working in the recycled copy so the epoch allocates nothing.
+  stuffed_.copy_from(dem);
+  {
+    const std::int64_t phi = dem.max_line_sum();
+    row_slack_.resize(n);
+    col_slack_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) row_slack_[i] = phi - dem.row_sum(i);
+    for (std::uint32_t j = 0; j < n; ++j) col_slack_[j] = phi - dem.col_sum(j);
+    std::uint32_t i = 0, j = 0;
+    while (i < n && j < n) {
+      const std::int64_t s = std::min(row_slack_[i], col_slack_[j]);
+      if (s > 0) stuffed_.add(i, j, s);
+      row_slack_[i] -= s;
+      col_slack_[j] -= s;
+      if (row_slack_[i] == 0) ++i;
+      if (j < n && col_slack_[j] == 0) ++j;
+    }
+  }
+
   // A slot of t bytes per pair must beat the dark-time opportunity cost.
   const auto min_slot_bytes = static_cast<std::int64_t>(
       cfg_.min_amortisation * static_cast<double>(cfg_.reconfig_cost_bytes));
 
-  std::int64_t t = floor_pow2(std::max<std::int64_t>(1, stuffed.max_element()));
-  HopcroftKarp hk{n, n};
+  std::int64_t t = floor_pow2(std::max<std::int64_t>(1, stuffed_.max_element()));
+  std::size_t used = 0;
   while (t > 0 && t >= std::max<std::int64_t>(1, min_slot_bytes)) {
-    if (cfg_.max_slots > 0 && plan.slots.size() >= cfg_.max_slots) break;
+    if (cfg_.max_slots > 0 && used >= cfg_.max_slots) break;
 
-    hk.clear_edges();
+    hk_.reset(n, n);
     for (std::uint32_t i = 0; i < n; ++i) {
       for (std::uint32_t j = 0; j < n; ++j) {
-        if (stuffed.at(i, j) >= t) hk.add_edge(i, j);
+        if (stuffed_.at(i, j) >= t) hk_.add_edge(i, j);
       }
     }
-    if (hk.solve() < n) {
+    if (hk_.solve() < n) {
       t /= 2;  // threshold too demanding: no perfect matching at this level
       continue;
     }
 
-    CircuitSlot slot;
-    slot.configuration = Matching{n, n};
+    CircuitSlot& slot = out.reuse_slot(used++, n);
     slot.weight_bytes = t;
     for (std::uint32_t i = 0; i < n; ++i) {
-      const std::uint32_t j = hk.match_of_left(i);
+      const std::uint32_t j = hk_.match_of_left(i);
       slot.configuration.match(i, j);
-      stuffed.subtract_clamped(i, j, t);
-      plan.residual.subtract_clamped(i, j, t);
+      stuffed_.subtract_clamped(i, j, t);
+      out.residual.subtract_clamped(i, j, t);
     }
-    plan.slots.push_back(std::move(slot));
-    if (plan.residual.total() == 0) break;  // all real demand covered
+    if (out.residual.total() == 0) break;  // all real demand covered
   }
-  return plan;
+  out.slots.resize(used);
 }
 
 }  // namespace xdrs::schedulers

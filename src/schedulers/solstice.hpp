@@ -15,8 +15,10 @@
 #define XDRS_SCHEDULERS_SOLSTICE_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "schedulers/circuit_scheduler.hpp"
+#include "schedulers/hopcroft_karp.hpp"
 
 namespace xdrs::schedulers {
 
@@ -34,13 +36,18 @@ class SolsticeScheduler final : public CircuitScheduler {
  public:
   explicit SolsticeScheduler(SolsticeConfig cfg);
 
-  [[nodiscard]] CircuitPlan plan(const demand::DemandMatrix& dem) override;
+  void plan_into(const demand::DemandMatrix& dem, CircuitPlan& out) override;
   [[nodiscard]] std::string name() const override { return "solstice"; }
 
   [[nodiscard]] const SolsticeConfig& config() const noexcept { return cfg_; }
 
  private:
   SolsticeConfig cfg_;
+  // Recycled epoch workspaces: stuffed demand copy, line-slack scratch and
+  // the perfect-matching solver.
+  demand::DemandMatrix stuffed_;
+  std::vector<std::int64_t> row_slack_, col_slack_;
+  HopcroftKarp hk_{0, 0};
 };
 
 }  // namespace xdrs::schedulers

@@ -8,11 +8,11 @@ WavefrontMatcher::WavefrontMatcher(std::uint32_t ports) : ports_{ports} {
   if (ports == 0) throw std::invalid_argument{"WavefrontMatcher: ports must be >= 1"};
 }
 
-Matching WavefrontMatcher::compute(const demand::DemandMatrix& demand) {
+void WavefrontMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
   if (demand.inputs() != ports_ || demand.outputs() != ports_) {
     throw std::invalid_argument{"WavefrontMatcher: demand dimensions mismatch"};
   }
-  Matching m{ports_, ports_};
+  out.reset(ports_, ports_);
 
   // Wrapped wavefront: N waves, wave w covering the rotation
   // { (i, (i + d) mod N) : i }, d = (w + offset) mod N.  Cells of a wave
@@ -23,13 +23,12 @@ Matching WavefrontMatcher::compute(const demand::DemandMatrix& demand) {
     const std::uint32_t d = (w + offset_) % ports_;
     for (std::uint32_t i = 0; i < ports_; ++i) {
       const std::uint32_t j = (i + d) % ports_;
-      if (m.input_matched(i) || m.output_matched(j)) continue;
-      if (demand.at_unchecked(i, j) > 0) m.match(i, j);
+      if (out.input_matched(i) || out.output_matched(j)) continue;
+      if (demand.at_unchecked(i, j) > 0) out.match(i, j);
     }
   }
   last_iterations_ = ports_;
   offset_ = (offset_ + 1) % ports_;  // rotate the priority diagonal
-  return m;
 }
 
 }  // namespace xdrs::schedulers

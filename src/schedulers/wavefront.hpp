@@ -19,7 +19,7 @@ class WavefrontMatcher final : public MatchingAlgorithm {
  public:
   explicit WavefrontMatcher(std::uint32_t ports);
 
-  [[nodiscard]] Matching compute(const demand::DemandMatrix& demand) override;
+  void compute_into(const demand::DemandMatrix& demand, Matching& out) override;
   [[nodiscard]] std::string name() const override { return "wavefront"; }
 
   /// Waves swept in the last compute (always 2N - 1 in hardware; reported

@@ -78,7 +78,7 @@ TEST(ExperimentRunner, ProgressSeesEveryPoint) {
 
 TEST(ExperimentRunner, PointErrorsPropagateToTheCaller) {
   auto grid = small_grid();
-  grid[3].estimator = "psychic";
+  grid[3].policies.estimator = "psychic";
   EXPECT_THROW((void)ExperimentRunner{}.run(grid), std::invalid_argument);
 }
 

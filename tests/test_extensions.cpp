@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "core/framework.hpp"
-#include "schedulers/factory.hpp"
+#include "schedulers/policy_registry.hpp"
 #include "schedulers/wavefront.hpp"
 #include "topo/testbed.hpp"
 #include "traffic/generators.hpp"
@@ -77,7 +77,7 @@ TEST(Wavefront, RotatingPriorityIsFair) {
 }
 
 TEST(Wavefront, FactorySpec) {
-  auto m = schedulers::make_matcher("wavefront", 8, 1);
+  auto m = schedulers::PolicyRegistry::instance().make_matcher("wavefront", {.ports = 8});
   EXPECT_EQ(m->name(), "wavefront");
   EXPECT_TRUE(m->compute(full_demand(8)).is_perfect());
 }

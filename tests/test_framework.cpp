@@ -5,9 +5,6 @@
 #include <memory>
 
 #include "core/framework.hpp"
-#include "schedulers/baselines.hpp"
-#include "schedulers/rga.hpp"
-#include "schedulers/solstice.hpp"
 #include "topo/testbed.hpp"
 
 namespace xdrs::core {
@@ -98,11 +95,7 @@ TEST(Framework, ConservationOfPackets) {
 TEST(Framework, OcsCarriesElephantsEpsCarriesResidual) {
   FrameworkConfig c = fast_hybrid();
   HybridSwitchFramework fw{c};
-  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  schedulers::SolsticeConfig sc;
-  sc.reconfig_cost_bytes = reconfig_cost_bytes(c);
-  fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+  fw.set_policies(PolicyStack{});
 
   topo::WorkloadSpec spec;
   spec.kind = topo::WorkloadSpec::Kind::kOnOffBursts;
@@ -132,15 +125,7 @@ TEST(Framework, HardwareSchedulingBeatsSoftwareOnVoipLatency) {
     c.placement = hardware ? BufferPlacement::kToRSwitch : BufferPlacement::kHost;
     c.epoch = hardware ? Time::microseconds(100) : Time::milliseconds(1);
     HybridSwitchFramework fw{c};
-    fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-    if (hardware) {
-      fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-    } else {
-      fw.set_timing_model(std::make_unique<control::SoftwareSchedulerTimingModel>());
-    }
-    schedulers::SolsticeConfig sc;
-    sc.reconfig_cost_bytes = reconfig_cost_bytes(c);
-    fw.set_circuit_scheduler(std::make_unique<schedulers::SolsticeScheduler>(sc));
+    fw.set_policies(PolicyStack{}.with_timing(hardware ? "hardware" : "software"));
     topo::attach_voip(fw, 2, 20_us, 200);
     return fw.run(8_ms, 2_ms);
   };

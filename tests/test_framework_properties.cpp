@@ -7,9 +7,6 @@
 #include <string>
 
 #include "core/framework.hpp"
-#include "schedulers/baselines.hpp"
-#include "schedulers/factory.hpp"
-#include "schedulers/solstice.hpp"
 #include "topo/testbed.hpp"
 
 namespace xdrs::core {
@@ -34,10 +31,9 @@ TEST_P(SlottedSweep, DeliversAndConserves) {
   c.discipline = SchedulingDiscipline::kSlotted;
   c.slot_time = 5_us;
   c.ocs_reconfig = 50_ns;
+  c.seed = 5;  // feeds randomized matchers (pim) via the policy context
   HybridSwitchFramework fw{c};
-  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  fw.set_matcher(schedulers::make_matcher(param.matcher, c.ports, 5));
+  fw.set_policies(PolicyStack{}.with_matcher(param.matcher));
 
   topo::WorkloadSpec spec;
   spec.kind = topo::WorkloadSpec::Kind::kPoissonUniform;
@@ -81,18 +77,6 @@ struct HybridCase {
 
 class HybridSweep : public ::testing::TestWithParam<HybridCase> {};
 
-std::unique_ptr<schedulers::CircuitScheduler> make_circuit_scheduler(const std::string& name,
-                                                                     const FrameworkConfig& c) {
-  if (name == "solstice") {
-    schedulers::SolsticeConfig sc;
-    sc.reconfig_cost_bytes = reconfig_cost_bytes(c);
-    sc.max_slots = c.ports;
-    return std::make_unique<schedulers::SolsticeScheduler>(sc);
-  }
-  if (name == "cthrough") return std::make_unique<schedulers::CThroughScheduler>();
-  return std::make_unique<schedulers::TmsScheduler>(4);
-}
-
 TEST_P(HybridSweep, DeliversAndConserves) {
   const auto& param = GetParam();
   FrameworkConfig c;
@@ -102,9 +86,7 @@ TEST_P(HybridSweep, DeliversAndConserves) {
   c.ocs_reconfig = 1_us;
   c.min_circuit_hold = 10_us;
   HybridSwitchFramework fw{c};
-  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
-  fw.set_circuit_scheduler(make_circuit_scheduler(param.scheduler, c));
+  fw.set_policies(PolicyStack{}.with_circuit(param.scheduler));
 
   topo::WorkloadSpec spec;
   spec.kind = param.workload;

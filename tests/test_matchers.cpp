@@ -7,7 +7,7 @@
 #include <numeric>
 #include <vector>
 
-#include "schedulers/factory.hpp"
+#include "schedulers/policy_registry.hpp"
 #include "schedulers/greedy.hpp"
 #include "schedulers/hopcroft_karp.hpp"
 #include "schedulers/hungarian.hpp"
@@ -17,6 +17,16 @@
 
 namespace xdrs::schedulers {
 namespace {
+
+/// Registry shorthand used throughout this file.
+std::unique_ptr<MatchingAlgorithm> make_matcher(std::string_view spec, std::uint32_t ports,
+                                                std::uint64_t seed = 1) {
+  return PolicyRegistry::instance().make_matcher(spec, {.ports = ports, .seed = seed});
+}
+
+std::vector<std::string> known_matcher_specs() {
+  return PolicyRegistry::instance().known_specs(PolicyKind::kMatcher);
+}
 
 demand::DemandMatrix random_demand(std::uint32_t n, sim::Rng& rng, double density) {
   demand::DemandMatrix m{n};

@@ -7,7 +7,7 @@
 #include <memory>
 
 #include "core/framework.hpp"
-#include "schedulers/factory.hpp"
+#include "schedulers/policy_registry.hpp"
 #include "topo/testbed.hpp"
 
 namespace xdrs::core {
@@ -141,11 +141,10 @@ TEST_P(ConfigGrid, AccountingIdentitiesHold) {
   c.sync.guard_band = 2_us;
   c.voq_limits.max_bytes_per_voq = 256 * 1024;
 
+  c.seed = 3;  // feeds randomized matchers via the policy context
   HybridSwitchFramework fw{c};
-  fw.set_estimator(std::make_unique<demand::InstantaneousEstimator>(c.ports, c.ports));
-  fw.set_timing_model(std::make_unique<control::HardwareSchedulerTimingModel>());
   if (g.discipline == SchedulingDiscipline::kSlotted) {
-    fw.set_matcher(schedulers::make_matcher(g.matcher, c.ports, 3));
+    fw.set_policies(PolicyStack{}.with_matcher(g.matcher));
   } else {
     fw.use_default_policies();  // fills the circuit scheduler
   }

@@ -15,6 +15,7 @@ using sim::Time;
 /// A fully populated synthetic report with easy-to-check numbers.
 RunReport sample_report() {
   RunReport r;
+  r.policy_stack = "islip-i2/-/instantaneous/hardware";
   r.duration = Time::milliseconds(1);
   r.offered_packets = 10;
   r.offered_bytes = 15'000;
@@ -75,6 +76,21 @@ TEST(RunReportMerge, DerivedRatesAreReweighted) {
   EXPECT_EQ(a.mean_decision_latency.ps(), (4 * 250'000 + 12 * 500'000) / 16);
 }
 
+TEST(RunReportMerge, PolicyStackAgreesOrGoesMixed) {
+  RunReport a = sample_report();
+  a.merge(sample_report());
+  EXPECT_EQ(a.policy_stack, "islip-i2/-/instantaneous/hardware");
+
+  RunReport other = sample_report();
+  other.policy_stack = "-/solstice/instantaneous/hardware";
+  a.merge(other);
+  EXPECT_EQ(a.policy_stack, "mixed");
+
+  RunReport fresh;  // empty adopts the other side's stack
+  fresh.merge(other);
+  EXPECT_EQ(fresh.policy_stack, "-/solstice/instantaneous/hardware");
+}
+
 TEST(RunReportMerge, MergingEmptyIsIdentity) {
   RunReport a = sample_report();
   const std::string before = a.to_json();
@@ -124,7 +140,8 @@ TEST(RunReportFields, CsvHeaderAndRowAgreeOnColumnCount) {
 TEST(RunReportGolden, Json) {
   EXPECT_EQ(
       sample_report().to_json(),
-      R"({"duration_ps":1000000000,"offered_packets":10,"offered_bytes":15000,)"
+      R"({"schema_version":2,"policy_stack":"islip-i2/-/instantaneous/hardware",)"
+      R"("duration_ps":1000000000,"offered_packets":10,"offered_bytes":15000,)"
       R"("delivered_packets":8,"delivered_bytes":12000,"serviced_bytes":13000,)"
       R"("ocs_bytes":9000,"eps_bytes":3000,"latency_sensitive_bytes":1000,)"
       R"("throughput_bytes":2000,"best_effort_bytes":9000,"voq_drops":1,"eps_drops":2,)"
@@ -138,6 +155,7 @@ TEST(RunReportGolden, Json) {
 
 TEST(RunReportGolden, CsvRow) {
   EXPECT_EQ(RunReport::csv_header(),
+            "schema_version,policy_stack,"
             "duration_ps,offered_packets,offered_bytes,delivered_packets,delivered_bytes,"
             "serviced_bytes,ocs_bytes,eps_bytes,latency_sensitive_bytes,throughput_bytes,"
             "best_effort_bytes,voq_drops,eps_drops,sync_losses,reconfig_cuts,reconfigurations,"
@@ -147,6 +165,7 @@ TEST(RunReportGolden, CsvRow) {
             "latency_sensitive_count,latency_sensitive_mean_ps,latency_sensitive_p99_ps,"
             "jitter_flows,jitter_mean_us,jitter_max_us");
   EXPECT_EQ(sample_report().csv_row(),
+            "2,islip-i2/-/instantaneous/hardware,"
             "1000000000,10,15000,8,12000,13000,9000,3000,1000,2000,9000,1,2,3,4,5,2000000,0.5,"
             "400,200,4,250000,0.8,2,5,3,3,7,1,5,5,1,1.5,1.5");
 }

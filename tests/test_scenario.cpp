@@ -66,7 +66,7 @@ TEST(ScenarioSpec, FluentMutatorsComposeAndKeyReflectsThem) {
                        .with_window(1_ms, 100_us);
   EXPECT_EQ(s.config.ports, 16u);
   EXPECT_DOUBLE_EQ(s.load(), 0.75);
-  EXPECT_EQ(s.matcher, "islip:4");
+  EXPECT_EQ(s.policies.matcher, "islip:4");
   EXPECT_EQ(s.config.seed, 21u);
   EXPECT_EQ(s.duration, 1_ms);
   EXPECT_EQ(s.warmup, 100_us);
@@ -103,15 +103,15 @@ TEST(ScenarioSpec, MaterializeBuildsTheConfiguredFramework) {
 
 TEST(ScenarioSpec, MaterializeRejectsUnknownPolicies) {
   ScenarioSpec s = make_scenario("uniform", 4, 0.5, 7);
-  s.estimator = "psychic";
+  s.policies.estimator = "psychic";
   EXPECT_THROW((void)materialize(s), std::invalid_argument);
 
   s = make_scenario("uniform", 4, 0.5, 7);
-  s.timing = "quantum";
+  s.policies.timing = "quantum";
   EXPECT_THROW((void)materialize(s), std::invalid_argument);
 
   s = make_scenario("onoff", 4, 0.5, 7);
-  s.circuit = "wormhole";
+  s.policies.circuit = "wormhole";
   EXPECT_THROW((void)materialize(s), std::invalid_argument);
 }
 

@@ -6,7 +6,7 @@
 
 #include "control/sdn.hpp"
 #include "core/framework.hpp"
-#include "schedulers/factory.hpp"
+#include "schedulers/policy_registry.hpp"
 #include "schedulers/hungarian.hpp"
 #include "schedulers/serena.hpp"
 #include "topo/testbed.hpp"
@@ -171,7 +171,7 @@ TEST(Serena, DropsDrainedPairs) {
 }
 
 TEST(Serena, FactorySpec) {
-  auto m = schedulers::make_matcher("serena", 8, 3);
+  auto m = schedulers::PolicyRegistry::instance().make_matcher("serena", {.ports = 8, .seed = 3});
   EXPECT_EQ(m->name(), "serena");
   EXPECT_FALSE(m->hardware_parallel());
 }
