@@ -1,0 +1,109 @@
+// Profiling target: one hot scenario, repeated long enough to perf-record.
+//
+// The matcher inner loops (the RGA family in rga.cpp, the Hungarian solver
+// behind "maxweight") are the expected hot spots; this bench pins one
+// scenario and re-runs it with fresh seeds on a single thread until the
+// requested wall-clock budget is spent, so samples overwhelmingly land in
+// the simulator rather than setup/teardown.  Pair it with the Profile build
+// type:
+//
+//   $ cmake -B build-profile -S . -DCMAKE_BUILD_TYPE=Profile
+//   $ cmake --build build-profile -j --target bench_profile_hotloop
+//   $ perf record -g ./build-profile/bench_profile_hotloop --seconds=10
+//   $ perf report            # or: perf script | flamegraph.pl
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.hpp"
+#include "exp/scenario.hpp"
+
+namespace {
+
+using namespace xdrs;
+using namespace xdrs::sim::literals;
+
+struct Options {
+  std::string scenario{"uniform"};
+  std::string matcher{"islip:4"};  // RGA inner loop; "maxweight" = Hungarian
+  std::uint32_t ports{32};
+  double load{0.9};
+  double seconds{10.0};
+};
+
+bool parse(int argc, char** argv, Options& opt) try {
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--scenario") {
+      opt.scenario = val;
+    } else if (key == "--matcher") {
+      opt.matcher = val;
+    } else if (key == "--ports") {
+      opt.ports = static_cast<std::uint32_t>(std::stoul(val));
+    } else if (key == "--load") {
+      opt.load = std::stod(val);
+    } else if (key == "--seconds") {
+      opt.seconds = std::stod(val);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_profile_hotloop [--scenario=NAME] [--matcher=SPEC] [--ports=N] "
+                   "[--load=F] [--seconds=S]\n");
+      return false;
+    }
+  }
+  return true;
+} catch (const std::exception&) {
+  std::fprintf(stderr, "bench_profile_hotloop: bad flag value\n");
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 2;
+
+  exp::ScenarioSpec spec;
+  try {
+    spec = exp::make_scenario(opt.scenario, opt.ports, opt.load, /*seed=*/7)
+               .with_matcher(opt.matcher)
+               .with_window(2_ms, 200_us);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bench_profile_hotloop: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("hot loop: %s for %.1fs wall clock (single thread, fresh seed per iteration)\n",
+              spec.key().c_str(), opt.seconds);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  std::uint64_t iterations = 0;
+  std::uint64_t decisions = 0;
+  std::int64_t delivered = 0;
+  while (elapsed() < opt.seconds) {
+    spec.with_seed(7 + iterations);  // decorrelate iterations, keep the workload shape
+    const core::RunReport report = exp::run_scenario(spec);
+    decisions += report.scheduler_decisions;
+    delivered += report.delivered_bytes;
+    ++iterations;
+  }
+
+  const double wall = elapsed();
+  std::printf("%llu iterations in %.2fs — %.2f sims/s, %.0f scheduler decisions/s "
+              "(%.1f MB delivered)\n",
+              static_cast<unsigned long long>(iterations), wall,
+              static_cast<double>(iterations) / wall, static_cast<double>(decisions) / wall,
+              static_cast<double>(delivered) / 1e6);
+  bench::print_note(
+      "Build with -DCMAKE_BUILD_TYPE=Profile and run under `perf record -g` to attribute\n"
+      "samples; the matcher inner loops (rga.cpp, hungarian.cpp) should dominate.");
+  return 0;
+}

@@ -1,11 +1,16 @@
-// E11 — the parallel experiment engine, exercised end to end: a 64-point
-// ports x load x matcher grid over two scenarios, swept by ExperimentRunner
-// across all cores.
+// E11 — the parallel experiment engine, exercised end to end on a named grid
+// preset (exp/presets.hpp), swept by ExperimentRunner across all cores:
+//
+//   small         64-point ports x load x matcher grid  -> BENCH_sweep.json
+//   full          paper-scale 64-port x 10G grid        -> BENCH_sweep_full.json
+//   policy-cross  full PolicyRegistry known_specs cross-product
 //
 // The emitted JSON/CSV is bit-identical for any --threads value (results
 // collect in grid order; every point's simulator is independent and
 // seeded), so `--json=BENCH_sweep.json` records a perf/behaviour baseline
-// future PRs can diff exactly.
+// future PRs can diff exactly.  sweepctl builds the same grids from the
+// same preset names, so a sharded multi-process run merges to the same
+// bytes:
 //
 //   $ ./bench_sweep --threads=1 --json=a.json
 //   $ ./bench_sweep --threads=8 --json=b.json
@@ -13,19 +18,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "exp/runner.hpp"
+#include "util/file_io.hpp"
 
 namespace {
 
 using namespace xdrs;
-using namespace xdrs::sim::literals;
 
 struct Options {
   unsigned threads{0};   // 0 = all hardware threads
+  std::string preset{"small"};
   std::string json_path;
   std::string csv_path;
   bool progress{false};
@@ -39,6 +46,10 @@ bool parse(int argc, char** argv, Options& opt) try {
     const std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (key == "--threads") {
       opt.threads = static_cast<unsigned>(std::stoul(val));
+    } else if (key == "--preset") {
+      opt.preset = val;
+    } else if (key == "--full") {  // shorthand for the paper-scale grid
+      opt.preset = "full";
     } else if (key == "--json") {
       opt.json_path = val;
     } else if (key == "--csv") {
@@ -47,7 +58,8 @@ bool parse(int argc, char** argv, Options& opt) try {
       opt.progress = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_sweep [--threads=N] [--json=PATH] [--csv=PATH] [--progress]\n");
+                   "usage: bench_sweep [--threads=N] [--preset=small|full|policy-cross] [--full] "
+                   "[--json=PATH] [--csv=PATH] [--progress]\n");
       return false;
     }
   }
@@ -58,11 +70,10 @@ bool parse(int argc, char** argv, Options& opt) try {
 }
 
 void write_file(const std::string& path, const std::string& content) {
-  std::ofstream out{path, std::ios::binary};
-  out << content;
-  out.flush();  // surface write errors here, not in the silent destructor
-  if (!out) {
-    std::fprintf(stderr, "bench_sweep: cannot write %s\n", path.c_str());
+  try {
+    util::write_file(path, content);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "bench_sweep: %s\n", e.what());
     std::exit(1);
   }
 }
@@ -73,26 +84,28 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) return 2;
 
-  // 2 scenarios x 2 port counts x 4 loads x 4 matchers = 64 points.
   std::vector<exp::ScenarioSpec> grid;
-  for (const char* scenario : {"uniform", "permutation"}) {
-    grid.push_back(exp::make_scenario(scenario, 8, 0.5, 7).with_window(2_ms, 400_us));
+  try {
+    grid = exp::make_preset(opt.preset);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bench_sweep: %s\n", e.what());
+    return 2;
   }
-  grid = exp::expand(grid, exp::axis_ports({4, 8}));
-  grid = exp::expand(grid, exp::axis_load({0.3, 0.5, 0.7, 0.9}));
-  grid = exp::expand(grid, exp::axis_matcher({"islip:1", "islip:4", "pim:1", "maxweight"}));
 
   exp::SweepOptions so;
   so.threads = opt.threads;
   if (opt.progress) {
     so.progress = [](std::size_t done, std::size_t total, const exp::ScenarioSpec& s) {
-      std::fprintf(stderr, "[%3zu/%zu] %s\n", done, total, s.key().c_str());
+      std::fprintf(stderr, "[%4zu/%zu] %s\n", done, total, s.key().c_str());
     };
   }
 
   const exp::SweepResult result = exp::ExperimentRunner{so}.run(grid);
 
-  bench::print_header("E11", "parallel sweep engine — 64-point ports x load x matcher grid");
+  char title[128];
+  std::snprintf(title, sizeof title, "parallel sweep engine — %zu-point '%s' grid", grid.size(),
+                opt.preset.c_str());
+  bench::print_header("E11", title);
   auto t = result.table(
       {"label", "delivery_ratio", "delivered_bytes", "latency_p99_ps", "voq_drops"});
   std::printf("%s\n", t.markdown().c_str());
@@ -105,6 +118,7 @@ int main(int argc, char** argv) {
 
   bench::print_note(
       "Every row is one independent deterministic simulation; the grid saturates all cores and\n"
-      "the collected artefact is bit-identical for any --threads value.");
+      "the collected artefact is bit-identical for any --threads value. The same preset names\n"
+      "drive sweepctl, so sharded multi-process runs merge to these exact bytes.");
   return 0;
 }

@@ -1,0 +1,36 @@
+// Exact RunReport persistence — the read side of the artefact pipeline.
+//
+// RunReport::to_json() is a *digest*: it renders quantiles and means but not
+// the histogram buckets they came from, so a report parsed from it could not
+// be merged again without drift.  The state form fixes that: it is the
+// artefact object (every fields() entry, same order, same rendering) plus
+// the distribution internals ("latency_state", "latency_sensitive_state",
+// "jitter_state"), and report_from_state() reconstructs a report that is
+// indistinguishable from the original — merging, re-serializing or hashing
+// the reconstruction yields byte-identical output.  Result caches and shard
+// files are built on this guarantee.
+#ifndef XDRS_CORE_REPORT_IO_HPP
+#define XDRS_CORE_REPORT_IO_HPP
+
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "stats/json.hpp"
+
+namespace xdrs::core {
+
+/// Single-line JSON object: fields() followed by the distribution states.
+[[nodiscard]] std::string report_state_json(const RunReport& report);
+
+/// Reconstructs a report from a parsed state object.  Throws
+/// std::invalid_argument on missing keys, type mismatches, or a
+/// schema_version other than RunReport::kSchemaVersion.
+[[nodiscard]] RunReport report_from_state(const stats::JsonValue& state);
+
+/// parse_json() + report_from_state().
+[[nodiscard]] RunReport report_from_state_json(std::string_view json);
+
+}  // namespace xdrs::core
+
+#endif  // XDRS_CORE_REPORT_IO_HPP

@@ -1,0 +1,133 @@
+#include "exp/cache.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <stdexcept>
+
+#include "core/report_io.hpp"
+#include "stats/json.hpp"
+#include "stats/serialize.hpp"
+#include "util/file_io.hpp"
+
+namespace xdrs::exp {
+
+namespace {
+
+/// Bump when the cache entry envelope (not the report schema) changes.
+constexpr std::uint64_t kCacheSchema = 1;
+
+void fnv1a_mix(std::uint64_t& h, std::string_view bytes) noexcept {
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t spec_hash(const ScenarioSpec& spec) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  fnv1a_mix(h, spec.identity_json());
+  fnv1a_mix(h, std::string_view{"\0schema=", 8});
+  fnv1a_mix(h, std::to_string(core::RunReport::kSchemaVersion));
+  return h;
+}
+
+std::string spec_hash_hex(const ScenarioSpec& spec) { return hex16(spec_hash(spec)); }
+
+ResultCache::ResultCache(std::string dir) : dir_{std::move(dir)} {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error{"ResultCache: cannot create directory '" + dir_ + "'"};
+  }
+}
+
+std::string ResultCache::entry_name(const ScenarioSpec& spec) {
+  return hex16(spec_hash(spec)) + ".json";
+}
+
+std::string ResultCache::entry_path(const ScenarioSpec& spec) const {
+  return (std::filesystem::path{dir_} / entry_name(spec)).string();
+}
+
+std::optional<core::RunReport> ResultCache::lookup(const ScenarioSpec& spec) {
+  const auto bump = [this](std::uint64_t CacheStats::* counter) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    ++(stats_.*counter);
+  };
+
+  const std::optional<std::string> raw = util::read_file(entry_path(spec));
+  if (!raw) {
+    bump(&CacheStats::misses);
+    return std::nullopt;
+  }
+  try {
+    const stats::JsonValue entry = stats::parse_json(*raw);
+    if (entry.at("cache_schema").as_u64() != kCacheSchema) throw std::invalid_argument{"schema"};
+    // Verify the stored identity byte-for-byte against the probe spec: this
+    // catches FNV collisions and any change to what identity_json encodes
+    // (policy-stack and config edits included) without trusting the hash
+    // alone.
+    if (entry.at("spec").dump() != spec.identity_json()) {
+      throw std::invalid_argument{"spec mismatch"};
+    }
+    core::RunReport report = core::report_from_state(entry.at("report"));
+    bump(&CacheStats::hits);
+    return report;
+  } catch (const std::invalid_argument&) {
+    bump(&CacheStats::stale);
+    return std::nullopt;
+  }
+}
+
+void ResultCache::store(const ScenarioSpec& spec, const core::RunReport& report) {
+  std::string entry{"{\"cache_schema\":"};
+  entry += std::to_string(kCacheSchema);
+  entry += ",\"schema_version\":" + std::to_string(core::RunReport::kSchemaVersion);
+  entry += ",\"spec_hash\":\"" + hex16(spec_hash(spec)) + '"';
+  entry += ",\"spec\":" + spec.identity_json();
+  entry += ",\"report\":" + core::report_state_json(report);
+  entry += "}\n";
+
+  const std::string path = entry_path(spec);
+  // Unique temp name per writer so concurrent threads and shard processes
+  // sharing the directory never interleave; rename() is atomic within a
+  // filesystem.
+  static std::atomic<std::uint64_t> tmp_seq{std::random_device{}()};
+  const std::string tmp = path + ".tmp." + hex16(tmp_seq.fetch_add(1));
+  const auto store_failed = [this, &tmp](const std::string& what) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      ++stats_.store_failures;
+    }
+    throw std::runtime_error{"ResultCache: " + what};
+  };
+  try {
+    util::write_file(tmp, entry);
+  } catch (const std::runtime_error& e) {
+    store_failed(e.what());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) store_failed("cannot publish '" + path + "'");
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ++stats_.stores;
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+}  // namespace xdrs::exp

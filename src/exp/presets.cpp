@@ -1,0 +1,90 @@
+#include "exp/presets.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "exp/runner.hpp"
+#include "schedulers/policy_registry.hpp"
+
+namespace xdrs::exp {
+
+namespace {
+
+using namespace sim::literals;
+
+/// The BENCH_sweep.json grid: 2 scenarios x 2 port counts x 4 loads x
+/// 4 matchers = 64 points.  Must stay byte-for-byte reproducible — the
+/// checked-in baseline artefact and the CI shard-merge diff depend on it.
+std::vector<ScenarioSpec> preset_small() {
+  std::vector<ScenarioSpec> grid;
+  for (const char* scenario : {"uniform", "permutation"}) {
+    grid.push_back(make_scenario(scenario, 8, 0.5, 7).with_window(2_ms, 400_us));
+  }
+  grid = expand(grid, axis_ports({4, 8}));
+  grid = expand(grid, axis_load({0.3, 0.5, 0.7, 0.9}));
+  grid = expand(grid, axis_matcher({"islip:1", "islip:4", "pim:1", "maxweight"}));
+  return grid;
+}
+
+/// The paper-scale grid: 64 ports at 10 Gbps per port (the testbed the
+/// paper targets), 2 scenarios x 3 loads x 4 matchers = 24 points.  Heavier
+/// per point than `small` by design; shard it or warm a cache for iteration.
+std::vector<ScenarioSpec> preset_full() {
+  std::vector<ScenarioSpec> grid;
+  for (const char* scenario : {"uniform", "permutation"}) {
+    grid.push_back(make_scenario(scenario, 64, 0.5, 7).with_window(2_ms, 400_us));
+  }
+  grid = expand(grid, axis_load({0.3, 0.6, 0.9}));
+  grid = expand(grid, axis_matcher({"islip:1", "islip:4", "pim:1", "maxweight"}));
+  return grid;
+}
+
+/// Every registered policy spec of every kind, crossed on one hybrid
+/// scenario: the registry-driven comparison sweep the ROADMAP calls for.
+/// User-registered policies join automatically via known_specs().
+std::vector<ScenarioSpec> preset_policy_cross() {
+  using schedulers::PolicyKind;
+  const auto& reg = schedulers::PolicyRegistry::instance();
+  std::vector<ScenarioSpec> grid{make_scenario("flows", 8, 0.7, 7).with_window(1_ms, 200_us)};
+  grid = expand(grid, axis_matcher(reg.known_specs(PolicyKind::kMatcher)));
+  grid = expand(grid, axis_circuit(reg.known_specs(PolicyKind::kCircuit)));
+  grid = expand(grid, axis_estimator(reg.known_specs(PolicyKind::kEstimator)));
+  grid = expand(grid, axis_timing(reg.known_specs(PolicyKind::kTiming)));
+  return grid;
+}
+
+using PresetBuilder = std::vector<ScenarioSpec> (*)();
+
+const std::map<std::string, PresetBuilder>& presets() {
+  static const std::map<std::string, PresetBuilder> map{
+      {"small", &preset_small},
+      {"full", &preset_full},
+      {"policy-cross", &preset_policy_cross},
+  };
+  return map;
+}
+
+}  // namespace
+
+std::vector<std::string> known_presets() {
+  std::vector<std::string> names;
+  names.reserve(presets().size());
+  for (const auto& [name, build] : presets()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::vector<ScenarioSpec> make_preset(const std::string& name) {
+  const auto it = presets().find(name);
+  if (it == presets().end()) {
+    std::string known;
+    for (const auto& [n, build] : presets()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument{"make_preset: unknown preset '" + name + "' (known: " + known +
+                                ")"};
+  }
+  return it->second();
+}
+
+}  // namespace xdrs::exp

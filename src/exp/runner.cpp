@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "core/report_io.hpp"
+#include "exp/cache.hpp"
+#include "stats/json.hpp"
+
 namespace xdrs::exp {
+
+namespace {
+
+/// Bump when the shard-file envelope (not the report schema) changes.
+constexpr std::uint64_t kShardSchema = 1;
+
+}  // namespace
 
 // --------------------------------------------------------------- SweepResult
 
@@ -63,12 +76,101 @@ stats::Table SweepResult::table(const std::vector<std::string>& columns) const {
   return t;
 }
 
+// ------------------------------------------------------- sharded reassembly
+
+std::string SweepResult::to_shard_json() const {
+  if (shard.count == 0 || points.size() != shard.owned_of(grid_size)) {
+    throw std::invalid_argument{"to_shard_json: result does not match its shard/grid metadata"};
+  }
+  std::string out{"{\n  \"sweep_schema\": "};
+  out += std::to_string(kShardSchema);
+  out += ",\n  \"schema_version\": " + std::to_string(core::RunReport::kSchemaVersion);
+  out += ",\n  \"shard_index\": " + std::to_string(shard.index);
+  out += ",\n  \"shard_count\": " + std::to_string(shard.count);
+  out += ",\n  \"grid_size\": " + std::to_string(grid_size);
+  out += ",\n  \"points\": [\n";
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    const PointResult& p = points[j];
+    out += "    {\"index\":" + std::to_string(shard.index + j * shard.count);
+    out += ",\"spec_hash\":\"" + spec_hash_hex(p.spec) + '"';
+    out += ",\"key\":\"" + stats::json_escape(p.spec.key()) + '"';
+    out += ",\"report\":" + core::report_state_json(p.report) + '}';
+    if (j + 1 < points.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+SweepResult SweepResult::merge_shards(const std::vector<ScenarioSpec>& grid,
+                                      const std::vector<std::string>& shard_jsons) {
+  SweepResult result;
+  result.grid_size = grid.size();
+  result.points.resize(grid.size());
+  std::vector<bool> covered(grid.size(), false);
+
+  for (std::size_t s = 0; s < shard_jsons.size(); ++s) {
+    const auto fail = [s](const std::string& what) {
+      throw std::invalid_argument{"merge_shards: shard " + std::to_string(s) + ": " + what};
+    };
+    stats::JsonValue doc;
+    try {
+      doc = stats::parse_json(shard_jsons[s]);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+    if (doc.at("sweep_schema").as_u64() != kShardSchema) fail("unsupported sweep_schema");
+    if (doc.at("schema_version").as_u64() != core::RunReport::kSchemaVersion) {
+      fail("report schema_version mismatch");
+    }
+    if (doc.at("grid_size").as_u64() != grid.size()) {
+      fail("grid_size " + doc.at("grid_size").number_text() + " != expected grid of " +
+           std::to_string(grid.size()));
+    }
+    for (const stats::JsonValue& entry : doc.at("points").items()) {
+      const std::uint64_t index = entry.at("index").as_u64();
+      if (index >= grid.size()) fail("point index " + std::to_string(index) + " out of range");
+      if (covered[index]) fail("point " + std::to_string(index) + " already covered");
+      // The stored hash ties the report to the exact spec the shard ran;
+      // comparing against the caller's grid rejects stale shard files after
+      // a grid or schema edit.
+      if (entry.at("spec_hash").as_str() != spec_hash_hex(grid[index])) {
+        fail("point " + std::to_string(index) + " spec hash does not match the grid");
+      }
+      result.points[index].spec = grid[index];
+      try {
+        result.points[index].report = core::report_from_state(entry.at("report"));
+      } catch (const std::invalid_argument& e) {
+        fail("point " + std::to_string(index) + ": " + e.what());
+      }
+      covered[index] = true;
+    }
+  }
+
+  const std::size_t missing =
+      static_cast<std::size_t>(std::count(covered.begin(), covered.end(), false));
+  if (missing != 0) {
+    throw std::invalid_argument{"merge_shards: " + std::to_string(missing) + " of " +
+                                std::to_string(grid.size()) + " grid points missing"};
+  }
+  return result;
+}
+
 // ---------------------------------------------------------- ExperimentRunner
 
 SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
+  const ShardOptions shard = opts_.shard;
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw std::invalid_argument{"ExperimentRunner: shard index " + std::to_string(shard.index) +
+                                " not in [0, " + std::to_string(shard.count) + ")"};
+  }
+
   SweepResult result;
-  result.points.resize(grid.size());
-  if (grid.empty()) return result;
+  result.shard = shard;
+  result.grid_size = grid.size();
+  const std::size_t owned = shard.owned_of(grid.size());
+  result.points.resize(owned);
+  if (owned == 0) return result;
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
@@ -81,12 +183,27 @@ SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
       // A failed point aborts the whole sweep: don't burn the remaining
       // grid on the surviving workers just to rethrow afterwards.
       if (failed.load(std::memory_order_relaxed)) return;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= grid.size()) return;
-      PointResult& slot = result.points[i];
-      slot.spec = grid[i];
+      const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
+      if (j >= owned) return;
+      PointResult& slot = result.points[j];
+      slot.spec = grid[shard.index + j * shard.count];
       try {
-        slot.report = run_scenario(slot.spec);
+        std::optional<core::RunReport> cached;
+        if (opts_.cache != nullptr) cached = opts_.cache->lookup(slot.spec);
+        if (cached) {
+          slot.report = *std::move(cached);
+        } else {
+          slot.report = run_scenario(slot.spec);
+          if (opts_.cache != nullptr) {
+            // Caching is best-effort: a full disk or permission flap on the
+            // cache directory must not abort a sweep whose simulations are
+            // succeeding.  The cache counts the failure (store_failures).
+            try {
+              opts_.cache->store(slot.spec, slot.report);
+            } catch (const std::runtime_error&) {
+            }
+          }
+        }
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock{mutex};
@@ -95,15 +212,14 @@ SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
       }
       if (opts_.progress) {
         const std::lock_guard<std::mutex> lock{mutex};
-        opts_.progress(++completed, grid.size(), slot.spec);
+        opts_.progress(++completed, owned, slot.spec);
       }
     }
   };
 
   unsigned threads = opts_.threads != 0 ? opts_.threads
                                         : std::max(1u, std::thread::hardware_concurrency());
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, grid.size()));
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, owned));
 
   if (threads <= 1) {
     work();
@@ -158,6 +274,24 @@ std::vector<Mutator> axis_matcher(const std::vector<std::string>& specs) {
   axis.reserve(specs.size());
   for (const auto& v : specs) {
     axis.push_back([v](ScenarioSpec& s) { s.with_matcher(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_circuit(const std::vector<std::string>& specs) {
+  std::vector<Mutator> axis;
+  axis.reserve(specs.size());
+  for (const auto& v : specs) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_circuit(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_estimator(const std::vector<std::string>& specs) {
+  std::vector<Mutator> axis;
+  axis.reserve(specs.size());
+  for (const auto& v : specs) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_estimator(v); });
   }
   return axis;
 }

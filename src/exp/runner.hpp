@@ -7,6 +7,14 @@
 // worker threads, and collects the RunReports *in grid order* — so for a
 // fixed grid and seeds, every emitted byte is identical whether the sweep
 // ran on 1 thread or 64, and regardless of completion order.
+//
+// Two orthogonal scale-out mechanisms ride on that determinism:
+//   * ShardOptions splits a grid across processes/hosts by index (point i
+//     belongs to shard i % count); per-shard results serialize with
+//     to_shard_json() and SweepResult::merge_shards() reassembles the full
+//     grid-order result, byte-identical to a single-process run.
+//   * A ResultCache (exp/cache.hpp) skips points whose reports are already
+//     on disk, making iteration on one axis cheap.
 #ifndef XDRS_EXP_RUNNER_HPP
 #define XDRS_EXP_RUNNER_HPP
 
@@ -20,13 +28,34 @@
 
 namespace xdrs::exp {
 
+class ResultCache;
+
+/// Deterministic shard-by-index slice of a grid: this process owns point i
+/// iff i % count == index.  The default {0, 1} owns everything.
+struct ShardOptions {
+  std::size_t index{0};
+  std::size_t count{1};
+
+  [[nodiscard]] bool owns(std::size_t i) const noexcept { return i % count == index; }
+  /// Points of an n-point grid this shard owns.
+  [[nodiscard]] std::size_t owned_of(std::size_t n) const noexcept {
+    return n / count + (n % count > index ? 1 : 0);
+  }
+};
+
 struct SweepOptions {
   /// Worker threads; 0 = one per hardware thread.
   unsigned threads{0};
+  /// Grid slice to run (default: the whole grid).
+  ShardOptions shard{};
+  /// Optional result cache: points whose reports are cached are not
+  /// simulated (cache->stats() says how many), fresh reports are stored
+  /// best-effort (a failing cache directory never aborts the sweep).
+  ResultCache* cache{nullptr};
   /// Optional progress callback, invoked after each completed point with
-  /// (completed, total, point).  Called from worker threads under a lock;
-  /// completion order is nondeterministic, so route it to stderr/logging,
-  /// never into result artefacts.
+  /// (completed, total-owned, point).  Called from worker threads under a
+  /// lock; completion order is nondeterministic, so route it to
+  /// stderr/logging, never into result artefacts.
   std::function<void(std::size_t, std::size_t, const ScenarioSpec&)> progress;
 };
 
@@ -36,30 +65,49 @@ struct PointResult {
   core::RunReport report;
 };
 
-/// Results of one sweep, in grid order.
+/// Results of one sweep: the points this run owned, in grid order.  For an
+/// unsharded run that is the whole grid; for a sharded run it is the owned
+/// subsequence (grid index of points[j] = shard.index + j * shard.count).
 class SweepResult {
  public:
   std::vector<PointResult> points;
+  ShardOptions shard{};
+  std::size_t grid_size{0};  ///< full grid size (== points.size() iff unsharded)
 
-  /// Grid totals: every point's report folded into one.
+  /// Totals: every owned point's report folded into one.
   [[nodiscard]] core::RunReport merged() const;
 
-  /// Deterministic emits.  Columns/keys are the specs' identity fields
-  /// followed by the reports' fields; rows are in grid order.
+  /// Deterministic artefact emits.  Columns/keys are the specs' identity
+  /// fields followed by the reports' fields; rows are in grid order.
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] std::string to_json() const;  ///< {"points":[...],"merged":{...}}
 
   /// Markdown table of selected columns (by field name) for bench output.
   [[nodiscard]] stats::Table table(const std::vector<std::string>& columns) const;
+
+  // ---- sharded-sweep reassembly -------------------------------------------
+
+  /// Exact-state shard file: every owned point's grid index, spec hash and
+  /// full report state.  merge_shards() consumes these.
+  [[nodiscard]] std::string to_shard_json() const;
+
+  /// Reassembles shard payloads (to_shard_json() outputs) produced from the
+  /// same `grid` into one complete result — equal, byte for byte through
+  /// to_json()/to_csv(), to what a single-process run of `grid` returns.
+  /// Throws std::invalid_argument on schema/grid mismatches, points not in
+  /// `grid` (stale shard files), duplicate or missing points.
+  [[nodiscard]] static SweepResult merge_shards(const std::vector<ScenarioSpec>& grid,
+                                                const std::vector<std::string>& shard_jsons);
 };
 
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(SweepOptions opts = {}) : opts_{std::move(opts)} {}
 
-  /// Runs every point of `grid`.  Exceptions thrown by a point (unknown
-  /// policy names, config errors) are rethrown on the calling thread after
-  /// the pool drains.
+  /// Runs every point of `grid` this run's shard owns.  Exceptions thrown by
+  /// a point (unknown policy names, config errors) are rethrown on the
+  /// calling thread after the pool drains.  Throws std::invalid_argument on
+  /// malformed ShardOptions (count == 0 or index >= count).
   [[nodiscard]] SweepResult run(const std::vector<ScenarioSpec>& grid) const;
 
  private:
@@ -79,6 +127,8 @@ using Mutator = std::function<void(ScenarioSpec&)>;
 [[nodiscard]] std::vector<Mutator> axis_ports(const std::vector<std::uint32_t>& values);
 [[nodiscard]] std::vector<Mutator> axis_load(const std::vector<double>& values);
 [[nodiscard]] std::vector<Mutator> axis_matcher(const std::vector<std::string>& specs);
+[[nodiscard]] std::vector<Mutator> axis_circuit(const std::vector<std::string>& specs);
+[[nodiscard]] std::vector<Mutator> axis_estimator(const std::vector<std::string>& specs);
 [[nodiscard]] std::vector<Mutator> axis_timing(const std::vector<std::string>& models);
 [[nodiscard]] std::vector<Mutator> axis_seed(const std::vector<std::uint64_t>& seeds);
 

@@ -129,6 +129,62 @@ std::vector<stats::Field> ScenarioSpec::fields() const {
   return f;
 }
 
+std::string ScenarioSpec::identity_json() const {
+  using stats::Field;
+  std::vector<Field> f = fields();
+  // Every behaviour-affecting FrameworkConfig knob fields() leaves out.  A
+  // new config field MUST be added here, or specs differing only in it will
+  // share cache entries; test_result_cache's axis-sensitivity test is the
+  // reminder.
+  f.push_back(Field::i64("link_rate_bps", config.link_rate.bits_per_sec()));
+  f.push_back(Field::i64("eps_rate_bps", config.eps_rate.bits_per_sec()));
+  f.push_back(Field::i64("link_latency_ps", config.link_latency.ps()));
+  f.push_back(Field::i64("eps_latency_ps", config.eps_latency.ps()));
+  f.push_back(Field::i64("ocs_fabric_latency_ps", config.ocs_fabric_latency.ps()));
+  f.push_back(Field::i64("ocs_reconfig_ps", config.ocs_reconfig.ps()));
+  f.push_back(Field::f64("ocs_failure_prob", config.ocs_failure_prob));
+  f.push_back(Field::i64("eps_buffer_bytes", config.eps_buffer_bytes));
+  f.push_back(Field::u64("eps_strict_priority", config.eps_strict_priority ? 1 : 0));
+  f.push_back(Field::i64("voq_max_bytes", config.voq_limits.max_bytes_per_voq));
+  f.push_back(Field::i64("voq_max_packets", config.voq_limits.max_packets_per_voq));
+  f.push_back(Field::i64("voq_shared_bytes", config.voq_limits.shared_buffer_bytes));
+  f.push_back(Field::str("placement", to_string(config.placement)));
+  f.push_back(Field::i64("slot_time_ps", config.slot_time.ps()));
+  f.push_back(Field::i64("epoch_ps", config.epoch.ps()));
+  f.push_back(Field::i64("min_circuit_hold_ps", config.min_circuit_hold.ps()));
+  f.push_back(Field::u64("latency_sensitive_to_eps", config.latency_sensitive_to_eps ? 1 : 0));
+  f.push_back(Field::u64("configure_before_grant", config.configure_before_grant ? 1 : 0));
+  f.push_back(Field::u64("eps_fallback_on_miss", config.eps_fallback_on_miss ? 1 : 0));
+  f.push_back(Field::i64("sync_max_skew_ps", config.sync.max_skew.ps()));
+  f.push_back(Field::i64("sync_jitter_ps", config.sync.jitter.ps()));
+  f.push_back(Field::i64("sync_guard_band_ps", config.sync.guard_band.ps()));
+  f.push_back(Field::u64("sync_seed", config.sync.seed));
+  f.push_back(Field::u64("voip_pairs", voip_pairs));
+  f.push_back(Field::i64("voip_period_ps", voip_period.ps()));
+  f.push_back(Field::i64("voip_packet_bytes", voip_packet_bytes));
+
+  std::string out = stats::to_json_object(f);
+  out.pop_back();  // reopen to append the nested workload array
+  out += ",\"workload_specs\":[";
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const topo::WorkloadSpec& w = workloads[i];
+    if (i != 0) out += ',';
+    out += stats::to_json_object({
+        Field::u64("kind", static_cast<std::uint64_t>(w.kind)),
+        Field::f64("load", w.load),
+        Field::f64("skew", w.skew),
+        Field::i64("mean_on_ps", w.mean_on.ps()),
+        Field::i64("mean_off_ps", w.mean_off.ps()),
+        Field::f64("elephant_fraction", w.elephant_fraction),
+        Field::i64("period_ps", w.period.ps()),
+        Field::i64("response_bytes", w.response_bytes),
+        Field::u64("seed", w.seed),
+    });
+  }
+  out += "]}";
+  return out;
+}
+
 // ------------------------------------------------------------- materialize
 
 std::unique_ptr<core::HybridSwitchFramework> materialize(const ScenarioSpec& spec) {

@@ -74,6 +74,13 @@ struct ScenarioSpec {
   /// Self-describing identity fields (prepended to the report's fields in
   /// sweep CSV/JSON emits).
   [[nodiscard]] std::vector<stats::Field> fields() const;
+
+  /// Exhaustive canonical rendering of everything behaviour-affecting in
+  /// the spec: fields() plus every FrameworkConfig knob, the full workload
+  /// parameter lists and the VOIP overlay.  The result-cache key and the
+  /// shard-file cross-check hash THIS, not fields(), so two specs share a
+  /// cache entry only when they would run the identical simulation.
+  [[nodiscard]] std::string identity_json() const;
 };
 
 /// Builds the framework a spec describes: configuration, policy stack and

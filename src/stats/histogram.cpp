@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <stdexcept>
 
 namespace xdrs::stats {
 
@@ -65,6 +66,40 @@ void Histogram::merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+}
+
+Histogram::State Histogram::state() const {
+  State s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max();
+  for (int i = 0; i < kSlots; ++i) {
+    const std::uint64_t c = slots_[static_cast<std::size_t>(i)];
+    if (c != 0) s.slots.emplace_back(i, c);
+  }
+  return s;
+}
+
+Histogram Histogram::from_state(const State& s) {
+  Histogram h;
+  std::uint64_t total = 0;
+  for (const auto& [slot, c] : s.slots) {
+    if (slot < 0 || slot >= kSlots) {
+      throw std::invalid_argument{"Histogram::from_state: slot index out of range"};
+    }
+    if (c == 0) throw std::invalid_argument{"Histogram::from_state: zero slot count"};
+    h.slots_[static_cast<std::size_t>(slot)] += c;
+    total += c;
+  }
+  if (total != s.count) {
+    throw std::invalid_argument{"Histogram::from_state: count does not match slot sum"};
+  }
+  h.count_ = s.count;
+  h.sum_ = s.sum;
+  h.min_ = s.min;
+  h.max_ = s.max;
+  return h;
 }
 
 void Histogram::clear() noexcept {

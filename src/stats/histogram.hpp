@@ -9,6 +9,8 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -45,6 +47,22 @@ class Histogram {
 
   void merge(const Histogram& other);
   void clear() noexcept;
+
+  /// Full internal state, for exact serialization: `slots` holds the nonzero
+  /// (slot index, count) pairs in ascending slot order; `count` is their sum.
+  /// from_state(h.state()) reproduces a histogram whose every accessor —
+  /// including quantiles and merge behaviour — matches `h` exactly.
+  struct State {
+    std::uint64_t count{0};
+    std::int64_t sum{0};
+    std::int64_t min{0};
+    std::int64_t max{0};
+    std::vector<std::pair<int, std::uint64_t>> slots;
+  };
+  [[nodiscard]] State state() const;
+  /// Throws std::invalid_argument on out-of-range slot indices, zero slot
+  /// counts or a count that disagrees with the slot sum.
+  [[nodiscard]] static Histogram from_state(const State& s);
 
   /// "n=1234 mean=1.2us p50=1us p99=3us max=9us"
   [[nodiscard]] std::string summary_time() const;

@@ -1,0 +1,412 @@
+#include "stats/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/serialize.hpp"
+
+namespace xdrs::stats {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, JsonValue::Kind got) {
+  static constexpr const char* kNames[] = {"null", "bool", "number", "string", "array", "object"};
+  throw std::invalid_argument{std::string{"json: expected "} + wanted + ", got " +
+                              kNames[static_cast<int>(got)]};
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  std::int64_t v = 0;
+  const char* first = scalar_.data();
+  const char* last = first + scalar_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) {
+    throw std::invalid_argument{"json: '" + scalar_ + "' is not an int64"};
+  }
+  return v;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  std::uint64_t v = 0;
+  const char* first = scalar_.data();
+  const char* last = first + scalar_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) {
+    throw std::invalid_argument{"json: '" + scalar_ + "' is not a uint64"};
+  }
+  return v;
+}
+
+namespace {
+
+/// Given a number token from_chars flagged result_out_of_range, decides
+/// overflow (true) vs underflow (false) by the sign of its effective
+/// decimal exponent: explicit exponent plus the most-significant-digit
+/// position of the mantissa.  "1e999" -> overflow; "0.00…01" and
+/// "0.0…1e5" with enough zeros -> underflow.
+bool out_of_range_is_overflow(std::string_view token) {
+  if (!token.empty() && (token.front() == '-' || token.front() == '+')) token.remove_prefix(1);
+  std::int64_t exponent = 0;
+  const auto e = token.find_first_of("eE");
+  if (e != std::string_view::npos) {
+    // The grammar already validated the exponent digits; saturate absurd
+    // lengths rather than parsing them exactly.
+    std::string_view digits = token.substr(e + 1);
+    bool negative = false;
+    if (!digits.empty() && (digits.front() == '-' || digits.front() == '+')) {
+      negative = digits.front() == '-';
+      digits.remove_prefix(1);
+    }
+    for (const char c : digits.substr(0, 18)) exponent = exponent * 10 + (c - '0');
+    if (negative) exponent = -exponent;
+    token = token.substr(0, e);
+  }
+  // Most-significant-digit position: digit k before the '.' contributes
+  // 10^k, digit k after it contributes 10^-(k+1).
+  const auto dot = token.find('.');
+  const std::string_view int_part = token.substr(0, dot);
+  const auto first_int = int_part.find_first_not_of('0');
+  if (first_int != std::string_view::npos) {
+    return exponent + static_cast<std::int64_t>(int_part.size() - first_int) - 1 >= 0;
+  }
+  if (dot == std::string_view::npos) return exponent >= 0;  // mantissa is 0
+  const std::string_view frac = token.substr(dot + 1);
+  const auto first_frac = frac.find_first_not_of('0');
+  if (first_frac == std::string_view::npos) return exponent >= 0;  // mantissa is 0
+  return exponent - static_cast<std::int64_t>(first_frac) - 1 >= 0;
+}
+
+}  // namespace
+
+double JsonValue::as_f64() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  // from_chars (locale-independent, unlike strtod) round-trips the shortest
+  // representations format_double() emits exactly.
+  double v = 0.0;
+  const char* first = scalar_.data();
+  const char* last = first + scalar_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec == std::errc::result_out_of_range) {
+    // Overflow saturates to +-inf (the emitter writes "1e999" for
+    // infinities on purpose); underflow to +-0.
+    const bool negative = scalar_.front() == '-';
+    if (!out_of_range_is_overflow(scalar_)) return negative ? -0.0 : 0.0;
+    return negative ? -std::numeric_limits<double>::infinity()
+                    : std::numeric_limits<double>::infinity();
+  }
+  if (ec != std::errc{} || ptr != last) {
+    throw std::invalid_argument{"json: '" + scalar_ + "' is not a double"};
+  }
+  return v;
+}
+
+const std::string& JsonValue::as_str() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return scalar_;
+}
+
+const std::string& JsonValue::number_text() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw std::invalid_argument{"json: missing key '" + std::string{key} + "'"};
+  return *v;
+}
+
+std::string JsonValue::dump() const {
+  switch (kind_) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return bool_ ? "true" : "false";
+    case Kind::kNumber: return scalar_;
+    case Kind::kString: return '"' + json_escape(scalar_) + '"';
+    case Kind::kArray: {
+      std::string out{'['};
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += items_[i].dump();
+      }
+      out += ']';
+      return out;
+    }
+    case Kind::kObject: {
+      std::string out{'{'};
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '"' + json_escape(members_[i].first) + "\":" + members_[i].second.dump();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";
+}
+
+// ------------------------------------------------------------------- parser
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_{text} {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument{"json: " + what + " at byte " + std::to_string(pos_)};
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() noexcept {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) fail(std::string{"expected '"} + c + '\'');
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    JsonValue v;
+    switch (peek()) {
+      case '{': parse_object(v); break;
+      case '[': parse_array(v); break;
+      case '"':
+        v.kind_ = JsonValue::Kind::kString;
+        v.scalar_ = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = false;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        break;
+      default: parse_number(v); break;
+    }
+    --depth_;
+    return v;
+  }
+
+  void parse_object(JsonValue& v) {
+    v.kind_ = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      JsonValue member = parse_value();
+      v.members_.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(JsonValue& v) {
+    v.kind_ = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      v.items_.push_back(parse_value());
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out); break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return cp;
+  }
+
+  void append_codepoint(std::string& out) {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: pair required
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("unpaired surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  void parse_number(JsonValue& v) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    const auto digits = [this] {
+      std::size_t n = 0;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (eof()) fail("bad number");
+    if (peek() == '0') {
+      ++pos_;  // no leading zeros
+    } else if (digits() == 0) {
+      fail("bad number");
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (digits() == 0) fail("bad number: missing fraction digits");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (digits() == 0) fail("bad number: missing exponent digits");
+    }
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.scalar_.assign(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  int depth_{0};
+};
+
+JsonValue parse_json(std::string_view text) { return JsonParser{text}.parse_document(); }
+
+}  // namespace xdrs::stats

@@ -1,0 +1,81 @@
+// Minimal JSON reader — the read side of the serialization layer.
+//
+// serialize.hpp gives every artefact exactly one textual rendering; this
+// parser closes the loop so emitted artefacts (sweep JSON, cache entries,
+// shard files) can be *read back*.  Two properties matter more than speed:
+//
+//   * Numbers keep their raw source text, so re-serializing a parsed value
+//     (dump()) reproduces the bytes the emitter wrote — the foundation of
+//     the shard-merge and cache byte-identity guarantees.
+//   * Typed accessors are strict: as_i64() on "1.5" or as_u64() on "-3"
+//     throws instead of truncating, so schema drift fails loudly.
+//
+// The grammar is full RFC 8259 JSON (objects keep insertion order,
+// duplicate keys keep the first occurrence for find()).
+#ifndef XDRS_STATS_JSON_HPP
+#define XDRS_STATS_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xdrs::stats {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+
+  // ---- strict typed accessors; throw std::invalid_argument on mismatch ----
+  [[nodiscard]] bool as_bool() const;
+  /// Integral accessors reject fractional/exponent forms and out-of-range
+  /// values rather than rounding.
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] double as_f64() const;
+  [[nodiscard]] const std::string& as_str() const;
+
+  /// The raw number token as it appeared in the source ("0.30000000000000004").
+  [[nodiscard]] const std::string& number_text() const;
+
+  // ---- containers ---------------------------------------------------------
+  [[nodiscard]] const std::vector<JsonValue>& items() const;    ///< array elements
+  [[nodiscard]] const std::vector<Member>& members() const;     ///< object, insertion order
+  /// Object member by key; nullptr when absent.  Throws if not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member by key; throws std::invalid_argument naming the missing key.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// Compact re-serialization.  Number tokens are emitted verbatim and
+  /// strings re-escaped canonically, so dump(parse_json(s)) == s for any
+  /// artefact this library emitted.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  std::string scalar_;  ///< raw number text, or decoded string payload
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses one JSON document (throws std::invalid_argument with a byte offset
+/// on malformed input or trailing garbage).
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace xdrs::stats
+
+#endif  // XDRS_STATS_JSON_HPP

@@ -56,6 +56,27 @@ class Summary {
 
   void clear() noexcept { *this = Summary{}; }
 
+  /// Full internal state, for exact serialization: from_state(s.state())
+  /// reproduces a summary whose accessors and merge behaviour match `s`
+  /// bit-for-bit (the doubles are the raw Welford accumulators).
+  struct State {
+    std::uint64_t n{0};
+    double mean{0.0};
+    double m2{0.0};
+    double min{0.0};
+    double max{0.0};
+  };
+  [[nodiscard]] State state() const noexcept { return {n_, mean_, m2_, min_, max_}; }
+  [[nodiscard]] static Summary from_state(const State& s) noexcept {
+    Summary out;
+    out.n_ = s.n;
+    out.mean_ = s.mean;
+    out.m2_ = s.m2;
+    out.min_ = s.min;
+    out.max_ = s.max;
+    return out;
+  }
+
  private:
   std::uint64_t n_{0};
   double mean_{0.0};

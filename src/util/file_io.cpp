@@ -1,0 +1,25 @@
+#include "util/file_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xdrs::util {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();  // surface write errors here, not in the silent destructor
+  if (!out) throw std::runtime_error{"cannot write '" + path + "'"};
+}
+
+}  // namespace xdrs::util

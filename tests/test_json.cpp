@@ -1,0 +1,115 @@
+// Tests for the JSON reader: grammar coverage, strict typed accessors, and
+// the dump() byte-identity guarantee the sweep cache and shard merge rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/json.hpp"
+#include "stats/serialize.hpp"
+
+namespace xdrs::stats {
+namespace {
+
+TEST(JsonParse, ScalarsAndContainers) {
+  const JsonValue v = parse_json(R"({"a":1,"b":-2.5,"c":"hi","d":[true,false,null],"e":{}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_i64(), 1);
+  EXPECT_EQ(v.at("a").as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(v.at("b").as_f64(), -2.5);
+  EXPECT_EQ(v.at("c").as_str(), "hi");
+  const auto& d = v.at("d").items();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d[0].as_bool());
+  EXPECT_FALSE(d[1].as_bool());
+  EXPECT_TRUE(d[2].is_null());
+  EXPECT_TRUE(v.at("e").members().empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), std::invalid_argument);
+}
+
+TEST(JsonParse, ObjectsKeepInsertionOrder) {
+  const JsonValue v = parse_json(R"({"z":1,"a":2,"m":3})");
+  const auto& m = v.members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0].first, "z");
+  EXPECT_EQ(m[1].first, "a");
+  EXPECT_EQ(m[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const JsonValue v = parse_json(R"(["q\"b\\s\/n\nr\rt\tu\u0041snow\u2603pair\ud83d\ude00"])");
+  EXPECT_EQ(v.items()[0].as_str(), "q\"b\\s/n\nr\rt\tuAsnow\xE2\x98\x83pair\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, StrictAccessorsRejectMismatches) {
+  const JsonValue v = parse_json(R"({"frac":1.5,"neg":-3,"big":18446744073709551615})");
+  EXPECT_THROW((void)v.at("frac").as_i64(), std::invalid_argument);   // not integral
+  EXPECT_THROW((void)v.at("neg").as_u64(), std::invalid_argument);    // negative
+  EXPECT_THROW((void)v.at("big").as_i64(), std::invalid_argument);    // > int64 max
+  EXPECT_EQ(v.at("big").as_u64(), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(v.at("frac").as_f64(), 1.5);
+  EXPECT_THROW((void)v.at("frac").as_str(), std::invalid_argument);   // kind mismatch
+  EXPECT_THROW((void)v.at("frac").items(), std::invalid_argument);
+}
+
+TEST(JsonParse, MalformedDocumentsThrow) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "nul", "01", "-",
+                          "1.", "1e", "\"unterminated", "\"bad\\q\"", "{}x", "[1] 2",
+                          "\"\\ud83d\"", "[\x01]"}) {
+    EXPECT_THROW((void)parse_json(bad), std::invalid_argument) << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, DeepNestingIsRejectedNotACrash) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW((void)parse_json(deep), std::invalid_argument);
+}
+
+TEST(JsonDump, RoundTripsEmittedArtefactsByteForByte) {
+  // What the emitters produce: to_json_object over typed fields, including
+  // a shortest-round-trip double with a long tail.
+  const std::vector<Field> fields{
+      Field::u64("schema_version", 2), Field::str("policy_stack", "islip:4/-/instant/hw"),
+      Field::i64("delta", -42), Field::f64("ratio", 0.1 + 0.2), Field::f64("half", 0.5)};
+  const std::string emitted = to_json_object(fields);
+  EXPECT_EQ(parse_json(emitted).dump(), emitted);
+
+  // Number tokens survive verbatim even when unusual.
+  const std::string doc = R"({"a":1e-3,"b":1E+2,"c":-0.0,"d":[[1,2],[3,4]]})";
+  EXPECT_EQ(parse_json(doc).dump(), doc);
+}
+
+TEST(JsonParse, OutOfRangeNumbersSaturateByMagnitude) {
+  // Overflow -> +-inf (the emitter writes "1e999" for infinities on purpose).
+  EXPECT_EQ(parse_json("1e999").as_f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parse_json("-1e999").as_f64(), -std::numeric_limits<double>::infinity());
+  // Underflow -> +-0, in exponent form and in plain decimal form.
+  EXPECT_EQ(parse_json("1e-999").as_f64(), 0.0);
+  EXPECT_EQ(parse_json("-1e-999").as_f64(), 0.0);
+  const std::string tiny = "0." + std::string(400, '0') + "1";
+  EXPECT_EQ(parse_json(tiny).as_f64(), 0.0);
+  EXPECT_EQ(parse_json("-" + tiny).as_f64(), 0.0);
+  EXPECT_TRUE(std::signbit(parse_json("-" + tiny).as_f64()));
+  // Tiny mantissa with a positive exponent still underflows overall.
+  EXPECT_EQ(parse_json(tiny + "e5").as_f64(), 0.0);
+  // Huge plain-decimal integer overflows without any exponent.
+  EXPECT_EQ(parse_json("1" + std::string(400, '0')).as_f64(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(JsonParse, WhitespaceIsInsignificant) {
+  const JsonValue v = parse_json(" {\n\t\"a\" :\r [ 1 , 2 ] \n} ");
+  EXPECT_EQ(v.at("a").items().size(), 2u);
+}
+
+TEST(JsonParse, DuplicateKeysKeepFirstForFind) {
+  const JsonValue v = parse_json(R"({"k":1,"k":2})");
+  EXPECT_EQ(v.at("k").as_i64(), 1);
+  EXPECT_EQ(v.members().size(), 2u);  // both preserved for dump()
+}
+
+}  // namespace
+}  // namespace xdrs::stats

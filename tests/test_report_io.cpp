@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "core/config.hpp"
+#include "core/report_io.hpp"
+#include "stats/json.hpp"
 #include "stats/serialize.hpp"
 
 namespace xdrs::core {
@@ -168,6 +171,85 @@ TEST(RunReportGolden, CsvRow) {
             "2,islip-i2/-/instantaneous/hardware,"
             "1000000000,10,15000,8,12000,13000,9000,3000,1000,2000,9000,1,2,3,4,5,2000000,0.5,"
             "400,200,4,250000,0.8,2,5,3,3,7,1,5,5,1,1.5,1.5");
+}
+
+// ---- state round-trip: the read side (core/report_io) ----------------------
+
+TEST(RunReportStateIo, RoundTripIsByteIdentical) {
+  const RunReport original = sample_report();
+  const std::string state = report_state_json(original);
+  const RunReport parsed = report_from_state_json(state);
+  // Exact reconstruction: both the state form and the artefact digest of the
+  // parsed report match the original byte for byte.
+  EXPECT_EQ(report_state_json(parsed), state);
+  EXPECT_EQ(parsed.to_json(), original.to_json());
+  EXPECT_EQ(parsed.csv_row(), original.csv_row());
+}
+
+TEST(RunReportStateIo, StateIsASupersetOfTheArtefactObject) {
+  // Every artefact key appears in the state object with the same rendering,
+  // so state files stay greppable with artefact field names.
+  const RunReport r = sample_report();
+  const stats::JsonValue state = stats::parse_json(report_state_json(r));
+  const stats::JsonValue artefact = stats::parse_json(r.to_json());
+  for (const auto& [key, value] : artefact.members()) {
+    EXPECT_EQ(state.at(key).dump(), value.dump()) << "field: " << key;
+  }
+  EXPECT_TRUE(state.find("latency_state") != nullptr);
+  EXPECT_TRUE(state.find("jitter_state") != nullptr);
+}
+
+TEST(RunReportStateIo, ReconstructionMergesExactlyLikeTheOriginal) {
+  RunReport a = sample_report();
+  RunReport b = sample_report();
+  b.ocs_duty_cycle = 0.9;
+  b.duration = Time::milliseconds(3);
+  b.latency.record(1'000'000);
+  b.jitter_us.record(99.5);
+
+  RunReport a2 = report_from_state_json(report_state_json(a));
+  const RunReport b2 = report_from_state_json(report_state_json(b));
+  a.merge(b);
+  a2.merge(b2);
+  EXPECT_EQ(a2.to_json(), a.to_json());
+  EXPECT_EQ(report_state_json(a2), report_state_json(a));
+}
+
+TEST(RunReportStateIo, EmptyReportRoundTrips) {
+  const RunReport empty;
+  const RunReport parsed = report_from_state_json(report_state_json(empty));
+  EXPECT_EQ(parsed.to_json(), empty.to_json());
+}
+
+TEST(RunReportStateIo, RejectsSchemaMismatchAndMissingKeys) {
+  const std::string state = report_state_json(sample_report());
+
+  // Wrong schema version: flip the leading "schema_version":2.
+  std::string wrong = state;
+  const auto pos = wrong.find("\"schema_version\":2");
+  ASSERT_NE(pos, std::string::npos);
+  wrong.replace(pos, 18, "\"schema_version\":1");
+  EXPECT_THROW((void)report_from_state_json(wrong), std::invalid_argument);
+
+  // Artefact digest alone (no distribution states) is not parseable state.
+  EXPECT_THROW((void)report_from_state_json(sample_report().to_json()), std::invalid_argument);
+  EXPECT_THROW((void)report_from_state_json("{}"), std::invalid_argument);
+  EXPECT_THROW((void)report_from_state_json("not json"), std::invalid_argument);
+}
+
+TEST(RunReportStateIo, HistogramStateRoundTripPreservesQuantiles) {
+  stats::Histogram h;
+  for (std::int64_t v : {3, 7, 7, 250, 1'000'000, 123'456'789}) h.record(v);
+  const stats::Histogram back = stats::Histogram::from_state(h.state());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.min(), h.min());
+  EXPECT_EQ(back.max(), h.max());
+  EXPECT_DOUBLE_EQ(back.mean(), h.mean());
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) EXPECT_EQ(back.quantile(q), h.quantile(q));
+
+  stats::Histogram::State bad = h.state();
+  bad.count += 1;  // disagrees with slot sum
+  EXPECT_THROW((void)stats::Histogram::from_state(bad), std::invalid_argument);
 }
 
 TEST(SerializeField, JsonEscapingAndCsvQuoting) {

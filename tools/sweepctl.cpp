@@ -1,0 +1,283 @@
+// sweepctl — sharded sweep orchestration from the command line.
+//
+// A grid preset names a deterministic grid (exp/presets.hpp), so separate
+// processes — or separate hosts sharing nothing but these files — can each
+// run a slice and a final merge reassembles the exact single-process
+// artefact:
+//
+//   host A$ sweepctl run --preset small --shard 0/2 --cache cache/ --out shard0.json
+//   host B$ sweepctl run --preset small --shard 1/2 --cache cache/ --out shard1.json
+//        $ sweepctl merge --preset small --out sweep.json shard0.json shard1.json
+//        $ cmp sweep.json <(bench_sweep --json=/dev/stdout ...)   # byte-identical
+//
+// `run` without --shard writes the full artefact directly; with --cache,
+// already-computed points are loaded instead of simulated.  `status` reports
+// grid size, per-point cache presence and shard-file coverage without
+// running anything.
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "exp/presets.hpp"
+#include "exp/runner.hpp"
+#include "stats/json.hpp"
+#include "util/file_io.hpp"
+
+namespace {
+
+using namespace xdrs;
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "sweepctl: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: sweepctl <command> [options]\n"
+               "\n"
+               "commands:\n"
+               "  presets                       list grid presets and their sizes\n"
+               "  run    --preset NAME [--shard I/N] [--cache DIR] [--threads N]\n"
+               "         [--out FILE] [--csv FILE] [--progress]\n"
+               "                                run the grid (or one shard of it).\n"
+               "                                unsharded: writes the sweep artefact JSON;\n"
+               "                                sharded: writes a shard state file for merge\n"
+               "  merge  --preset NAME --out FILE SHARD.json...\n"
+               "                                reassemble shard files into the artefact,\n"
+               "                                byte-identical to a single-process run\n"
+               "  status --preset NAME [--cache DIR] [SHARD.json...]\n"
+               "                                show grid size, cache and shard coverage\n");
+  return 2;
+}
+
+struct Options {
+  std::string command;
+  std::string preset;
+  std::string cache_dir;
+  std::string out_path;
+  std::string csv_path;
+  exp::ShardOptions shard{};
+  unsigned threads{0};
+  bool progress{false};
+  std::vector<std::string> inputs;  // positional shard files
+};
+
+bool parse_shard(const std::string& val, exp::ShardOptions& shard) {
+  const auto slash = val.find('/');
+  if (slash == std::string::npos) return false;
+  // Whole-token parses only: "0x1/2" or "1/2x" must be rejected, not
+  // silently truncated to the wrong shard.
+  try {
+    std::size_t used = 0;
+    const std::string index = val.substr(0, slash);
+    const std::string count = val.substr(slash + 1);
+    shard.index = std::stoul(index, &used);
+    if (used != index.size()) return false;
+    shard.count = std::stoul(count, &used);
+    if (used != count.size()) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return shard.count >= 1 && shard.index < shard.count;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> const char* {
+      if (a + 1 >= argc) return nullptr;
+      return argv[++a];
+    };
+    const auto eq = arg.find('=');
+    // Accept both "--flag=value" and "--flag value".
+    const std::string key = arg.substr(0, eq);
+    std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    const auto value = [&]() -> bool {
+      if (eq != std::string::npos) return true;
+      const char* v = next();
+      if (v == nullptr) return false;
+      val = v;
+      return true;
+    };
+    try {
+      if (key == "--preset") {
+        if (!value()) return false;
+        opt.preset = val;
+      } else if (key == "--shard") {
+        if (!value() || !parse_shard(val, opt.shard)) return false;
+      } else if (key == "--cache") {
+        if (!value()) return false;
+        opt.cache_dir = val;
+      } else if (key == "--out") {
+        if (!value()) return false;
+        opt.out_path = val;
+      } else if (key == "--csv") {
+        if (!value()) return false;
+        opt.csv_path = val;
+      } else if (key == "--threads") {
+        if (!value()) return false;
+        opt.threads = static_cast<unsigned>(std::stoul(val));
+      } else if (key == "--progress") {
+        opt.progress = true;
+      } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+        return false;
+      } else {
+        opt.inputs.push_back(arg);
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  try {
+    util::write_file(path, content);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "sweepctl: %s\n", e.what());
+    std::exit(1);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::optional<std::string> data = util::read_file(path);
+  if (!data) {
+    std::fprintf(stderr, "sweepctl: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  return *std::move(data);
+}
+
+// ----------------------------------------------------------------- commands
+
+int cmd_presets() {
+  for (const std::string& name : exp::known_presets()) {
+    std::printf("%-14s %4zu points\n", name.c_str(), exp::make_preset(name).size());
+  }
+  return 0;
+}
+
+int cmd_run(const Options& opt) {
+  if (opt.out_path.empty()) return usage("run: --out is required");
+  const bool sharded = opt.shard.count > 1;
+  if (sharded && !opt.csv_path.empty()) {
+    return usage("run: --csv applies to unsharded runs only (merge emits the artefact)");
+  }
+  const std::vector<exp::ScenarioSpec> grid = exp::make_preset(opt.preset);
+
+  std::optional<exp::ResultCache> cache;
+  if (!opt.cache_dir.empty()) cache.emplace(opt.cache_dir);
+
+  exp::SweepOptions so;
+  so.threads = opt.threads;
+  so.shard = opt.shard;
+  so.cache = cache ? &*cache : nullptr;
+  if (opt.progress) {
+    so.progress = [](std::size_t done, std::size_t total, const exp::ScenarioSpec& s) {
+      std::fprintf(stderr, "[%4zu/%zu] %s\n", done, total, s.key().c_str());
+    };
+  }
+
+  const exp::SweepResult result = exp::ExperimentRunner{so}.run(grid);
+
+  write_file(opt.out_path, sharded ? result.to_shard_json() : result.to_json());
+  if (!opt.csv_path.empty()) write_file(opt.csv_path, result.to_csv());
+
+  std::printf("preset %s: %zu points, shard %zu/%zu ran %zu\n", opt.preset.c_str(), grid.size(),
+              opt.shard.index, opt.shard.count, result.points.size());
+  if (cache) {
+    const exp::CacheStats cs = cache->stats();
+    std::printf("cache %s: %llu hits, %llu misses, %llu stale, %llu stored (%llu simulated)\n",
+                cache->dir().c_str(), static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.stale),
+                static_cast<unsigned long long>(cs.stores),
+                static_cast<unsigned long long>(cs.misses + cs.stale));
+    if (cs.store_failures != 0) {
+      std::fprintf(stderr, "sweepctl: warning: %llu cache writes failed (results kept in-run)\n",
+                   static_cast<unsigned long long>(cs.store_failures));
+    }
+  }
+  return 0;
+}
+
+int cmd_merge(const Options& opt) {
+  if (opt.out_path.empty()) return usage("merge: --out is required");
+  if (opt.inputs.empty()) return usage("merge: at least one shard file is required");
+  const std::vector<exp::ScenarioSpec> grid = exp::make_preset(opt.preset);
+
+  std::vector<std::string> payloads;
+  payloads.reserve(opt.inputs.size());
+  for (const std::string& path : opt.inputs) payloads.push_back(read_file(path));
+
+  const exp::SweepResult result = exp::SweepResult::merge_shards(grid, payloads);
+  write_file(opt.out_path, result.to_json());
+  if (!opt.csv_path.empty()) write_file(opt.csv_path, result.to_csv());
+  std::printf("merged %zu shard files into %s (%zu points)\n", opt.inputs.size(),
+              opt.out_path.c_str(), result.points.size());
+  return 0;
+}
+
+int cmd_status(const Options& opt) {
+  const std::vector<exp::ScenarioSpec> grid = exp::make_preset(opt.preset);
+  std::printf("preset %s: %zu points\n", opt.preset.c_str(), grid.size());
+
+  if (!opt.cache_dir.empty()) {
+    exp::ResultCache cache{opt.cache_dir};
+    for (const exp::ScenarioSpec& spec : grid) (void)cache.lookup(spec);
+    const exp::CacheStats cs = cache.stats();
+    std::printf("cache %s: %llu cached, %llu missing, %llu stale\n", cache.dir().c_str(),
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.stale));
+  }
+
+  if (!opt.inputs.empty()) {
+    std::vector<bool> covered(grid.size(), false);
+    for (const std::string& path : opt.inputs) {
+      std::size_t points = 0;
+      std::size_t matching = 0;
+      try {
+        const stats::JsonValue doc = stats::parse_json(read_file(path));
+        for (const stats::JsonValue& entry : doc.at("points").items()) {
+          ++points;
+          const std::uint64_t index = entry.at("index").as_u64();
+          if (index < grid.size() && !covered[index]) {
+            covered[index] = true;
+            ++matching;
+          }
+        }
+        std::printf("shard %s: %zu points (%zu new)\n", path.c_str(), points, matching);
+      } catch (const std::invalid_argument& e) {
+        std::printf("shard %s: unreadable (%s)\n", path.c_str(), e.what());
+      }
+    }
+    std::size_t missing = 0;
+    for (const bool c : covered) missing += c ? 0 : 1;
+    std::printf("coverage: %zu/%zu points, %zu missing\n", grid.size() - missing, grid.size(),
+                missing);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+  try {
+    if (opt.command == "presets") return cmd_presets();
+    if (opt.preset.empty()) return usage("--preset is required");
+    if (opt.command == "run") return cmd_run(opt);
+    if (opt.command == "merge") return cmd_merge(opt);
+    if (opt.command == "status") return cmd_status(opt);
+    return usage(("unknown command '" + opt.command + "'").c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweepctl: %s\n", e.what());
+    return 1;
+  }
+}
