@@ -18,6 +18,7 @@
 
 #include "bench_util.hpp"
 #include "exp/scenario.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -32,6 +33,9 @@ struct Options {
   double seconds{10.0};
 };
 
+// Whole-token, in-range parses (util::parse_number): "--ports=32x" or
+// "--load=0.9oops" are errors, not silently truncated numbers, and so is a
+// ports value past uint32 range.
 bool parse(int argc, char** argv, Options& opt) try {
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -42,12 +46,15 @@ bool parse(int argc, char** argv, Options& opt) try {
       opt.scenario = val;
     } else if (key == "--matcher") {
       opt.matcher = val;
-    } else if (key == "--ports") {
-      opt.ports = static_cast<std::uint32_t>(std::stoul(val));
-    } else if (key == "--load") {
-      opt.load = std::stod(val);
-    } else if (key == "--seconds") {
-      opt.seconds = std::stod(val);
+    } else if (key == "--ports" || key == "--load" || key == "--seconds") {
+      const bool ok = key == "--ports" ? util::parse_number(val, opt.ports)
+                      : key == "--load" ? util::parse_number(val, opt.load)
+                                        : util::parse_number(val, opt.seconds);
+      if (!ok) {
+        std::fprintf(stderr, "bench_profile_hotloop: bad %s value '%s'\n", key.c_str(),
+                     val.c_str());
+        return false;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_profile_hotloop [--scenario=NAME] [--matcher=SPEC] [--ports=N] "

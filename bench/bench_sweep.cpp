@@ -25,6 +25,7 @@
 #include "exp/presets.hpp"
 #include "exp/runner.hpp"
 #include "util/file_io.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -45,7 +46,12 @@ bool parse(int argc, char** argv, Options& opt) try {
     const std::string key = arg.substr(0, eq);
     const std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (key == "--threads") {
-      opt.threads = static_cast<unsigned>(std::stoul(val));
+      // Whole-token, in-range parse: "--threads=2x" is an error, not 2
+      // threads, and overflowing values are errors, not truncated counts.
+      if (!util::parse_number(val, opt.threads)) {
+        std::fprintf(stderr, "bench_sweep: bad --threads value '%s'\n", val.c_str());
+        return false;
+      }
     } else if (key == "--preset") {
       opt.preset = val;
     } else if (key == "--full") {  // shorthand for the paper-scale grid
@@ -58,7 +64,8 @@ bool parse(int argc, char** argv, Options& opt) try {
       opt.progress = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_sweep [--threads=N] [--preset=small|full|policy-cross] [--full] "
+                   "usage: bench_sweep [--threads=N] "
+                   "[--preset=small|full|policy-cross|composite|trace] [--full] "
                    "[--json=PATH] [--csv=PATH] [--progress]\n");
       return false;
     }

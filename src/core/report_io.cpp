@@ -1,5 +1,6 @@
 #include "core/report_io.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "stats/serialize.hpp"
@@ -42,7 +43,15 @@ stats::Histogram histogram_from_state(const JsonValue& v) {
     if (items.size() != 2) {
       throw std::invalid_argument{"report state: histogram slot entry is not a [slot,count] pair"};
     }
-    s.slots.emplace_back(static_cast<int>(items[0].as_i64()), items[1].as_u64());
+    // Reject indices that do not fit an int BEFORE the cast: a corrupt
+    // value like 2^32 would otherwise truncate into range and pass
+    // from_state's own [0, kSlots) check, landing counts in the wrong
+    // bucket silently instead of failing loudly.
+    const std::int64_t slot = items[0].as_i64();
+    if (slot < 0 || slot > std::numeric_limits<int>::max()) {
+      throw std::invalid_argument{"report state: histogram slot index out of range"};
+    }
+    s.slots.emplace_back(static_cast<int>(slot), items[1].as_u64());
   }
   return stats::Histogram::from_state(s);
 }

@@ -10,35 +10,32 @@
 #include "stats/json.hpp"
 #include "stats/serialize.hpp"
 #include "util/file_io.hpp"
+#include "util/hash.hpp"
 
 namespace xdrs::exp {
 
 namespace {
 
+using util::hex16;
+
 /// Bump when the cache entry envelope (not the report schema) changes.
 constexpr std::uint64_t kCacheSchema = 1;
 
-void fnv1a_mix(std::uint64_t& h, std::string_view bytes) noexcept {
-  for (const unsigned char c : bytes) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-}
-
-std::string hex16(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
-  return buf;
+/// Hash of an already-rendered identity, so callers that need both the
+/// rendering and the hash (lookup, store) build the identity once —
+/// identity_json() walks every config knob and workload, and for trace
+/// specs probes the digest cache, so repeated renders are pure waste.
+std::uint64_t hash_of_identity(const std::string& identity) {
+  std::uint64_t h = util::fnv1a(identity);
+  h = util::fnv1a(std::string_view{"\0schema=", 8}, h);
+  h = util::fnv1a(std::to_string(core::RunReport::kSchemaVersion), h);
+  return h;
 }
 
 }  // namespace
 
 std::uint64_t spec_hash(const ScenarioSpec& spec) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
-  fnv1a_mix(h, spec.identity_json());
-  fnv1a_mix(h, std::string_view{"\0schema=", 8});
-  fnv1a_mix(h, std::to_string(core::RunReport::kSchemaVersion));
-  return h;
+  return hash_of_identity(spec.identity_json());
 }
 
 std::string spec_hash_hex(const ScenarioSpec& spec) { return hex16(spec_hash(spec)); }
@@ -55,8 +52,12 @@ std::string ResultCache::entry_name(const ScenarioSpec& spec) {
   return hex16(spec_hash(spec)) + ".json";
 }
 
+std::string ResultCache::path_for(const std::string& hash_hex) const {
+  return (std::filesystem::path{dir_} / (hash_hex + ".json")).string();
+}
+
 std::string ResultCache::entry_path(const ScenarioSpec& spec) const {
-  return (std::filesystem::path{dir_} / entry_name(spec)).string();
+  return path_for(hex16(spec_hash(spec)));
 }
 
 std::optional<core::RunReport> ResultCache::lookup(const ScenarioSpec& spec) {
@@ -65,7 +66,9 @@ std::optional<core::RunReport> ResultCache::lookup(const ScenarioSpec& spec) {
     ++(stats_.*counter);
   };
 
-  const std::optional<std::string> raw = util::read_file(entry_path(spec));
+  const std::string identity = spec.identity_json();
+  const std::optional<std::string> raw =
+      util::read_file(path_for(hex16(hash_of_identity(identity))));
   if (!raw) {
     bump(&CacheStats::misses);
     return std::nullopt;
@@ -77,7 +80,7 @@ std::optional<core::RunReport> ResultCache::lookup(const ScenarioSpec& spec) {
     // catches FNV collisions and any change to what identity_json encodes
     // (policy-stack and config edits included) without trusting the hash
     // alone.
-    if (entry.at("spec").dump() != spec.identity_json()) {
+    if (entry.at("spec").dump() != identity) {
       throw std::invalid_argument{"spec mismatch"};
     }
     core::RunReport report = core::report_from_state(entry.at("report"));
@@ -90,15 +93,18 @@ std::optional<core::RunReport> ResultCache::lookup(const ScenarioSpec& spec) {
 }
 
 void ResultCache::store(const ScenarioSpec& spec, const core::RunReport& report) {
+  const std::string identity = spec.identity_json();
+  const std::string hash_hex = hex16(hash_of_identity(identity));
+
   std::string entry{"{\"cache_schema\":"};
   entry += std::to_string(kCacheSchema);
   entry += ",\"schema_version\":" + std::to_string(core::RunReport::kSchemaVersion);
-  entry += ",\"spec_hash\":\"" + hex16(spec_hash(spec)) + '"';
-  entry += ",\"spec\":" + spec.identity_json();
+  entry += ",\"spec_hash\":\"" + hash_hex + '"';
+  entry += ",\"spec\":" + identity;
   entry += ",\"report\":" + core::report_state_json(report);
   entry += "}\n";
 
-  const std::string path = entry_path(spec);
+  const std::string path = path_for(hash_hex);
   // Unique temp name per writer so concurrent threads and shard processes
   // sharing the directory never interleave; rename() is atomic within a
   // filesystem.

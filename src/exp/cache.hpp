@@ -70,6 +70,11 @@ class ResultCache {
   [[nodiscard]] CacheStats stats() const;
 
  private:
+  /// The one place the "<16-hex-hash>.json" naming scheme lives: lookup(),
+  /// store() and entry_path() all go through it, so the scheme cannot
+  /// drift between writer and reader.
+  [[nodiscard]] std::string path_for(const std::string& hash_hex) const;
+
   std::string dir_;
   mutable std::mutex mutex_;  // guards stats_; file I/O needs no lock
   CacheStats stats_;

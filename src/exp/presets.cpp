@@ -53,6 +53,30 @@ std::vector<ScenarioSpec> preset_policy_cross() {
   return grid;
 }
 
+/// The composite mixes (incast+background, shuffle+voip, onoff+mice) across
+/// loads and circuit schedulers: structured bursts riding on backgrounds,
+/// the scenario family the hybrid split is actually judged on.
+std::vector<ScenarioSpec> preset_composite() {
+  std::vector<ScenarioSpec> grid;
+  for (const char* scenario : {"incast+background", "shuffle+voip", "onoff+mice"}) {
+    grid.push_back(make_scenario(scenario, 8, 0.5, 7).with_window(2_ms, 400_us));
+  }
+  grid = expand(grid, axis_load({0.4, 0.8}));
+  grid = expand(grid, axis_circuit({"solstice", "cthrough"}));
+  return grid;
+}
+
+/// Trace replay of the bundled example trace (exp::kDefaultTracePath,
+/// relative to the repository root — run this preset from there) across
+/// loads and circuit schedulers.  One trace file drives every point: the
+/// replay time-scales it to each load.
+std::vector<ScenarioSpec> preset_trace() {
+  std::vector<ScenarioSpec> grid{make_scenario("trace", 8, 0.5, 7).with_window(2_ms, 400_us)};
+  grid = expand(grid, axis_load({0.3, 0.6, 0.9}));
+  grid = expand(grid, axis_circuit({"solstice", "cthrough"}));
+  return grid;
+}
+
 using PresetBuilder = std::vector<ScenarioSpec> (*)();
 
 const std::map<std::string, PresetBuilder>& presets() {
@@ -60,6 +84,8 @@ const std::map<std::string, PresetBuilder>& presets() {
       {"small", &preset_small},
       {"full", &preset_full},
       {"policy-cross", &preset_policy_cross},
+      {"composite", &preset_composite},
+      {"trace", &preset_trace},
   };
   return map;
 }

@@ -13,6 +13,12 @@
 //   policy-cross the full PolicyRegistry::known_specs() cross-product
 //                (matcher x circuit x estimator x timing) on one hybrid
 //                scenario — the registry-driven comparison sweep
+//   composite    the bursty mixed workloads (incast+background,
+//                shuffle+voip, onoff+mice) across loads and circuit
+//                schedulers
+//   trace        replay of the bundled example flow trace
+//                (exp::kDefaultTracePath; run from the repo root) across
+//                loads and circuit schedulers
 #ifndef XDRS_EXP_PRESETS_HPP
 #define XDRS_EXP_PRESETS_HPP
 

@@ -1,10 +1,13 @@
 #include "exp/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+
+#include "traffic/trace_replay.hpp"
 
 namespace xdrs::exp {
 
@@ -13,8 +16,13 @@ namespace {
 /// Re-derives the workload fields that encode load/ports indirectly, so the
 /// fluent mutators stay meaningful for every scenario kind: ON/OFF bursts
 /// express load as a duty cycle (mean_off from mean_on), incast expresses
-/// load x ports as the per-worker response size.  `load_changed` guards the
-/// ON/OFF case so hand-set mean_on/mean_off pairs survive a ports change.
+/// load x ports as the per-worker response size, trace replay derives its
+/// time-scale factor from `load` at attach time (nothing stored here).
+/// `load_changed` guards the ON/OFF case so hand-set mean_on/mean_off pairs
+/// survive a ports change.  Derivation may clamp (duty into [0.05, 0.95],
+/// response sizes up to one minimum frame); effective_workload_load()
+/// reports the load that actually results, and fields()/identity_json()
+/// record it, so clamping is visible in every artefact.
 void rederive_workload(topo::WorkloadSpec& w, const core::FrameworkConfig& cfg,
                        bool load_changed) {
   using Kind = topo::WorkloadSpec::Kind;
@@ -32,6 +40,27 @@ void rederive_workload(topo::WorkloadSpec& w, const core::FrameworkConfig& cfg,
 
 }  // namespace
 
+double effective_workload_load(const topo::WorkloadSpec& w,
+                               const core::FrameworkConfig& cfg) noexcept {
+  using Kind = topo::WorkloadSpec::Kind;
+  switch (w.kind) {
+    case Kind::kOnOffBursts: {
+      const double on = w.mean_on.sec();
+      const double off = w.mean_off.sec();
+      return on + off > 0.0 ? on / (on + off) : 0.0;
+    }
+    case Kind::kIncast: {
+      const std::uint32_t workers = cfg.ports > 1 ? cfg.ports - 1 : 1;
+      const std::int64_t window_bytes = cfg.link_rate.bytes_in(w.period);
+      if (window_bytes <= 0) return 0.0;
+      return static_cast<double>(w.response_bytes) * static_cast<double>(workers) /
+             static_cast<double>(window_bytes);
+    }
+    default:
+      return w.load;
+  }
+}
+
 // ------------------------------------------------------------ ScenarioSpec
 
 ScenarioSpec& ScenarioSpec::with_ports(std::uint32_t ports) {
@@ -41,8 +70,21 @@ ScenarioSpec& ScenarioSpec::with_ports(std::uint32_t ports) {
 }
 
 ScenarioSpec& ScenarioSpec::with_load(double load) {
+  // Shares are relative weights, normalised by their sum, so load() == load
+  // afterwards for EVERY spec — composites whose shares sum to 1 split as
+  // written, and a hand-assembled multi-workload spec that never touched
+  // `share` (all-1.0 weights) splits evenly instead of silently offering
+  // workloads.size() times the requested load.  Degenerate weights would
+  // break that postcondition silently (a zeroed grid point still labelled
+  // with its load), so they are an error instead.
+  double total_share = 0.0;
+  for (const auto& w : workloads) total_share += w.share;
+  if (!workloads.empty() && (!std::isfinite(total_share) || total_share <= 0.0)) {
+    throw std::invalid_argument{"ScenarioSpec::with_load: workload shares must be finite and "
+                                "sum to a positive value"};
+  }
   for (auto& w : workloads) {
-    w.load = load;
+    w.load = load * (w.share / total_share);
     rederive_workload(w, config, /*load_changed=*/true);
   }
   return *this;
@@ -92,16 +134,79 @@ ScenarioSpec& ScenarioSpec::with_label(std::string l) {
 }
 
 double ScenarioSpec::load() const noexcept {
-  return workloads.empty() ? 0.0 : workloads.front().load;
+  double total = 0.0;
+  for (const auto& w : workloads) total += w.load;
+  return total;
+}
+
+double ScenarioSpec::effective_load() const noexcept {
+  double total = 0.0;
+  for (const auto& w : workloads) total += effective_workload_load(w, config);
+  return total;
+}
+
+ScenarioSpec ScenarioSpec::composite(std::string scenario, const std::vector<ScenarioSpec>& parts,
+                                     const std::vector<double>& shares) {
+  if (parts.empty()) throw std::invalid_argument{"ScenarioSpec::composite: no parts"};
+  if (shares.size() != parts.size()) {
+    throw std::invalid_argument{"ScenarioSpec::composite: one share per part required"};
+  }
+  for (const double share : shares) {
+    if (!std::isfinite(share) || share < 0.0) {
+      throw std::invalid_argument{"ScenarioSpec::composite: shares must be finite and >= 0"};
+    }
+  }
+  ScenarioSpec s = parts.front();  // anchor: config, policies, window, seed
+  s.scenario = std::move(scenario);
+  s.label.clear();
+  s.workloads.clear();
+  s.voip_pairs = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    // A zero-share part contributes overlays only (VOIP pairs below): its
+    // workloads are dropped outright, because several kinds would still
+    // emit traffic at load 0 (ON/OFF duty and incast responses are clamped
+    // to a floor, trace replay rejects load 0 at materialize time).
+    // Within a part, its workloads' own shares are normalised by their sum,
+    // so the final weights mean "shares[i] of the total, split as the part
+    // splits it" — and the very first with_load() reproduces exactly this
+    // mix instead of silently reweighting it.
+    double part_sum = 0.0;
+    for (const auto& w : parts[i].workloads) part_sum += w.share;
+    if (shares[i] != 0.0 && part_sum > 0.0) {
+      for (topo::WorkloadSpec w : parts[i].workloads) {
+        w.share = shares[i] * (w.share / part_sum);
+        s.workloads.push_back(std::move(w));
+      }
+    }
+    if (parts[i].voip_pairs > s.voip_pairs) {
+      s.voip_pairs = parts[i].voip_pairs;
+      s.voip_period = parts[i].voip_period;
+      s.voip_packet_bytes = parts[i].voip_packet_bytes;
+    }
+  }
+  // Re-spread workload seeds from the anchor seed (exactly with_seed()'s
+  // scheme) so parts built from the same base seed never correlate, then
+  // distribute the anchor's load across the merged mix — which also
+  // re-derives every indirect load encoding.
+  std::uint64_t i = 0;
+  for (auto& w : s.workloads) w.seed = s.config.seed + 100 * ++i;
+  if (!s.workloads.empty()) s.with_load(parts.front().load());
+  return s;
 }
 
 std::string ScenarioSpec::key() const {
-  const bool slotted = config.discipline == core::SchedulingDiscipline::kSlotted;
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "%s/%s/p%u/l%.2f/s%llu", scenario.c_str(),
-                slotted ? policies.matcher.c_str() : policies.circuit.c_str(), config.ports,
-                load(), static_cast<unsigned long long>(config.seed));
-  return buf;
+  // Every axis the built-in grids mutate must render distinctly: the
+  // discipline (a mutator can flip slotted vs hybrid on one scenario), the
+  // FULL policy stack (a grid axis can cross any of the four kinds) and
+  // the load in shortest-round-trip form — format_double() loses no
+  // precision, so loads differing in ANY bit get different keys, while 0.3
+  // still prints "0.3" (test_presets asserts pairwise-distinct keys for
+  // every preset).  Knobs outside these axes (window, share splits, trace
+  // content) are deliberately not rendered — that is with_label()'s job,
+  // and the cache identity is identity_json(), not this string.
+  return scenario + '/' + to_string(config.discipline) + '/' + policies.to_string() + "/p" +
+         std::to_string(config.ports) + "/l" + stats::format_double(load()) + "/s" +
+         std::to_string(config.seed);
 }
 
 std::vector<stats::Field> ScenarioSpec::fields() const {
@@ -112,11 +217,15 @@ std::vector<stats::Field> ScenarioSpec::fields() const {
     names += w.name();
   }
   std::vector<Field> f;
-  f.reserve(14);
+  f.reserve(15);
   f.push_back(Field::str("label", label.empty() ? key() : label));
   f.push_back(Field::str("scenario", scenario));
   f.push_back(Field::u64("ports", config.ports));
   f.push_back(Field::f64("load", load()));
+  // The load the run actually offers: rederivation clamps at the edges
+  // (ON/OFF duty, incast response floor), and artefacts must never claim a
+  // load they did not run.
+  f.push_back(Field::f64("effective_load", effective_load()));
   f.push_back(Field::str("discipline", to_string(config.discipline)));
   f.push_back(Field::str("matcher", policies.matcher));
   f.push_back(Field::str("circuit", policies.circuit));
@@ -169,9 +278,11 @@ std::string ScenarioSpec::identity_json() const {
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     const topo::WorkloadSpec& w = workloads[i];
     if (i != 0) out += ',';
-    out += stats::to_json_object({
+    std::vector<Field> wf{
         Field::u64("kind", static_cast<std::uint64_t>(w.kind)),
         Field::f64("load", w.load),
+        Field::f64("effective_load", effective_workload_load(w, config)),
+        Field::f64("share", w.share),
         Field::f64("skew", w.skew),
         Field::i64("mean_on_ps", w.mean_on.ps()),
         Field::i64("mean_off_ps", w.mean_off.ps()),
@@ -179,7 +290,13 @@ std::string ScenarioSpec::identity_json() const {
         Field::i64("period_ps", w.period.ps()),
         Field::i64("response_bytes", w.response_bytes),
         Field::u64("seed", w.seed),
-    });
+    };
+    if (w.kind == topo::WorkloadSpec::Kind::kTraceReplay) {
+      // Content digest, never the path: editing the trace invalidates
+      // cached results, renaming or relocating the file does not.
+      wf.push_back(Field::str("trace_digest", traffic::trace_digest_hex(w.trace_path)));
+    }
+    out += stats::to_json_object(wf);
   }
   out += "]}";
   return out;
@@ -316,6 +433,41 @@ Registry built_in_scenarios() {
     s.workloads.push_back(poisson(Kind::kPoissonUniform, load, 0.0, seed + 100));
     s.voip_pairs = std::max(1u, ports / 2);
     return s;
+  };
+  r["trace"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec s = hybrid_base(ports, seed);
+    s.scenario = "trace";
+    topo::WorkloadSpec w;
+    w.kind = Kind::kTraceReplay;
+    w.trace_path = kDefaultTracePath;
+    w.load = load;  // replay time-scales the trace to this aggregate load
+    w.seed = seed + 100;
+    s.workloads.push_back(w);
+    return s;
+  };
+  // Composites: the bursty mixes the hybrid design is actually judged on —
+  // heavy structured traffic riding on a background the EPS must keep
+  // serving.  Shares split one load axis across the constituent workloads.
+  r["incast+background"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    return ScenarioSpec::composite("incast+background",
+                                   {make_scenario("incast", ports, load, seed),
+                                    make_scenario("uniform", ports, load, seed)},
+                                   {0.4, 0.6});
+  };
+  r["shuffle+voip"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    // The zero-share voip part contributes only its CBR overlay; its
+    // background workload is dropped by composite().
+    return ScenarioSpec::composite("shuffle+voip",
+                                   {make_scenario("shuffle", ports, load, seed),
+                                    make_scenario("voip", ports, load, seed)},
+                                   {1.0, 0.0});
+  };
+  r["onoff+mice"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    ScenarioSpec mice = make_scenario("flows", ports, load, seed);
+    for (auto& w : mice.workloads) w.elephant_fraction = 0.02;  // mice-dominated
+    return ScenarioSpec::composite("onoff+mice",
+                                   {make_scenario("onoff", ports, load, seed), mice},
+                                   {0.5, 0.5});
   };
   return r;
 }

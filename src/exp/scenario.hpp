@@ -47,12 +47,25 @@ struct ScenarioSpec {
   sim::Time duration{sim::Time::milliseconds(10)};
   sim::Time warmup{sim::Time::milliseconds(2)};
 
+  /// Composes several scenarios into one multi-workload spec: the first
+  /// part anchors the switch config, policy stack and window; every part's
+  /// workloads are concatenated with their loads scaled by that part's
+  /// `share` (shares normally sum to 1, so the composite sweeps as one load
+  /// axis); VOIP overlays are merged (largest pair count wins); workload
+  /// seeds are re-spread so parts never correlate.  Throws
+  /// std::invalid_argument on empty parts or a share-count mismatch.
+  [[nodiscard]] static ScenarioSpec composite(std::string scenario,
+                                              const std::vector<ScenarioSpec>& parts,
+                                              const std::vector<double>& shares);
+
   // ---- fluent mutators for grid construction ------------------------------
   /// Sets the port count and re-derives ports-dependent workload fields
   /// (incast response sizes).
   ScenarioSpec& with_ports(std::uint32_t ports);
-  /// Applies `load` to every workload, re-deriving kinds that encode it
-  /// indirectly: ON/OFF burst duty cycle (mean_off), incast response sizes.
+  /// Distributes `load` across the workloads by their share weights
+  /// (normalised, so load() == load afterwards for any spec), re-deriving
+  /// kinds that encode load indirectly: ON/OFF burst duty cycle (mean_off),
+  /// incast response sizes, trace-replay time scaling.
   ScenarioSpec& with_load(double load);
   ScenarioSpec& with_policies(core::PolicyStack stack);
   ScenarioSpec& with_matcher(std::string spec);
@@ -63,12 +76,28 @@ struct ScenarioSpec {
   ScenarioSpec& with_window(sim::Time duration, sim::Time warmup);
   ScenarioSpec& with_label(std::string label);
 
-  /// First workload's load, or 0 with no workloads — the conventional
-  /// x-axis of load sweeps.
+  /// Total requested load — the sum of the workloads' loads (for a single
+  /// workload, its load; for composites whose shares sum to 1, the value
+  /// last passed to with_load()) — the conventional x-axis of load sweeps.
   [[nodiscard]] double load() const noexcept;
 
-  /// Canonical point key, e.g. "uniform/islip:4/p8/l0.50/s7".  Used as the
-  /// default label and as the deterministic identity in serialized sweeps.
+  /// The load the spec actually runs at: like load(), but with each
+  /// workload's value re-derived from the parameters the simulation uses
+  /// (ON/OFF duty cycle from the burst means, incast from the floored
+  /// response size), so clamping in the derivation is visible, never silent.
+  [[nodiscard]] double effective_load() const noexcept;
+
+  /// Canonical point key, e.g.
+  /// "uniform/slotted/islip:4/solstice/instantaneous/hardware/p8/l0.5/s7"
+  /// — the scenario, the discipline, the FULL policy stack (matching
+  /// core::PolicyStack's rendering), ports, load (shortest form, full
+  /// precision) and seed.  Used as the default label and as the
+  /// deterministic identity in serialized sweeps: points differing in any
+  /// of THOSE axes — everything the built-in grid axes mutate — never
+  /// share a key (test_presets asserts this for every preset).  Specs
+  /// distinguished only by other knobs (window, share splits, trace
+  /// content, raw config edits) need with_label(); the result cache keys
+  /// on the exhaustive identity_json(), never on key().
   [[nodiscard]] std::string key() const;
 
   /// Self-describing identity fields (prepended to the report's fields in
@@ -83,6 +112,14 @@ struct ScenarioSpec {
   [[nodiscard]] std::string identity_json() const;
 };
 
+/// The load one workload actually offers under `cfg`, re-derived from the
+/// parameters the simulation consumes: ON/OFF bursts report the duty cycle
+/// implied by mean_on/mean_off (which rederivation clamps to [0.05, 0.95]),
+/// incast reports the aggregator-downlink load implied by the (floored)
+/// response size, everything else reports `w.load` as-is.
+[[nodiscard]] double effective_workload_load(const topo::WorkloadSpec& w,
+                                             const core::FrameworkConfig& cfg) noexcept;
+
 /// Builds the framework a spec describes: configuration, policy stack and
 /// workloads, ready for run().  Throws std::invalid_argument on unknown
 /// policy or scenario names.
@@ -93,12 +130,19 @@ struct ScenarioSpec {
 
 // ---------------------------------------------------------------- registry
 
+/// Trace file the built-in "trace" scenario replays by default, relative to
+/// the repository root (run trace sweeps from there, or point
+/// `workloads[0].trace_path` somewhere else).
+inline constexpr const char* kDefaultTracePath = "examples/example_trace.csv";
+
 using ScenarioBuilder =
     std::function<ScenarioSpec(std::uint32_t ports, double load, std::uint64_t seed)>;
 
 /// Registers a scenario under `name`.  Throws std::invalid_argument if the
 /// name is already taken.  Built-in scenarios: uniform, hotspot, zipf,
-/// permutation, onoff, flows, shuffle, incast, voip.
+/// permutation, onoff, flows, shuffle, incast, voip, trace (CSV flow-trace
+/// replay; see traffic/trace_replay.hpp) and the composites
+/// incast+background, shuffle+voip, onoff+mice.
 void register_scenario(const std::string& name, ScenarioBuilder builder);
 
 /// Instantiates a registered scenario.  Throws std::invalid_argument on

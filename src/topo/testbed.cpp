@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "traffic/patterns.hpp"
+#include "traffic/trace_replay.hpp"
 
 namespace xdrs::topo {
 
@@ -22,6 +23,7 @@ std::string WorkloadSpec::name() const {
     case Kind::kFlows: return "flows";
     case Kind::kShuffle: return "shuffle";
     case Kind::kIncast: return "incast";
+    case Kind::kTraceReplay: return "trace";
   }
   return "unknown";
 }
@@ -29,6 +31,19 @@ std::string WorkloadSpec::name() const {
 void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) {
   const auto& cfg = fw.config();
   const std::uint32_t ports = cfg.ports;
+
+  // Trace replay is a single generator spanning all ports: it remaps the
+  // trace's port ids onto this switch and time-scales to the spec's load.
+  if (spec.kind == WorkloadSpec::Kind::kTraceReplay) {
+    traffic::TraceReplayGenerator::Config gc;
+    gc.trace = traffic::load_trace_cached(spec.trace_path);
+    gc.ports = ports;
+    gc.line_rate = cfg.link_rate;
+    gc.load = spec.load;
+    gc.seed = spec.seed;
+    fw.add_generator(std::make_unique<traffic::TraceReplayGenerator>(gc));
+    return;
+  }
 
   // Incast is a single many-to-one generator, not one source per port.
   if (spec.kind == WorkloadSpec::Kind::kIncast) {
@@ -66,6 +81,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
         dest = std::make_shared<traffic::ShuffleChooser>(ports);
         break;
       case WorkloadSpec::Kind::kIncast:
+      case WorkloadSpec::Kind::kTraceReplay:
         break;  // handled above
     }
 

@@ -24,16 +24,22 @@ struct WorkloadSpec {
     kFlows,            ///< flow-level mice/elephant mixture
     kShuffle,          ///< flow-level all-to-all (MapReduce shuffle rotation)
     kIncast,           ///< periodic partition/aggregate fan-in to port 0
+    kTraceReplay,      ///< CSV flow-trace replay (traffic/trace_replay.hpp)
   };
 
   Kind kind{Kind::kPoissonUniform};
   double load{0.5};          ///< offered load per port, fraction of line rate
+  /// Fraction of a composite scenario's load this workload carries; the
+  /// ScenarioSpec load mutator distributes `load x share` to each workload,
+  /// so a mixed scenario sweeps as one load axis.  1.0 for single workloads.
+  double share{1.0};
   double skew{0.0};          ///< hotspot fraction or Zipf exponent
   sim::Time mean_on{sim::Time::microseconds(100)};   ///< kOnOffBursts
   sim::Time mean_off{sim::Time::microseconds(100)};  ///< kOnOffBursts
   double elephant_fraction{0.1};                     ///< kFlows / kShuffle
   sim::Time period{sim::Time::milliseconds(1)};      ///< kIncast round period
   std::int64_t response_bytes{64'000};               ///< kIncast per-worker answer
+  std::string trace_path;                            ///< kTraceReplay CSV file
   std::uint64_t seed{7};
 
   [[nodiscard]] std::string name() const;

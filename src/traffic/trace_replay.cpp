@@ -1,0 +1,323 @@
+#include "traffic/trace_replay.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/file_io.hpp"
+#include "util/hash.hpp"
+#include "util/parse.hpp"
+
+namespace xdrs::traffic {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::invalid_argument{"FlowTrace: line " + std::to_string(line) + ": " + what};
+}
+
+using util::parse_number;
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = line.find(sep, begin);
+    if (end == std::string_view::npos) {
+      out.push_back(line.substr(begin));
+      return out;
+    }
+    out.push_back(line.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+net::TrafficClass class_of(std::uint8_t priority) noexcept {
+  switch (priority) {
+    case 2: return net::TrafficClass::kLatencySensitive;
+    case 1: return net::TrafficClass::kThroughput;
+    default: return net::TrafficClass::kBestEffort;
+  }
+}
+
+}  // namespace
+
+FlowTrace FlowTrace::parse(std::string_view csv) {
+  FlowTrace trace;
+  std::size_t line_no = 0;
+  bool saw_header_candidate = false;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t eol = csv.find('\n', pos);
+    std::string_view line =
+        csv.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? csv.size() + 1 : eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    // One optional header line, before any record.
+    if (!saw_header_candidate && trace.records.empty() &&
+        (line == "start_us,src,dst,bytes" || line == "start_us,src,dst,bytes,priority")) {
+      saw_header_candidate = true;
+      continue;
+    }
+
+    const std::vector<std::string_view> cells = split(line, ',');
+    if (cells.size() != 4 && cells.size() != 5) {
+      parse_error(line_no, "expected start_us,src,dst,bytes[,priority] (got " +
+                               std::to_string(cells.size()) + " fields)");
+    }
+
+    TraceRecord rec;
+    double start_us = 0.0;
+    if (!parse_number(cells[0], start_us) || !(start_us >= 0.0) || !std::isfinite(start_us)) {
+      parse_error(line_no, "bad start_us '" + std::string{cells[0]} + "'");
+    }
+    // Bound before the ps conversion: llround overflow is not UB-checked,
+    // and a silently wrapped timestamp would corrupt the whole replay.
+    // 1e12 us (~11.5 days) is far beyond any trace and far within int64 ps.
+    if (start_us > 1e12) {
+      parse_error(line_no, "start_us '" + std::string{cells[0]} + "' out of range (max 1e12)");
+    }
+    rec.start = sim::Time::picoseconds(static_cast<std::int64_t>(std::llround(start_us * 1e6)));
+    if (!parse_number(cells[1], rec.src)) {
+      parse_error(line_no, "bad src '" + std::string{cells[1]} + "'");
+    }
+    if (!parse_number(cells[2], rec.dst)) {
+      parse_error(line_no, "bad dst '" + std::string{cells[2]} + "'");
+    }
+    if (rec.src == rec.dst) parse_error(line_no, "src == dst");
+    if (!parse_number(cells[3], rec.bytes) || rec.bytes <= 0) {
+      parse_error(line_no, "bad bytes '" + std::string{cells[3]} + "' (must be positive)");
+    }
+    if (cells.size() == 5) {
+      unsigned priority = 0;
+      if (!parse_number(cells[4], priority) || priority > 2) {
+        parse_error(line_no, "bad priority '" + std::string{cells[4]} + "' (must be 0, 1 or 2)");
+      }
+      rec.priority = static_cast<std::uint8_t>(priority);
+    }
+    if (!trace.records.empty() && rec.start < trace.records.back().start) {
+      parse_error(line_no, "records must be time-sorted (start_us decreased)");
+    }
+
+    // Record indices must fit the 32-bit half of the replay FlowId
+    // ((lap << 32) | index); at ~40 bytes a record this cap is far past
+    // available memory anyway, so enforce it rather than alias flow ids.
+    if (trace.records.size() >= 0xffffffffull) {
+      parse_error(line_no, "trace too large (more than 2^32 - 1 records)");
+    }
+    trace.max_port = std::max({trace.max_port, rec.src, rec.dst});
+    trace.total_bytes += rec.bytes;
+    trace.span = rec.start;
+    trace.records.push_back(rec);
+  }
+  if (trace.records.empty()) throw std::invalid_argument{"FlowTrace: trace has no records"};
+  return trace;
+}
+
+FlowTrace FlowTrace::load(const std::string& path) {
+  const std::optional<std::string> raw = util::read_file(path);
+  if (!raw) throw std::runtime_error{"FlowTrace: cannot read '" + path + "'"};
+  return parse(*raw);
+}
+
+std::uint64_t trace_digest(std::string_view bytes) { return util::fnv1a(bytes); }
+
+namespace {
+
+/// Process-wide trace cache.  A sweep probes the same file for every grid
+/// point (cache identity twice per point, plus the attach-time parse), so
+/// read + digest + parse happen once per distinct (size, mtime) file state
+/// instead of per point.  The stat is taken BEFORE the read: if the file
+/// changes in between, the stored stamp no longer matches the next stat
+/// and the entry reloads — stale entries cannot stick.
+struct CachedTrace {
+  std::uintmax_t size{0};
+  std::filesystem::file_time_type mtime{};
+  std::string digest_hex;
+  std::shared_ptr<const FlowTrace> parsed;  ///< filled lazily by load_trace_cached
+};
+
+std::mutex g_trace_cache_mutex;
+
+std::map<std::string, CachedTrace>& trace_cache() {
+  static std::map<std::string, CachedTrace> cache;
+  return cache;
+}
+
+bool stat_trace(const std::string& path, std::uintmax_t& size,
+                std::filesystem::file_time_type& mtime) {
+  std::error_code ec;
+  size = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+  mtime = std::filesystem::last_write_time(path, ec);
+  return !ec;
+}
+
+std::string digest_hex_of(std::string_view bytes) { return util::hex16(trace_digest(bytes)); }
+
+}  // namespace
+
+std::string trace_digest_hex(const std::string& path) {
+  std::uintmax_t size = 0;
+  std::filesystem::file_time_type mtime{};
+  const bool have_stat = stat_trace(path, size, mtime);
+  if (have_stat) {
+    const std::lock_guard<std::mutex> lock{g_trace_cache_mutex};
+    const auto it = trace_cache().find(path);
+    if (it != trace_cache().end() && it->second.size == size && it->second.mtime == mtime) {
+      return it->second.digest_hex;
+    }
+  }
+  const std::optional<std::string> raw = util::read_file(path);
+  if (!raw) return "unreadable";
+  std::string hex = digest_hex_of(*raw);
+  if (have_stat) {
+    const std::lock_guard<std::mutex> lock{g_trace_cache_mutex};
+    CachedTrace& entry = trace_cache()[path];
+    // Keep a concurrently stored parse for the same file state — resetting
+    // it would force the next attach to re-read and re-parse for nothing.
+    if (entry.size != size || entry.mtime != mtime) entry.parsed = nullptr;
+    entry.size = size;
+    entry.mtime = mtime;
+    entry.digest_hex = hex;
+  }
+  return hex;
+}
+
+std::shared_ptr<const FlowTrace> load_trace_cached(const std::string& path) {
+  std::uintmax_t size = 0;
+  std::filesystem::file_time_type mtime{};
+  const bool have_stat = stat_trace(path, size, mtime);
+  if (have_stat) {
+    const std::lock_guard<std::mutex> lock{g_trace_cache_mutex};
+    const auto it = trace_cache().find(path);
+    if (it != trace_cache().end() && it->second.size == size && it->second.mtime == mtime &&
+        it->second.parsed != nullptr) {
+      return it->second.parsed;
+    }
+  }
+  const std::optional<std::string> raw = util::read_file(path);
+  if (!raw) throw std::runtime_error{"FlowTrace: cannot read '" + path + "'"};
+  auto parsed = std::make_shared<const FlowTrace>(FlowTrace::parse(*raw));
+  if (have_stat) {
+    const std::lock_guard<std::mutex> lock{g_trace_cache_mutex};
+    trace_cache()[path] = CachedTrace{size, mtime, digest_hex_of(*raw), parsed};
+  }
+  return parsed;
+}
+
+// ---------------------------------------------------------- TraceReplayGenerator
+
+TraceReplayGenerator::TraceReplayGenerator(Config cfg) : cfg_{std::move(cfg)} {
+  if (cfg_.trace == nullptr || cfg_.trace->records.empty()) {
+    throw std::invalid_argument{"TraceReplayGenerator: empty trace"};
+  }
+  if (cfg_.ports < 2) throw std::invalid_argument{"TraceReplayGenerator: need >= 2 ports"};
+  if (cfg_.line_rate.is_zero()) {
+    throw std::invalid_argument{"TraceReplayGenerator: zero line rate"};
+  }
+  if (!(cfg_.load > 0.0) || cfg_.load > 1.0) {
+    throw std::invalid_argument{"TraceReplayGenerator: load must be in (0, 1]"};
+  }
+  if (cfg_.packet_bytes <= 0) {
+    throw std::invalid_argument{"TraceReplayGenerator: packet size must be positive"};
+  }
+
+  // Time scaling: stretch/compress the trace's time axis so the aggregate
+  // offered rate is `load` x ports x line_rate.  The lap period is fully
+  // determined by the byte total and the target rate, so a trace recorded
+  // at any rate drives any simulated load.
+  const double target_bytes_per_ps = static_cast<double>(cfg_.ports) *
+                                     static_cast<double>(cfg_.line_rate.bits_per_sec()) *
+                                     cfg_.load / 8e12;
+  const double scaled_span_ps =
+      static_cast<double>(cfg_.trace->total_bytes) / target_bytes_per_ps;
+  scaled_span_ = sim::Time::picoseconds(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(scaled_span_ps))));
+  const double trace_span_ps = static_cast<double>(cfg_.trace->span.ps());
+  time_scale_ = trace_span_ps > 0.0 ? scaled_span_ps / trace_span_ps : 0.0;
+
+  rebuild_remap();
+}
+
+void TraceReplayGenerator::rebuild_remap() {
+  // A fresh lap-indexed stream (not rng_'s running state) keeps the table a
+  // pure function of (seed, lap): replays are identical however many other
+  // draws happened, and each lap decorrelates from the last.
+  sim::Rng lap_rng = sim::Rng{cfg_.seed}.fork(lap_);
+  remap_.resize(static_cast<std::size_t>(cfg_.trace->max_port) + 1);
+  for (auto& port : remap_) {
+    port = static_cast<net::PortId>(lap_rng.next_below(cfg_.ports));
+  }
+}
+
+sim::Time TraceReplayGenerator::scaled_start(std::size_t i) const {
+  const sim::Time start = cfg_.trace->records.at(i).start;
+  return sim::Time::picoseconds(
+      static_cast<std::int64_t>(std::llround(static_cast<double>(start.ps()) * time_scale_)));
+}
+
+void TraceReplayGenerator::start(sim::Simulator& sim, Sink sink, sim::Time horizon) {
+  sink_ = std::move(sink);
+  lap_origin_ = sim.now();
+  arm_next(sim, horizon);
+}
+
+void TraceReplayGenerator::arm_next(sim::Simulator& sim, sim::Time horizon) {
+  // Loop the trace: after the last record the next lap starts one scaled
+  // span after this lap's origin, with a fresh remap table.
+  if (next_record_ >= cfg_.trace->records.size()) {
+    next_record_ = 0;
+    lap_origin_ = lap_origin_ + scaled_span_;
+    ++lap_;
+    rebuild_remap();
+  }
+  const std::size_t index = next_record_++;
+  const sim::Time at = lap_origin_ + scaled_start(index);
+  if (at >= horizon) return;
+  sim.schedule(at - sim.now(), [this, &sim, horizon, index, lap = lap_] {
+    const TraceRecord& rec = cfg_.trace->records[index];
+    const net::FlowId flow = (lap << 32) | static_cast<net::FlowId>(index);
+    launch(sim, horizon, rec, flow);
+    arm_next(sim, horizon);
+  });
+}
+
+void TraceReplayGenerator::launch(sim::Simulator& sim, sim::Time horizon, const TraceRecord& rec,
+                                  net::FlowId flow) {
+  const net::PortId src = remap_[rec.src];
+  net::PortId dst = remap_[rec.dst];
+  if (dst == src) dst = (dst + 1) % cfg_.ports;  // remap collision: shift off the source
+  stream(sim, horizon, src, dst, rec.bytes, flow, class_of(rec.priority));
+}
+
+void TraceReplayGenerator::stream(sim::Simulator& sim, sim::Time horizon, net::PortId src,
+                                  net::PortId dst, std::int64_t remaining, net::FlowId flow,
+                                  net::TrafficClass tclass) {
+  if (remaining <= 0 || sim.now() >= horizon) return;
+  const std::int64_t bytes = std::min(cfg_.packet_bytes, remaining);
+  net::Packet p = make_packet(src, dst, bytes, sim.now());
+  p.flow = flow;
+  p.tclass = tclass;
+  if (tclass == net::TrafficClass::kLatencySensitive) {
+    p.tuple.proto = net::IpProto::kUdp;
+    p.tuple.dst_port = 5004;  // RTP, so the classifier agrees with the marking
+  } else {
+    p.tuple.proto = net::IpProto::kTcp;
+    p.tuple.src_port = static_cast<std::uint16_t>(flow & 0xffff);
+  }
+  sink_(p);
+  if (remaining <= bytes) return;  // flow finished: no dead continuation event
+  const sim::Time tx = cfg_.line_rate.transmission_time(bytes + sim::kWireOverheadBytes);
+  sim.schedule(tx, [this, &sim, horizon, src, dst, remaining, bytes, flow, tclass] {
+    stream(sim, horizon, src, dst, remaining - bytes, flow, tclass);
+  });
+}
+
+}  // namespace xdrs::traffic

@@ -1,0 +1,131 @@
+// Trace-replay workload: empirical flow traces as a first-class source.
+//
+// Related hybrid-switch evaluations (PDQ, pFabric-style studies) are driven
+// by flow traces with realistic size distributions rather than synthetic
+// matrices alone.  This module parses a simple CSV flow-trace format
+//
+//   start_us,src,dst,bytes[,priority]
+//
+// (one flow per line, `#` comments and an optional header line allowed,
+// records time-sorted) and replays it through a TrafficGenerator.  One
+// trace file drives ANY port count and ANY offered load deterministically:
+//
+//   * time scaling — the trace's time axis is stretched/compressed so that
+//     the aggregate offered rate equals `load` x ports x line_rate; the
+//     trace loops (each lap shifted by the scaled span) until the horizon.
+//   * port remapping — trace port ids map onto the simulated ports through
+//     a seeded deterministic table, rebuilt per lap so laps decorrelate.
+//
+// Identity for caching is the trace file's CONTENT (trace_digest), never
+// its path: editing the file invalidates cached results, renaming it does
+// not.
+#ifndef XDRS_TRAFFIC_TRACE_REPLAY_HPP
+#define XDRS_TRAFFIC_TRACE_REPLAY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+#include "traffic/generators.hpp"
+
+namespace xdrs::traffic {
+
+/// One flow of a parsed trace, in trace coordinates (ports and times as
+/// written in the file; remapping and scaling happen at replay).
+struct TraceRecord {
+  sim::Time start{};         ///< offset from the trace origin
+  std::uint32_t src{0};      ///< trace port id (not a switch port yet)
+  std::uint32_t dst{0};
+  std::int64_t bytes{0};     ///< flow size
+  std::uint8_t priority{0};  ///< 0 best-effort, 1 throughput, 2 latency-sensitive
+};
+
+/// A validated, immutable flow trace.
+struct FlowTrace {
+  std::vector<TraceRecord> records;
+  std::uint32_t max_port{0};    ///< largest port id referenced
+  std::int64_t total_bytes{0};  ///< sum of record sizes
+  sim::Time span{};             ///< last record's start time
+
+  /// Parses the CSV format above.  Strict: every malformed line — wrong
+  /// field count, trailing garbage after a number, negative/zero sizes,
+  /// src == dst, priority outside 0..2, out-of-order start times, an empty
+  /// trace — throws std::invalid_argument naming the 1-based line.
+  [[nodiscard]] static FlowTrace parse(std::string_view csv);
+
+  /// read_file + parse.  Throws std::runtime_error naming the path when the
+  /// file cannot be read, std::invalid_argument on malformed content.
+  [[nodiscard]] static FlowTrace load(const std::string& path);
+};
+
+/// FNV-1a 64 over raw bytes — the content identity of a trace.
+[[nodiscard]] std::uint64_t trace_digest(std::string_view bytes);
+
+/// trace_digest of the file's bytes as a 16-hex-digit string, or
+/// "unreadable" when the file cannot be opened (so identity strings stay
+/// deterministic even for missing traces).  Served from the process-wide
+/// (path, size, mtime)-keyed cache below, so a sweep that renders every
+/// point's identity does not re-read the file per point.
+[[nodiscard]] std::string trace_digest_hex(const std::string& path);
+
+/// FlowTrace::load through the same process-wide cache: one read + parse
+/// per distinct file state, however many points probe it.  An edited file
+/// (size or mtime change) reloads; errors behave exactly like load().
+[[nodiscard]] std::shared_ptr<const FlowTrace> load_trace_cached(const std::string& path);
+
+/// Replays a FlowTrace: each record becomes one flow streamed at line rate
+/// from its (remapped) source to its (remapped) destination, starting at
+/// its scaled start time.  Deterministic for a fixed (trace, ports, load,
+/// seed) tuple.
+class TraceReplayGenerator final : public TrafficGenerator {
+ public:
+  struct Config {
+    /// Shared, immutable: every grid point replaying the same file holds
+    /// the one parsed instance from load_trace_cached(), never a copy.
+    std::shared_ptr<const FlowTrace> trace;
+    std::uint32_t ports{0};              ///< switch size to remap onto
+    sim::DataRate line_rate{};
+    /// Target aggregate offered load as a fraction of ports x line_rate;
+    /// sets the time-scale factor.  Must be in (0, 1].
+    double load{0.5};
+    std::int64_t packet_bytes{sim::kMaxFrameBytes};
+    std::uint64_t seed{1};
+  };
+
+  explicit TraceReplayGenerator(Config cfg);
+
+  void start(sim::Simulator& sim, Sink sink, sim::Time horizon) override;
+  [[nodiscard]] std::string name() const override { return "trace-replay"; }
+
+  /// The scaled duration of one trace lap (the loop period).
+  [[nodiscard]] sim::Time scaled_span() const noexcept { return scaled_span_; }
+  /// Scaled start offset of record `i` within a lap (for test assertions).
+  [[nodiscard]] sim::Time scaled_start(std::size_t i) const;
+  [[nodiscard]] std::uint64_t laps() const noexcept { return lap_; }
+
+ private:
+  void rebuild_remap();
+  void arm_next(sim::Simulator& sim, sim::Time horizon);
+  void launch(sim::Simulator& sim, sim::Time horizon, const TraceRecord& rec, net::FlowId flow);
+  void stream(sim::Simulator& sim, sim::Time horizon, net::PortId src, net::PortId dst,
+              std::int64_t remaining, net::FlowId flow, net::TrafficClass tclass);
+
+  Config cfg_;
+  Sink sink_;
+  double time_scale_{1.0};          ///< replay ps per trace ps
+  sim::Time scaled_span_{};         ///< lap period after scaling
+  std::vector<net::PortId> remap_;  ///< trace port id -> switch port
+  sim::Time lap_origin_{};
+  std::size_t next_record_{0};
+  std::uint64_t lap_{0};
+};
+
+}  // namespace xdrs::traffic
+
+#endif  // XDRS_TRAFFIC_TRACE_REPLAY_HPP

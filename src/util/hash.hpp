@@ -1,0 +1,38 @@
+// The identity-hash primitive shared by the result cache and the trace
+// digest: FNV-1a 64 plus its canonical 16-hex-digit rendering.  One copy,
+// so the constants and the width cannot drift between the two identity
+// encodings (both feed ScenarioSpec-keyed artefacts).
+#ifndef XDRS_UTIL_HASH_HPP
+#define XDRS_UTIL_HASH_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace xdrs::util {
+
+inline constexpr std::uint64_t kFnv1aBasis = 1469598103934665603ULL;
+
+/// Folds `bytes` into an FNV-1a 64 running hash (pass the previous return
+/// value as `h` to chain multiple pieces).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes,
+                                            std::uint64_t h = kFnv1aBasis) noexcept {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Canonical 16-hex-digit rendering used in cache entry names, shard-file
+/// "spec_hash" members and trace digests.
+[[nodiscard]] inline std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace xdrs::util
+
+#endif  // XDRS_UTIL_HASH_HPP

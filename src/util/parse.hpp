@@ -1,0 +1,34 @@
+// Strict numeric token parsing shared by the CLIs, the benches and the
+// trace parser, so the whole-token rule lives in one place.
+#ifndef XDRS_UTIL_PARSE_HPP
+#define XDRS_UTIL_PARSE_HPP
+
+#include <charconv>
+#include <cmath>
+#include <string_view>
+#include <system_error>
+#include <type_traits>
+
+namespace xdrs::util {
+
+/// Whole-token, in-range numeric parse via std::from_chars: the entire
+/// token must be consumed and the value must fit T, so "12x", "1.5e",
+/// " 7", "+7", out-of-range values and (for unsigned T) "-2" all fail
+/// instead of being silently truncated or wrapped.  Floating-point targets
+/// additionally reject "inf"/"nan" — every numeric flag and trace field in
+/// this codebase means a finite quantity.
+template <typename T>
+[[nodiscard]] bool parse_number(std::string_view token, T& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc{} || ptr != last || token.empty()) return false;
+  if constexpr (std::is_floating_point_v<T>) {
+    if (!std::isfinite(out)) return false;
+  }
+  return true;
+}
+
+}  // namespace xdrs::util
+
+#endif  // XDRS_UTIL_PARSE_HPP

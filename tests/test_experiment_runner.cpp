@@ -25,10 +25,10 @@ std::vector<ScenarioSpec> small_grid() {
 TEST(Expand, BuildsTheCartesianProductInAxisMajorOrder) {
   const auto grid = small_grid();
   ASSERT_EQ(grid.size(), 8u);
-  EXPECT_EQ(grid[0].key(), "uniform/islip:1/p4/l0.30/s7");
-  EXPECT_EQ(grid[1].key(), "uniform/maxweight/p4/l0.30/s7");
-  EXPECT_EQ(grid[2].key(), "uniform/islip:1/p4/l0.60/s7");
-  EXPECT_EQ(grid[7].key(), "permutation/maxweight/p4/l0.60/s7");
+  EXPECT_EQ(grid[0].key(), "uniform/slotted/islip:1/solstice/instantaneous/hardware/p4/l0.3/s7");
+  EXPECT_EQ(grid[1].key(), "uniform/slotted/maxweight/solstice/instantaneous/hardware/p4/l0.3/s7");
+  EXPECT_EQ(grid[2].key(), "uniform/slotted/islip:1/solstice/instantaneous/hardware/p4/l0.6/s7");
+  EXPECT_EQ(grid[7].key(), "permutation/slotted/maxweight/solstice/instantaneous/hardware/p4/l0.6/s7");
   EXPECT_THROW((void)expand(grid, {}), std::invalid_argument);
 }
 
@@ -93,7 +93,7 @@ TEST(SweepResult, TableSelectsColumnsByFieldName) {
       {make_scenario("uniform", 4, 0.5, 7).with_window(500_us, 100_us)});
   const stats::Table t = res.table({"label", "delivery_ratio", "no_such_field"});
   const std::string md = t.markdown();
-  EXPECT_NE(md.find("uniform/islip:2/p4/l0.50/s7"), std::string::npos);
+  EXPECT_NE(md.find("uniform/slotted/islip:2/solstice/instantaneous/hardware/p4/l0.5/s7"), std::string::npos);
   EXPECT_NE(md.find("no_such_field"), std::string::npos);
 }
 

@@ -1,0 +1,74 @@
+// Tests for the named grid presets, centred on the key-uniqueness
+// guarantee: ScenarioSpec::key() is documented as "the deterministic
+// identity in serialized sweeps", so expanding ANY preset — including the
+// 660-point policy cross-product, whose points differ only in estimator or
+// timing, and the composite mixes — must yield pairwise-distinct keys.
+// (The seed key() truncated load to two decimals and printed only one
+// policy spec, which made policy-cross points collide.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "exp/presets.hpp"
+
+namespace xdrs::exp {
+namespace {
+
+TEST(Presets, KnowsTheBuiltInGrids) {
+  const auto names = known_presets();
+  for (const char* expected : {"small", "full", "policy-cross", "composite", "trace"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing preset " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Presets, PolicyCrossWalksTheFullRegistryCrossProduct) {
+  EXPECT_EQ(make_preset("policy-cross").size(), 660u);
+}
+
+TEST(Presets, CompositeAndTraceGridsHaveTheDocumentedShape) {
+  // 3 composite scenarios x 2 loads x 2 circuit schedulers.
+  EXPECT_EQ(make_preset("composite").size(), 12u);
+  // 1 trace scenario x 3 loads x 2 circuit schedulers.
+  EXPECT_EQ(make_preset("trace").size(), 6u);
+}
+
+TEST(Presets, EveryPresetExpandsToPairwiseDistinctKeys) {
+  for (const std::string& name : known_presets()) {
+    const std::vector<ScenarioSpec> grid = make_preset(name);
+    ASSERT_FALSE(grid.empty()) << name;
+    std::map<std::string, std::size_t> seen;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto [it, inserted] = seen.emplace(grid[i].key(), i);
+      EXPECT_TRUE(inserted) << "preset '" << name << "': points " << it->second << " and " << i
+                            << " share key '" << grid[i].key() << "'";
+    }
+  }
+}
+
+TEST(Presets, KeysAreStableAcrossExpansions) {
+  // The key is an identity, not a transient label: rebuilding the grid
+  // reproduces the same keys in the same order.
+  for (const std::string& name : {std::string{"small"}, std::string{"composite"}}) {
+    const std::vector<ScenarioSpec> a = make_preset(name);
+    const std::vector<ScenarioSpec> b = make_preset(name);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].key(), b[i].key()) << name;
+  }
+}
+
+TEST(Presets, UnknownNameThrowsWithKnownList) {
+  try {
+    (void)make_preset("no-such-preset");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("policy-cross"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xdrs::exp

@@ -195,7 +195,10 @@ INSTANTIATE_TEST_SUITE_P(
       name += g.placement == BufferPlacement::kHost ? "_host" : "_tor";
       if (g.strict_priority) name += "_prio";
       if (g.fallback) name += "_fb";
-      name += "_" + std::to_string(param_info.index);
+      // Appended separately: the `"_" + std::to_string(...)` temporary trips
+      // a GCC 12 -Wrestrict false positive at -O3 under -Werror.
+      name += '_';
+      name += std::to_string(param_info.index);
       return name;
     });
 

@@ -45,8 +45,8 @@ ScenarioSpec fixed_spec() {
 // serialization or the FNV constants drifted.  Update it only alongside a
 // deliberate ScenarioSpec::fields() / RunReport::kSchemaVersion change.
 TEST_F(ResultCacheTest, SpecHashGoldenIsStable) {
-  EXPECT_EQ(ResultCache::entry_name(fixed_spec()), "a52015289b6a7db0.json");
-  EXPECT_EQ(ResultCache::entry_name(fixed_spec()), "a52015289b6a7db0.json");  // deterministic
+  EXPECT_EQ(ResultCache::entry_name(fixed_spec()), "e6905b9483ef7d77.json");
+  EXPECT_EQ(ResultCache::entry_name(fixed_spec()), "e6905b9483ef7d77.json");  // deterministic
 }
 
 TEST_F(ResultCacheTest, SpecHashSeesEveryAxisAndTheWholePolicyStack) {

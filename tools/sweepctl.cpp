@@ -26,6 +26,7 @@
 #include "exp/runner.hpp"
 #include "stats/json.hpp"
 #include "util/file_io.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -66,19 +67,11 @@ struct Options {
 bool parse_shard(const std::string& val, exp::ShardOptions& shard) {
   const auto slash = val.find('/');
   if (slash == std::string::npos) return false;
-  // Whole-token parses only: "0x1/2" or "1/2x" must be rejected, not
-  // silently truncated to the wrong shard.
-  try {
-    std::size_t used = 0;
-    const std::string index = val.substr(0, slash);
-    const std::string count = val.substr(slash + 1);
-    shard.index = std::stoul(index, &used);
-    if (used != index.size()) return false;
-    shard.count = std::stoul(count, &used);
-    if (used != count.size()) return false;
-  } catch (const std::exception&) {
-    return false;
-  }
+  // Whole-token, in-range parses only (util::parse_number): "0x1/2",
+  // "1/2x" and "1/-2" must be rejected, not silently truncated or wrapped
+  // to the wrong shard.
+  if (!util::parse_number(std::string_view{val}.substr(0, slash), shard.index)) return false;
+  if (!util::parse_number(std::string_view{val}.substr(slash + 1), shard.count)) return false;
   return shard.count >= 1 && shard.index < shard.count;
 }
 
@@ -118,8 +111,10 @@ bool parse(int argc, char** argv, Options& opt) {
         if (!value()) return false;
         opt.csv_path = val;
       } else if (key == "--threads") {
-        if (!value()) return false;
-        opt.threads = static_cast<unsigned>(std::stoul(val));
+        // Same whole-token, in-range rule as --shard: "--threads=2x" must
+        // not silently run with 2 threads, nor an overflowing or negative
+        // value with a wrapped thread count.
+        if (!value() || !util::parse_number(val, opt.threads)) return false;
       } else if (key == "--progress") {
         opt.progress = true;
       } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
@@ -241,17 +236,32 @@ int cmd_status(const Options& opt) {
     for (const std::string& path : opt.inputs) {
       std::size_t points = 0;
       std::size_t matching = 0;
+      std::size_t mismatched = 0;
       try {
         const stats::JsonValue doc = stats::parse_json(read_file(path));
         for (const stats::JsonValue& entry : doc.at("points").items()) {
           ++points;
           const std::uint64_t index = entry.at("index").as_u64();
-          if (index < grid.size() && !covered[index]) {
+          // Count a point as covered only if merge would accept it: the
+          // stored spec hash must match this grid's spec at that index,
+          // otherwise status would claim coverage merge then rejects
+          // (stale shard files from an edited preset).
+          if (index >= grid.size() ||
+              entry.at("spec_hash").as_str() != exp::spec_hash_hex(grid[index])) {
+            ++mismatched;
+            continue;
+          }
+          if (!covered[index]) {
             covered[index] = true;
             ++matching;
           }
         }
-        std::printf("shard %s: %zu points (%zu new)\n", path.c_str(), points, matching);
+        if (mismatched != 0) {
+          std::printf("shard %s: %zu points (%zu new, %zu stale — merge would reject)\n",
+                      path.c_str(), points, matching, mismatched);
+        } else {
+          std::printf("shard %s: %zu points (%zu new)\n", path.c_str(), points, matching);
+        }
       } catch (const std::invalid_argument& e) {
         std::printf("shard %s: unreadable (%s)\n", path.c_str(), e.what());
       }
