@@ -1,10 +1,13 @@
 #include "exp/cache.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <random>
+#include <ratio>
 #include <stdexcept>
+#include <string_view>
 
 #include "core/report_io.hpp"
 #include "stats/json.hpp"
@@ -129,6 +132,62 @@ void ResultCache::store(const ScenarioSpec& spec, const core::RunReport& report)
   if (ec) store_failed("cannot publish '" + path + "'");
   const std::lock_guard<std::mutex> lock{mutex_};
   ++stats_.stores;
+}
+
+namespace {
+
+/// True for names the cache itself writes: "<16 hex>.json" entries and
+/// "<16 hex>.json.tmp.<16 hex>" temp files a crashed writer left behind.
+/// gc() must never touch anything else a user may have put in the
+/// directory.
+bool is_cache_file(const std::string& name, bool& is_temp) {
+  const auto is_hex16 = [](std::string_view s) {
+    if (s.size() != 16) return false;
+    for (const char c : s) {
+      if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+    }
+    return true;
+  };
+  constexpr std::string_view kJson = ".json";
+  constexpr std::string_view kTmp = ".json.tmp.";
+  if (name.size() == 16 + kJson.size() && name.substr(16) == kJson) {
+    is_temp = false;
+    return is_hex16(std::string_view{name}.substr(0, 16));
+  }
+  if (name.size() == 16 + kTmp.size() + 16 && name.substr(16, kTmp.size()) == kTmp) {
+    is_temp = true;
+    return is_hex16(std::string_view{name}.substr(0, 16)) &&
+           is_hex16(std::string_view{name}.substr(16 + kTmp.size()));
+  }
+  return false;
+}
+
+}  // namespace
+
+GcStats ResultCache::gc(double keep_days) {
+  if (!(keep_days >= 0.0)) throw std::invalid_argument{"ResultCache::gc: keep_days must be >= 0"};
+  const auto now = std::filesystem::file_time_type::clock::now();
+  // Ages are compared in floating-point days: casting a huge keep_days into
+  // the file clock's duration would overflow (UB) and wrap the cutoff into
+  // the future, turning "keep everything" into "delete everything".
+  using FpDays = std::chrono::duration<double, std::ratio<86400>>;
+
+  GcStats gcs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator{dir_, ec}) {
+    bool is_temp = false;
+    if (!entry.is_regular_file(ec) || !is_cache_file(entry.path().filename().string(), is_temp)) {
+      continue;
+    }
+    const auto mtime = std::filesystem::last_write_time(entry.path(), ec);
+    if (ec) continue;
+    if (std::chrono::duration_cast<FpDays>(now - mtime).count() <= keep_days) {
+      if (!is_temp) ++gcs.kept;  // live temp files are another writer's business
+      continue;
+    }
+    if (std::filesystem::remove(entry.path(), ec) && !ec) ++gcs.removed;
+  }
+  return gcs;
 }
 
 CacheStats ResultCache::stats() const {

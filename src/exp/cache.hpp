@@ -47,6 +47,12 @@ struct CacheStats {
   std::uint64_t store_failures{0};  ///< writes that failed (counted before store() throws)
 };
 
+/// What one gc() pass did.
+struct GcStats {
+  std::uint64_t removed{0};  ///< entries (and orphaned temp files) deleted
+  std::uint64_t kept{0};     ///< entries young enough to survive
+};
+
 class ResultCache {
  public:
   /// Opens (creating if needed) the cache directory.  Throws
@@ -66,6 +72,15 @@ class ResultCache {
   /// Writes/overwrites the entry for `spec` atomically (temp file + rename).
   /// Throws std::runtime_error on I/O failure.
   void store(const ScenarioSpec& spec, const core::RunReport& report);
+
+  /// Evicts entries whose file modification time is older than `keep_days`
+  /// days (lookups refresh nothing, so age == time since the point was
+  /// stored).  Only files matching the cache's own naming scheme are
+  /// touched: "<16 hex>.json" entries and their orphaned
+  /// "<16 hex>.json.tmp.*" temp files (crashed writers); anything else in
+  /// the directory is left alone.  Unreadable/undeletable files are
+  /// skipped, never fatal.
+  GcStats gc(double keep_days);
 
   [[nodiscard]] CacheStats stats() const;
 

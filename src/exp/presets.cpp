@@ -77,6 +77,21 @@ std::vector<ScenarioSpec> preset_trace() {
   return grid;
 }
 
+/// The empirical flow-size mixes (websearch, datamining, websearch+incast;
+/// bundled CDFs under examples/, relative to the repository root — run this
+/// preset from there) across loads and circuit schedulers.  Sizes follow
+/// the published heavy-tailed CDFs, so this is the grid where size-aware
+/// circuit policies separate from size-blind ones.
+std::vector<ScenarioSpec> preset_empirical() {
+  std::vector<ScenarioSpec> grid;
+  for (const char* scenario : {"websearch", "datamining", "websearch+incast"}) {
+    grid.push_back(make_scenario(scenario, 8, 0.5, 7).with_window(4_ms, 800_us));
+  }
+  grid = expand(grid, axis_load({0.4, 0.8}));
+  grid = expand(grid, axis_circuit({"solstice", "cthrough"}));
+  return grid;  // 12 points
+}
+
 using PresetBuilder = std::vector<ScenarioSpec> (*)();
 
 const std::map<std::string, PresetBuilder>& presets() {
@@ -86,6 +101,7 @@ const std::map<std::string, PresetBuilder>& presets() {
       {"policy-cross", &preset_policy_cross},
       {"composite", &preset_composite},
       {"trace", &preset_trace},
+      {"empirical", &preset_empirical},
   };
   return map;
 }

@@ -19,6 +19,10 @@
 //   trace        replay of the bundled example flow trace
 //                (exp::kDefaultTracePath; run from the repo root) across
 //                loads and circuit schedulers
+//   empirical    the empirical flow-size mixes (websearch, datamining,
+//                websearch+incast; bundled CDFs under examples/, run from
+//                the repo root) across loads and circuit schedulers —
+//                behind BENCH_sweep_empirical.json
 #ifndef XDRS_EXP_PRESETS_HPP
 #define XDRS_EXP_PRESETS_HPP
 

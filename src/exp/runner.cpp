@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -94,6 +95,7 @@ std::string SweepResult::to_shard_json() const {
     out += "    {\"index\":" + std::to_string(shard.index + j * shard.count);
     out += ",\"spec_hash\":\"" + spec_hash_hex(p.spec) + '"';
     out += ",\"key\":\"" + stats::json_escape(p.spec.key()) + '"';
+    out += ",\"wall_us\":" + std::to_string(p.wall_us);
     out += ",\"report\":" + core::report_state_json(p.report) + '}';
     if (j + 1 < points.size()) out += ',';
     out += '\n';
@@ -140,6 +142,11 @@ SweepResult SweepResult::merge_shards(const std::vector<ScenarioSpec>& grid,
       result.points[index].spec = grid[index];
       try {
         result.points[index].report = core::report_from_state(entry.at("report"));
+        // Older shard files (envelope additions are backward compatible)
+        // carry no wall time; treat it as unmeasured, not an error.
+        if (const stats::JsonValue* wall = entry.find("wall_us")) {
+          result.points[index].wall_us = wall->as_i64();
+        }
       } catch (const std::invalid_argument& e) {
         fail("point " + std::to_string(index) + ": " + e.what());
       }
@@ -187,6 +194,7 @@ SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
       if (j >= owned) return;
       PointResult& slot = result.points[j];
       slot.spec = grid[shard.index + j * shard.count];
+      const auto point_began = std::chrono::steady_clock::now();
       try {
         std::optional<core::RunReport> cached;
         if (opts_.cache != nullptr) cached = opts_.cache->lookup(slot.spec);
@@ -210,6 +218,9 @@ SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
         if (!error) error = std::current_exception();
         return;
       }
+      slot.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - point_began)
+                         .count();
       if (opts_.progress) {
         const std::lock_guard<std::mutex> lock{mutex};
         opts_.progress(++completed, owned, slot.spec);

@@ -63,6 +63,12 @@ struct SweepOptions {
 struct PointResult {
   ScenarioSpec spec;
   core::RunReport report;
+  /// Wall-clock microseconds this point took in this process (simulation,
+  /// or the cache round-trip that replaced it — cached points read as ~0).
+  /// Recorded in shard files so merges and `sweepctl status` can report
+  /// straggler shards; deliberately NOT part of to_json()/to_csv(), which
+  /// must stay byte-identical across thread counts and machines.
+  std::int64_t wall_us{0};
 };
 
 /// Results of one sweep: the points this run owned, in grid order.  For an

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "traffic/empirical_cdf.hpp"
 #include "traffic/trace_replay.hpp"
 
 namespace xdrs::exp {
@@ -296,6 +297,10 @@ std::string ScenarioSpec::identity_json() const {
       // cached results, renaming or relocating the file does not.
       wf.push_back(Field::str("trace_digest", traffic::trace_digest_hex(w.trace_path)));
     }
+    if (w.kind == topo::WorkloadSpec::Kind::kEmpirical) {
+      // Same content-not-path contract for empirical flow-size CDFs.
+      wf.push_back(Field::str("cdf_digest", traffic::cdf_digest_hex(w.cdf_path)));
+    }
     out += stats::to_json_object(wf);
   }
   out += "]}";
@@ -445,6 +450,25 @@ Registry built_in_scenarios() {
     s.workloads.push_back(w);
     return s;
   };
+  // Empirical flow-size mixes: Poisson flow arrivals whose sizes follow
+  // the published websearch (DCTCP) and datamining (VL2) CDFs — the
+  // heavy-tailed distributions that decide whether size-aware policies
+  // actually win.
+  const auto empirical = [](const char* name, const char* cdf_path) {
+    return [name, cdf_path](std::uint32_t ports, double load, std::uint64_t seed) {
+      ScenarioSpec s = hybrid_base(ports, seed);
+      s.scenario = name;
+      topo::WorkloadSpec w;
+      w.kind = Kind::kEmpirical;
+      w.cdf_path = cdf_path;
+      w.load = load;
+      w.seed = seed + 100;
+      s.workloads.push_back(w);
+      return s;
+    };
+  };
+  r["websearch"] = empirical("websearch", kWebsearchCdfPath);
+  r["datamining"] = empirical("datamining", kDataminingCdfPath);
   // Composites: the bursty mixes the hybrid design is actually judged on —
   // heavy structured traffic riding on a background the EPS must keep
   // serving.  Shares split one load axis across the constituent workloads.
@@ -468,6 +492,14 @@ Registry built_in_scenarios() {
     return ScenarioSpec::composite("onoff+mice",
                                    {make_scenario("onoff", ports, load, seed), mice},
                                    {0.5, 0.5});
+  };
+  r["websearch+incast"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    // The paper-style stress mix: a realistic websearch background with a
+    // partition/aggregate fan-in riding on top of it.
+    return ScenarioSpec::composite("websearch+incast",
+                                   {make_scenario("websearch", ports, load, seed),
+                                    make_scenario("incast", ports, load, seed)},
+                                   {0.6, 0.4});
   };
   return r;
 }

@@ -135,14 +135,22 @@ struct ScenarioSpec {
 /// `workloads[0].trace_path` somewhere else).
 inline constexpr const char* kDefaultTracePath = "examples/example_trace.csv";
 
+/// CDF files the built-in "websearch"/"datamining" scenarios sample by
+/// default, relative to the repository root (run empirical sweeps from
+/// there, or point `workloads[0].cdf_path` somewhere else).
+inline constexpr const char* kWebsearchCdfPath = "examples/cdf_websearch.csv";
+inline constexpr const char* kDataminingCdfPath = "examples/cdf_datamining.csv";
+
 using ScenarioBuilder =
     std::function<ScenarioSpec(std::uint32_t ports, double load, std::uint64_t seed)>;
 
 /// Registers a scenario under `name`.  Throws std::invalid_argument if the
 /// name is already taken.  Built-in scenarios: uniform, hotspot, zipf,
 /// permutation, onoff, flows, shuffle, incast, voip, trace (CSV flow-trace
-/// replay; see traffic/trace_replay.hpp) and the composites
-/// incast+background, shuffle+voip, onoff+mice.
+/// replay; see traffic/trace_replay.hpp), websearch and datamining (flows
+/// sized by the bundled empirical CDFs; see traffic/empirical_cdf.hpp) and
+/// the composites incast+background, shuffle+voip, onoff+mice,
+/// websearch+incast.
 void register_scenario(const std::string& name, ScenarioBuilder builder);
 
 /// Instantiates a registered scenario.  Throws std::invalid_argument on

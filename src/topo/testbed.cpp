@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "traffic/empirical_cdf.hpp"
 #include "traffic/patterns.hpp"
 #include "traffic/trace_replay.hpp"
 
@@ -24,6 +25,7 @@ std::string WorkloadSpec::name() const {
     case Kind::kShuffle: return "shuffle";
     case Kind::kIncast: return "incast";
     case Kind::kTraceReplay: return "trace";
+    case Kind::kEmpirical: return "empirical";
   }
   return "unknown";
 }
@@ -59,6 +61,14 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
     return;
   }
 
+  // Empirical flow sizes share one immutable parsed CDF across every port
+  // (and every concurrently-running sweep point replaying the same file).
+  std::shared_ptr<traffic::EmpiricalSize> empirical_size;
+  if (spec.kind == WorkloadSpec::Kind::kEmpirical) {
+    empirical_size =
+        std::make_shared<traffic::EmpiricalSize>(traffic::load_cdf_cached(spec.cdf_path));
+  }
+
   for (std::uint32_t p = 0; p < ports; ++p) {
     const std::uint64_t seed = spec.seed * 1000003ULL + p;
     std::shared_ptr<traffic::DestinationChooser> dest;
@@ -66,6 +76,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
       case WorkloadSpec::Kind::kPoissonUniform:
       case WorkloadSpec::Kind::kOnOffBursts:
       case WorkloadSpec::Kind::kFlows:
+      case WorkloadSpec::Kind::kEmpirical:
         dest = std::make_shared<traffic::UniformChooser>(ports);
         break;
       case WorkloadSpec::Kind::kPoissonHotspot:
@@ -99,12 +110,14 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
         break;
       }
       case WorkloadSpec::Kind::kShuffle:
-      case WorkloadSpec::Kind::kFlows: {
+      case WorkloadSpec::Kind::kFlows:
+      case WorkloadSpec::Kind::kEmpirical: {
         FlowGenerator::Config gc;
         gc.src = p;
         gc.line_rate = cfg.link_rate;
         gc.load = spec.load;
         gc.elephant_fraction = spec.elephant_fraction;
+        gc.size = empirical_size;  // null for kShuffle/kFlows: built-in mixture
         gc.dest = dest;
         gc.seed = seed;
         fw.add_generator(std::make_unique<FlowGenerator>(gc));

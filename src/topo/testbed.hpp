@@ -25,6 +25,7 @@ struct WorkloadSpec {
     kShuffle,          ///< flow-level all-to-all (MapReduce shuffle rotation)
     kIncast,           ///< periodic partition/aggregate fan-in to port 0
     kTraceReplay,      ///< CSV flow-trace replay (traffic/trace_replay.hpp)
+    kEmpirical,        ///< flows sized by an empirical CDF file (traffic/empirical_cdf.hpp)
   };
 
   Kind kind{Kind::kPoissonUniform};
@@ -40,6 +41,7 @@ struct WorkloadSpec {
   sim::Time period{sim::Time::milliseconds(1)};      ///< kIncast round period
   std::int64_t response_bytes{64'000};               ///< kIncast per-worker answer
   std::string trace_path;                            ///< kTraceReplay CSV file
+  std::string cdf_path;                              ///< kEmpirical bytes,cdf file
   std::uint64_t seed{7};
 
   [[nodiscard]] std::string name() const;

@@ -1,0 +1,130 @@
+#include "traffic/empirical_cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/content_cache.hpp"
+#include "util/file_io.hpp"
+#include "util/parse.hpp"
+
+namespace xdrs::traffic {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::invalid_argument{"EmpiricalCdf: line " + std::to_string(line) + ": " + what};
+}
+
+}  // namespace
+
+EmpiricalCdf::EmpiricalCdf(std::vector<CdfPoint> points) : points_{std::move(points)} {
+  // Mean of the piecewise-linear model: an atom of mass p0 at the first
+  // size, then each segment's mass times the segment midpoint (the mean of
+  // a uniform draw across it under linear CDF interpolation).
+  mean_bytes_ = points_.front().p * static_cast<double>(points_.front().bytes);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].p - points_[i - 1].p;
+    mean_bytes_ +=
+        mass * 0.5 * static_cast<double>(points_[i - 1].bytes + points_[i].bytes);
+  }
+}
+
+EmpiricalCdf EmpiricalCdf::parse(std::string_view csv) {
+  std::vector<CdfPoint> points;
+  std::size_t line_no = 0;
+  bool saw_header_candidate = false;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t eol = csv.find('\n', pos);
+    std::string_view line =
+        csv.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? csv.size() + 1 : eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    // One optional header line, before any point.
+    if (!saw_header_candidate && points.empty() && line == "bytes,cdf") {
+      saw_header_candidate = true;
+      continue;
+    }
+
+    const std::size_t comma = line.find(',');
+    if (comma == std::string_view::npos || line.find(',', comma + 1) != std::string_view::npos) {
+      parse_error(line_no, "expected bytes,cdf");
+    }
+
+    CdfPoint pt;
+    if (!util::parse_number(line.substr(0, comma), pt.bytes) || pt.bytes <= 0) {
+      parse_error(line_no,
+                  "bad bytes '" + std::string{line.substr(0, comma)} + "' (must be positive)");
+    }
+    if (!util::parse_number(line.substr(comma + 1), pt.p) || !std::isfinite(pt.p) || pt.p < 0.0 ||
+        pt.p > 1.0) {
+      parse_error(line_no,
+                  "bad cdf '" + std::string{line.substr(comma + 1)} + "' (must be in [0, 1])");
+    }
+    if (!points.empty()) {
+      if (pt.bytes <= points.back().bytes) {
+        parse_error(line_no, "bytes must increase (CDF support is not monotone)");
+      }
+      if (pt.p < points.back().p) {
+        parse_error(line_no, "cdf decreased (a CDF is non-decreasing)");
+      }
+    }
+    points.push_back(pt);
+  }
+  if (points.empty()) throw std::invalid_argument{"EmpiricalCdf: no points"};
+  if (points.back().p != 1.0) {
+    throw std::invalid_argument{"EmpiricalCdf: final cdf is " +
+                                std::to_string(points.back().p) + ", must reach exactly 1"};
+  }
+  return EmpiricalCdf{std::move(points)};
+}
+
+EmpiricalCdf EmpiricalCdf::load(const std::string& path) {
+  const std::optional<std::string> raw = util::read_file(path);
+  if (!raw) throw std::runtime_error{"EmpiricalCdf: cannot read '" + path + "'"};
+  return parse(*raw);
+}
+
+std::int64_t EmpiricalCdf::quantile(double p) const noexcept {
+  if (!(p > 0.0)) return points_.front().bytes;  // p <= 0 and NaN: the minimum size
+  if (p >= 1.0) return points_.back().bytes;
+  // The atom at the first point absorbs p <= p0; past it, find the first
+  // point at or above p and interpolate linearly across that segment.
+  if (p <= points_.front().p) return points_.front().bytes;
+  const auto it = std::lower_bound(points_.begin(), points_.end(), p,
+                                   [](const CdfPoint& pt, double v) { return pt.p < v; });
+  const CdfPoint& hi = *it;
+  const CdfPoint& lo = *(it - 1);
+  if (hi.p <= lo.p) return hi.bytes;  // zero-mass plateau boundary
+  const double t = (p - lo.p) / (hi.p - lo.p);
+  const double bytes = static_cast<double>(lo.bytes) +
+                       t * static_cast<double>(hi.bytes - lo.bytes);
+  return std::clamp(static_cast<std::int64_t>(std::llround(bytes)), lo.bytes, hi.bytes);
+}
+
+namespace {
+
+util::FileContentCache<EmpiricalCdf>& cdf_cache() {
+  static util::FileContentCache<EmpiricalCdf> cache;
+  return cache;
+}
+
+}  // namespace
+
+std::string cdf_digest_hex(const std::string& path) { return cdf_cache().digest_hex(path); }
+
+std::shared_ptr<const EmpiricalCdf> load_cdf_cached(const std::string& path) {
+  return cdf_cache().load(path, &EmpiricalCdf::parse, "EmpiricalCdf");
+}
+
+EmpiricalSize::EmpiricalSize(std::shared_ptr<const EmpiricalCdf> cdf) : cdf_{std::move(cdf)} {
+  if (cdf_ == nullptr) throw std::invalid_argument{"EmpiricalSize: null CDF"};
+}
+
+std::int64_t EmpiricalSize::sample(sim::Rng& rng) { return cdf_->quantile(rng.next_double()); }
+
+}  // namespace xdrs::traffic

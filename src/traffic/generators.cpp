@@ -153,6 +153,7 @@ FlowGenerator::FlowGenerator(Config cfg) : cfg_{std::move(cfg)}, rng_{cfg_.seed}
 }
 
 double FlowGenerator::mean_flow_bytes() const {
+  if (cfg_.size) return cfg_.size->mean_bytes();
   const double elephant_mean = static_cast<double>(cfg_.elephant_min_bytes) *
                                cfg_.elephant_shape / (cfg_.elephant_shape - 1.0);
   return (1.0 - cfg_.elephant_fraction) * static_cast<double>(cfg_.mice_mean_bytes) +
@@ -175,9 +176,15 @@ void FlowGenerator::next_flow(sim::Simulator& sim, sim::Time horizon) {
   if (sim.now() + gap >= horizon) return;
 
   sim.schedule(gap, [this, &sim, horizon] {
-    const bool elephant = rng_.bernoulli(cfg_.elephant_fraction);
-    std::int64_t size;
-    if (elephant) {
+    bool elephant = false;
+    std::int64_t size = 0;
+    if (cfg_.size) {
+      // Explicit size model (empirical CDF): the draw decides the size and
+      // the elephant threshold only the traffic-class marking.
+      size = cfg_.size->sample(rng_);
+      elephant = size >= cfg_.elephant_min_bytes;
+    } else if (rng_.bernoulli(cfg_.elephant_fraction)) {
+      elephant = true;
       size = static_cast<std::int64_t>(
           rng_.pareto(cfg_.elephant_shape, static_cast<double>(cfg_.elephant_min_bytes)));
     } else {

@@ -134,8 +134,10 @@ class CbrGenerator final : public TrafficGenerator {
 };
 
 /// Flow-level source: flows arrive as a Poisson process; each flow draws a
-/// size from a mice/elephant mixture and streams it at the host NIC rate.
-/// This is the workload the hybrid split experiment (E5) sweeps.
+/// size from a mice/elephant mixture — or from an explicit SizeDistribution
+/// (e.g. an empirical websearch/datamining CDF) — and streams it at the
+/// host NIC rate.  This is the workload the hybrid split experiment (E5)
+/// sweeps.
 class FlowGenerator final : public TrafficGenerator {
  public:
   struct Config {
@@ -147,6 +149,10 @@ class FlowGenerator final : public TrafficGenerator {
     std::int64_t elephant_min_bytes{1'000'000};
     double elephant_shape{1.2};
     double elephant_fraction{0.1};  ///< of flows (by count)
+    /// Optional flow-size model replacing the mixture above: when set,
+    /// every flow size is one sample() and elephant_min_bytes only decides
+    /// the traffic-class marking.  traffic::EmpiricalSize plugs in here.
+    std::shared_ptr<SizeDistribution> size;
     std::int64_t packet_bytes{sim::kMaxFrameBytes};
     std::shared_ptr<DestinationChooser> dest;
     std::uint64_t seed{1};

@@ -1,0 +1,323 @@
+#include "traffic/pcap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace xdrs::traffic {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::invalid_argument{"pcap: " + what};
+}
+
+/// Bounds-checked little/big-endian integer reads over the raw capture.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_{bytes} {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+  [[nodiscard]] std::uint8_t u8(std::size_t off) const {
+    if (off >= bytes_.size()) corrupt("truncated at byte " + std::to_string(off));
+    return static_cast<std::uint8_t>(bytes_[off]);
+  }
+
+  [[nodiscard]] std::uint16_t u16(std::size_t off, bool swap) const {
+    const std::uint16_t lo = u8(off);
+    const std::uint16_t hi = u8(off + 1);
+    // File data is read byte-wise, so "swap" means "file is big-endian".
+    return swap ? static_cast<std::uint16_t>(lo << 8 | hi)
+                : static_cast<std::uint16_t>(hi << 8 | lo);
+  }
+
+  [[nodiscard]] std::uint32_t u32(std::size_t off, bool swap) const {
+    const std::uint32_t a = u8(off);
+    const std::uint32_t b = u8(off + 1);
+    const std::uint32_t c = u8(off + 2);
+    const std::uint32_t d = u8(off + 3);
+    return swap ? (a << 24 | b << 16 | c << 8 | d) : (d << 24 | c << 16 | b << 8 | a);
+  }
+
+  [[nodiscard]] std::string_view slice(std::size_t off, std::size_t len) const {
+    if (off > bytes_.size() || bytes_.size() - off < len) {
+      corrupt("truncated packet data at byte " + std::to_string(off));
+    }
+    return bytes_.substr(off, len);
+  }
+
+ private:
+  std::string_view bytes_;
+};
+
+// Link-layer types we can decode (the pcap LINKTYPE_* registry values).
+constexpr std::uint32_t kLinkEthernet = 1;
+constexpr std::uint32_t kLinkRawIp = 101;
+
+/// Decodes one captured frame into `out`.  Returns false (not an error) for
+/// anything that is not an IPv4 packet; `wire_bytes` is the original
+/// length, `frame` the possibly snaplen-truncated capture slice.
+bool decode_frame(std::string_view frame, std::uint32_t link_type, std::uint64_t time_ns,
+                  std::uint32_t wire_bytes, PcapPacket& out) {
+  const Reader r{frame};
+  std::size_t ip_off = 0;
+  if (link_type == kLinkEthernet) {
+    if (frame.size() < 14) return false;
+    std::size_t type_off = 12;
+    std::uint16_t ethertype = r.u16(type_off, /*swap=*/true);  // network order
+    // Up to two VLAN tags (802.1Q / QinQ): each inserts 4 bytes.
+    for (int tags = 0; tags < 2 && (ethertype == 0x8100 || ethertype == 0x88a8); ++tags) {
+      if (frame.size() < type_off + 6) return false;
+      type_off += 4;
+      ethertype = r.u16(type_off, /*swap=*/true);
+    }
+    if (ethertype != 0x0800) return false;  // not IPv4
+    ip_off = type_off + 2;
+  } else if (link_type != kLinkRawIp) {
+    corrupt("unsupported link type " + std::to_string(link_type) +
+            " (Ethernet and raw IPv4 only)");
+  }
+
+  if (frame.size() < ip_off + 20) return false;  // no room for an IPv4 header
+  const std::uint8_t version_ihl = r.u8(ip_off);
+  if (version_ihl >> 4 != 4) return false;
+  const std::size_t ihl = static_cast<std::size_t>(version_ihl & 0x0f) * 4;
+  if (ihl < 20 || frame.size() < ip_off + ihl) return false;
+
+  out.time_ns = time_ns;
+  out.bytes = wire_bytes;
+  out.proto = r.u8(ip_off + 9);
+  out.src_addr = r.u32(ip_off + 12, /*swap=*/true);
+  out.dst_addr = r.u32(ip_off + 16, /*swap=*/true);
+  out.src_port = 0;
+  out.dst_port = 0;
+  // TCP/UDP ports when the capture slice reaches them (snaplen may not).
+  if ((out.proto == 6 || out.proto == 17) && frame.size() >= ip_off + ihl + 4) {
+    out.src_port = r.u16(ip_off + ihl, /*swap=*/true);
+    out.dst_port = r.u16(ip_off + ihl + 2, /*swap=*/true);
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- classic pcap
+
+PcapCapture parse_classic(const Reader& r) {
+  const std::uint32_t magic_le = r.u32(0, /*swap=*/false);
+  bool swap = false;
+  std::uint64_t frac_to_ns = 1000;  // stored fraction is microseconds
+  switch (magic_le) {
+    case 0xa1b2c3d4u: break;
+    case 0xd4c3b2a1u: swap = true; break;
+    case 0xa1b23c4du: frac_to_ns = 1; break;          // nanosecond variant
+    case 0x4d3cb2a1u: frac_to_ns = 1; swap = true; break;
+    default: corrupt("bad magic");
+  }
+  if (r.size() < 24) corrupt("truncated global header");
+  const std::uint32_t link_type = r.u32(20, swap) & 0x0fffffffu;  // high bits: FCS info
+
+  PcapCapture capture;
+  std::size_t off = 24;
+  while (off < r.size()) {
+    if (r.size() - off < 16) corrupt("truncated record header at byte " + std::to_string(off));
+    const std::uint64_t ts_sec = r.u32(off, swap);
+    const std::uint64_t ts_frac = r.u32(off + 4, swap);
+    const std::uint32_t incl_len = r.u32(off + 8, swap);
+    const std::uint32_t orig_len = r.u32(off + 12, swap);
+    if (incl_len > (1u << 30)) corrupt("implausible record length at byte " + std::to_string(off));
+    const std::string_view frame = r.slice(off + 16, incl_len);
+    off += 16 + incl_len;
+
+    PcapPacket pkt;
+    if (decode_frame(frame, link_type, ts_sec * 1'000'000'000ull + ts_frac * frac_to_ns,
+                     orig_len != 0 ? orig_len : incl_len, pkt)) {
+      capture.packets.push_back(pkt);
+    } else {
+      ++capture.skipped;
+    }
+  }
+  return capture;
+}
+
+// ------------------------------------------------------------------- pcapng
+
+constexpr std::uint32_t kBlockSection = 0x0a0d0d0au;
+constexpr std::uint32_t kBlockInterface = 1;
+constexpr std::uint32_t kBlockSimplePacket = 3;
+constexpr std::uint32_t kBlockEnhancedPacket = 6;
+
+struct Interface {
+  std::uint32_t link_type{0};
+  long double ns_per_tick{1000.0L};  ///< default if_tsresol is microseconds
+};
+
+/// Walks an options list for if_tsresol (code 9); everything else skipped.
+long double tsresol_of(const Reader& r, std::size_t off, std::size_t end, bool swap) {
+  long double ns_per_tick = 1000.0L;
+  while (off + 4 <= end) {
+    const std::uint16_t code = r.u16(off, swap);
+    const std::uint16_t len = r.u16(off + 2, swap);
+    if (code == 0) break;  // opt_endofopt
+    if (off + 4 + len > end) break;
+    if (code == 9 && len >= 1) {
+      const std::uint8_t v = r.u8(off + 4);
+      // MSB clear: 10^-v seconds per tick; MSB set: 2^-(v&0x7f).
+      const long double ticks_per_sec =
+          std::pow((v & 0x80) ? 2.0L : 10.0L, static_cast<long double>(v & 0x7f));
+      ns_per_tick = 1e9L / ticks_per_sec;
+    }
+    off += 4 + ((len + 3u) & ~3u);  // options pad to 32 bits
+  }
+  return ns_per_tick;
+}
+
+PcapCapture parse_pcapng(const Reader& r) {
+  PcapCapture capture;
+  bool swap = false;
+  std::vector<Interface> interfaces;
+
+  std::size_t off = 0;
+  while (off < r.size()) {
+    if (r.size() - off < 12) corrupt("truncated block header at byte " + std::to_string(off));
+    std::uint32_t type = r.u32(off, swap);
+
+    if (type == kBlockSection) {
+      // A new section decides its own byte order (the SHB type value is a
+      // byte palindrome, so it reads the same either way; the byte-order
+      // magic inside disambiguates).
+      const std::uint32_t bom = r.u32(off + 8, /*swap=*/false);
+      if (bom == 0x1a2b3c4du) {
+        swap = false;
+      } else if (bom == 0x4d3c2b1au) {
+        swap = true;
+      } else {
+        corrupt("bad byte-order magic at byte " + std::to_string(off + 8));
+      }
+      interfaces.clear();
+    }
+
+    const std::uint32_t total_len = r.u32(off + 4, swap);
+    if (total_len < 12 || total_len % 4 != 0 || r.size() - off < total_len) {
+      corrupt("bad block length at byte " + std::to_string(off + 4));
+    }
+    const std::size_t body = off + 8;
+    const std::size_t body_end = off + total_len - 4;
+
+    if (type == kBlockInterface) {
+      if (body_end - body < 8) corrupt("truncated interface block");
+      Interface ifc;
+      ifc.link_type = r.u16(body, swap);
+      ifc.ns_per_tick = tsresol_of(r, body + 8, body_end, swap);
+      interfaces.push_back(ifc);
+    } else if (type == kBlockEnhancedPacket) {
+      if (body_end - body < 20) corrupt("truncated enhanced packet block");
+      const std::uint32_t ifc_id = r.u32(body, swap);
+      if (ifc_id >= interfaces.size()) {
+        corrupt("enhanced packet block references unknown interface " + std::to_string(ifc_id));
+      }
+      const std::uint64_t ts =
+          (static_cast<std::uint64_t>(r.u32(body + 4, swap)) << 32) | r.u32(body + 8, swap);
+      const std::uint32_t incl_len = r.u32(body + 12, swap);
+      const std::uint32_t orig_len = r.u32(body + 16, swap);
+      if (incl_len > body_end - (body + 20)) corrupt("enhanced packet data overruns its block");
+      const std::string_view frame = r.slice(body + 20, incl_len);
+      const Interface& ifc = interfaces[ifc_id];
+      PcapPacket pkt;
+      if (decode_frame(frame, ifc.link_type,
+                       static_cast<std::uint64_t>(static_cast<long double>(ts) * ifc.ns_per_tick),
+                       orig_len != 0 ? orig_len : incl_len, pkt)) {
+        capture.packets.push_back(pkt);
+      } else {
+        ++capture.skipped;
+      }
+    } else if (type == kBlockSimplePacket) {
+      ++capture.skipped;  // no timestamp: useless for a flow trace
+    }
+    // Every other block type (name resolution, statistics, ...) is skipped.
+
+    off += total_len;
+  }
+  return capture;
+}
+
+}  // namespace
+
+PcapCapture parse_pcap(std::string_view bytes) {
+  const Reader r{bytes};
+  if (bytes.size() < 4) corrupt("file shorter than any capture magic");
+  const std::uint32_t magic = r.u32(0, /*swap=*/false);
+  if (magic == kBlockSection) return parse_pcapng(r);
+  return parse_classic(r);
+}
+
+// -------------------------------------------------------------- flow folding
+
+std::string trace_from_pcap(const PcapCapture& capture, const TraceOptions& options) {
+  if (!(options.flow_gap_us > 0.0)) {
+    throw std::invalid_argument{"trace_from_pcap: flow gap must be positive"};
+  }
+
+  struct Flow {
+    std::uint64_t start_ns{0};
+    std::uint64_t last_ns{0};
+    std::uint32_t src{0};
+    std::uint32_t dst{0};
+    std::int64_t bytes{0};
+    std::uint8_t proto{0};
+  };
+  using Tuple = std::tuple<std::uint32_t, std::uint32_t, std::uint8_t, std::uint16_t,
+                           std::uint16_t>;
+
+  std::map<std::uint32_t, std::uint32_t> port_of;  // IP address -> dense trace port id
+  const auto port_for = [&port_of](std::uint32_t addr) {
+    return port_of.emplace(addr, static_cast<std::uint32_t>(port_of.size())).first->second;
+  };
+
+  const auto gap_ns = static_cast<std::uint64_t>(options.flow_gap_us * 1000.0);
+  std::map<Tuple, std::size_t> open;  // 5-tuple -> index of its current flow
+  std::vector<Flow> flows;
+  for (const PcapPacket& pkt : capture.packets) {
+    if (pkt.src_addr == pkt.dst_addr || pkt.bytes == 0) continue;  // unreplayable
+    const Tuple key{pkt.src_addr, pkt.dst_addr, pkt.proto, pkt.src_port, pkt.dst_port};
+    const auto it = open.find(key);
+    if (it != open.end() && pkt.time_ns >= flows[it->second].last_ns &&
+        pkt.time_ns - flows[it->second].last_ns <= gap_ns) {
+      Flow& f = flows[it->second];
+      f.bytes += pkt.bytes;
+      f.last_ns = pkt.time_ns;
+      continue;
+    }
+    Flow f;
+    f.start_ns = pkt.time_ns;
+    f.last_ns = pkt.time_ns;
+    f.src = port_for(pkt.src_addr);
+    f.dst = port_for(pkt.dst_addr);
+    f.bytes = pkt.bytes;
+    f.proto = pkt.proto;
+    open[key] = flows.size();
+    flows.push_back(f);
+  }
+  if (flows.empty()) {
+    throw std::invalid_argument{"trace_from_pcap: capture contains no usable IPv4 flows"};
+  }
+
+  std::stable_sort(flows.begin(), flows.end(),
+                   [](const Flow& a, const Flow& b) { return a.start_ns < b.start_ns; });
+  const std::uint64_t origin_ns = flows.front().start_ns;
+
+  std::string csv{"# generated by pcap2trace\nstart_us,src,dst,bytes,priority\n"};
+  for (const Flow& f : flows) {
+    const int priority = f.proto == 17 ? 2 : (f.bytes >= options.elephant_bytes ? 1 : 0);
+    char line[96];
+    std::snprintf(line, sizeof line, "%.3f,%u,%u,%lld,%d\n",
+                  static_cast<double>(f.start_ns - origin_ns) / 1000.0, f.src, f.dst,
+                  static_cast<long long>(f.bytes), priority);
+    csv += line;
+  }
+  return csv;
+}
+
+}  // namespace xdrs::traffic

@@ -1,0 +1,71 @@
+// Minimal, dependency-free packet-capture reader: real traces into the
+// flow-trace workload without libpcap.
+//
+// Supports the two formats captures actually come in:
+//
+//   * classic pcap  — all four magics (both byte orders, microsecond and
+//     nanosecond timestamps),
+//   * pcapng        — Section Header / Interface Description / Enhanced
+//     Packet blocks, per-section byte order, if_tsresol honoured.
+//
+// Link layers: Ethernet (VLAN tags skipped) and raw IPv4.  Anything that
+// is not an IPv4 packet is counted, never an error — captures are full of
+// ARP/IPv6/LLDP noise.  Structural corruption (truncated headers, bad
+// magics, lying block lengths) throws std::invalid_argument.
+//
+// trace_from_pcap() then folds the packets into flows (5-tuple plus an
+// idle-gap split) and renders the flow-trace CSV that
+// traffic/trace_replay.hpp parses, mapping IP addresses to dense trace
+// port ids — the bridge from a real capture to TraceReplayGenerator.
+#ifndef XDRS_TRAFFIC_PCAP_HPP
+#define XDRS_TRAFFIC_PCAP_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xdrs::traffic {
+
+/// One captured IPv4 packet, already down to the fields flow folding needs.
+struct PcapPacket {
+  std::uint64_t time_ns{0};   ///< capture timestamp, ns since the epoch
+  std::uint32_t src_addr{0};  ///< IPv4 addresses, host byte order
+  std::uint32_t dst_addr{0};
+  std::uint8_t proto{0};      ///< IP protocol (6 TCP, 17 UDP, ...)
+  std::uint16_t src_port{0};  ///< 0 when not TCP/UDP or truncated by snaplen
+  std::uint16_t dst_port{0};
+  std::uint32_t bytes{0};     ///< original wire length, not the captured slice
+};
+
+struct PcapCapture {
+  std::vector<PcapPacket> packets;  ///< in file order
+  std::uint64_t skipped{0};         ///< non-IPv4 frames and packetless blocks
+};
+
+/// Parses a whole capture file's bytes (classic pcap or pcapng, detected by
+/// magic).  Throws std::invalid_argument on structural corruption or an
+/// unsupported link layer.
+[[nodiscard]] PcapCapture parse_pcap(std::string_view bytes);
+
+struct TraceOptions {
+  /// Quiet time on a 5-tuple that splits it into a new flow; captures have
+  /// no explicit flow boundaries, so long-lived connections become one
+  /// flow per burst.
+  double flow_gap_us{1000.0};
+  /// Flows at or above this size are marked priority 1 (throughput); UDP
+  /// flows are marked 2 (latency-sensitive), everything else 0.
+  std::int64_t elephant_bytes{1'000'000};
+};
+
+/// Folds a capture into flows and renders the trace-replay CSV
+/// (start_us,src,dst,bytes,priority — FlowTrace::parse round-trips it).
+/// IP addresses map to dense trace port ids in order of first appearance;
+/// times are relative to the earliest flow.  Throws std::invalid_argument
+/// when the capture contains no usable IPv4 flows.
+[[nodiscard]] std::string trace_from_pcap(const PcapCapture& capture,
+                                          const TraceOptions& options = {});
+
+}  // namespace xdrs::traffic
+
+#endif  // XDRS_TRAFFIC_PCAP_HPP

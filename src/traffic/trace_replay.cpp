@@ -2,11 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
-#include <map>
-#include <mutex>
 #include <stdexcept>
 
+#include "util/content_cache.hpp"
 #include "util/file_io.hpp"
 #include "util/hash.hpp"
 #include "util/parse.hpp"
@@ -130,86 +128,17 @@ std::uint64_t trace_digest(std::string_view bytes) { return util::fnv1a(bytes); 
 
 namespace {
 
-/// Process-wide trace cache.  A sweep probes the same file for every grid
-/// point (cache identity twice per point, plus the attach-time parse), so
-/// read + digest + parse happen once per distinct (size, mtime) file state
-/// instead of per point.  The stat is taken BEFORE the read: if the file
-/// changes in between, the stored stamp no longer matches the next stat
-/// and the entry reloads — stale entries cannot stick.
-struct CachedTrace {
-  std::uintmax_t size{0};
-  std::filesystem::file_time_type mtime{};
-  std::string digest_hex;
-  std::shared_ptr<const FlowTrace> parsed;  ///< filled lazily by load_trace_cached
-};
-
-std::mutex g_trace_cache_mutex;
-
-std::map<std::string, CachedTrace>& trace_cache() {
-  static std::map<std::string, CachedTrace> cache;
+util::FileContentCache<FlowTrace>& trace_cache() {
+  static util::FileContentCache<FlowTrace> cache;
   return cache;
 }
 
-bool stat_trace(const std::string& path, std::uintmax_t& size,
-                std::filesystem::file_time_type& mtime) {
-  std::error_code ec;
-  size = std::filesystem::file_size(path, ec);
-  if (ec) return false;
-  mtime = std::filesystem::last_write_time(path, ec);
-  return !ec;
-}
-
-std::string digest_hex_of(std::string_view bytes) { return util::hex16(trace_digest(bytes)); }
-
 }  // namespace
 
-std::string trace_digest_hex(const std::string& path) {
-  std::uintmax_t size = 0;
-  std::filesystem::file_time_type mtime{};
-  const bool have_stat = stat_trace(path, size, mtime);
-  if (have_stat) {
-    const std::lock_guard<std::mutex> lock{g_trace_cache_mutex};
-    const auto it = trace_cache().find(path);
-    if (it != trace_cache().end() && it->second.size == size && it->second.mtime == mtime) {
-      return it->second.digest_hex;
-    }
-  }
-  const std::optional<std::string> raw = util::read_file(path);
-  if (!raw) return "unreadable";
-  std::string hex = digest_hex_of(*raw);
-  if (have_stat) {
-    const std::lock_guard<std::mutex> lock{g_trace_cache_mutex};
-    CachedTrace& entry = trace_cache()[path];
-    // Keep a concurrently stored parse for the same file state — resetting
-    // it would force the next attach to re-read and re-parse for nothing.
-    if (entry.size != size || entry.mtime != mtime) entry.parsed = nullptr;
-    entry.size = size;
-    entry.mtime = mtime;
-    entry.digest_hex = hex;
-  }
-  return hex;
-}
+std::string trace_digest_hex(const std::string& path) { return trace_cache().digest_hex(path); }
 
 std::shared_ptr<const FlowTrace> load_trace_cached(const std::string& path) {
-  std::uintmax_t size = 0;
-  std::filesystem::file_time_type mtime{};
-  const bool have_stat = stat_trace(path, size, mtime);
-  if (have_stat) {
-    const std::lock_guard<std::mutex> lock{g_trace_cache_mutex};
-    const auto it = trace_cache().find(path);
-    if (it != trace_cache().end() && it->second.size == size && it->second.mtime == mtime &&
-        it->second.parsed != nullptr) {
-      return it->second.parsed;
-    }
-  }
-  const std::optional<std::string> raw = util::read_file(path);
-  if (!raw) throw std::runtime_error{"FlowTrace: cannot read '" + path + "'"};
-  auto parsed = std::make_shared<const FlowTrace>(FlowTrace::parse(*raw));
-  if (have_stat) {
-    const std::lock_guard<std::mutex> lock{g_trace_cache_mutex};
-    trace_cache()[path] = CachedTrace{size, mtime, digest_hex_of(*raw), parsed};
-  }
-  return parsed;
+  return trace_cache().load(path, &FlowTrace::parse, "FlowTrace");
 }
 
 // ---------------------------------------------------------- TraceReplayGenerator

@@ -1,0 +1,117 @@
+// Process-wide (path, size, mtime)-keyed cache of parsed file content,
+// shared by every file-backed workload input (flow traces, empirical flow
+// -size CDFs).  A sweep probes the same file for every grid point — twice
+// per point for cache identity, plus the attach-time parse — so the read,
+// the FNV-1a digest and the parse happen once per distinct file state
+// instead of once per point.  The stat is taken BEFORE the read: if the
+// file changes in between, the stored stamp no longer matches the next
+// stat and the entry reloads — stale entries cannot stick.
+#ifndef XDRS_UTIL_CONTENT_CACHE_HPP
+#define XDRS_UTIL_CONTENT_CACHE_HPP
+
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/file_io.hpp"
+#include "util/hash.hpp"
+
+namespace xdrs::util {
+
+/// One cache instance per parsed type (a function-local static in the
+/// consuming module).  `Parsed` is the immutable result of parsing the
+/// file's bytes; every caller sharing a file state shares one instance.
+template <typename Parsed>
+class FileContentCache {
+ public:
+  /// FNV-1a 64 of the file's bytes as a 16-hex-digit string, or
+  /// "unreadable" when the file cannot be opened (so identity strings stay
+  /// deterministic even for missing inputs).
+  [[nodiscard]] std::string digest_hex(const std::string& path) {
+    std::uintmax_t size = 0;
+    std::filesystem::file_time_type mtime{};
+    const bool have_stat = stat_file(path, size, mtime);
+    if (have_stat) {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      const auto it = entries_.find(path);
+      if (it != entries_.end() && it->second.size == size && it->second.mtime == mtime) {
+        return it->second.digest_hex;
+      }
+    }
+    const std::optional<std::string> raw = read_file(path);
+    if (!raw) return "unreadable";
+    std::string hex = hex16(fnv1a(*raw));
+    if (have_stat) {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      Entry& entry = entries_[path];
+      // Keep a concurrently stored parse for the same file state —
+      // resetting it would force the next load to re-read and re-parse for
+      // nothing.
+      if (entry.size != size || entry.mtime != mtime) entry.parsed = nullptr;
+      entry.size = size;
+      entry.mtime = mtime;
+      entry.digest_hex = hex;
+    }
+    return hex;
+  }
+
+  /// read_file + `parse` through the cache: one read and parse per distinct
+  /// file state, however many callers probe it.  Throws std::runtime_error
+  /// with `what` naming the path when the file cannot be read; whatever
+  /// `parse` throws propagates unchanged.
+  [[nodiscard]] std::shared_ptr<const Parsed> load(
+      const std::string& path, const std::function<Parsed(std::string_view)>& parse,
+      std::string_view who) {
+    std::uintmax_t size = 0;
+    std::filesystem::file_time_type mtime{};
+    const bool have_stat = stat_file(path, size, mtime);
+    if (have_stat) {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      const auto it = entries_.find(path);
+      if (it != entries_.end() && it->second.size == size && it->second.mtime == mtime &&
+          it->second.parsed != nullptr) {
+        return it->second.parsed;
+      }
+    }
+    const std::optional<std::string> raw = read_file(path);
+    if (!raw) {
+      throw std::runtime_error{std::string{who} + ": cannot read '" + path + "'"};
+    }
+    auto parsed = std::make_shared<const Parsed>(parse(*raw));
+    if (have_stat) {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      entries_[path] = Entry{size, mtime, hex16(fnv1a(*raw)), parsed};
+    }
+    return parsed;
+  }
+
+ private:
+  struct Entry {
+    std::uintmax_t size{0};
+    std::filesystem::file_time_type mtime{};
+    std::string digest_hex;
+    std::shared_ptr<const Parsed> parsed;  ///< filled lazily by load()
+  };
+
+  static bool stat_file(const std::string& path, std::uintmax_t& size,
+                        std::filesystem::file_time_type& mtime) {
+    std::error_code ec;
+    size = std::filesystem::file_size(path, ec);
+    if (ec) return false;
+    mtime = std::filesystem::last_write_time(path, ec);
+    return !ec;
+  }
+
+  std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace xdrs::util
+
+#endif  // XDRS_UTIL_CONTENT_CACHE_HPP

@@ -1,0 +1,302 @@
+// Tests for the dependency-free capture reader: classic pcap in all four
+// magic variants, pcapng with per-section byte order and if_tsresol,
+// Ethernet/VLAN/raw-IP link layers, graceful skipping of non-IPv4 noise,
+// strict rejection of structural corruption — and the flow folding that
+// turns a capture into a trace-replay CSV FlowTrace::parse accepts.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "traffic/pcap.hpp"
+#include "traffic/trace_replay.hpp"
+
+namespace xdrs::traffic {
+namespace {
+
+// ---- byte-level builders ---------------------------------------------------
+
+void u8(std::string& s, unsigned v) { s.push_back(static_cast<char>(v & 0xff)); }
+
+void u16le(std::string& s, unsigned v) {
+  u8(s, v);
+  u8(s, v >> 8);
+}
+void u16be(std::string& s, unsigned v) {
+  u8(s, v >> 8);
+  u8(s, v);
+}
+void u32le(std::string& s, unsigned long v) {
+  u8(s, static_cast<unsigned>(v));
+  u8(s, static_cast<unsigned>(v >> 8));
+  u8(s, static_cast<unsigned>(v >> 16));
+  u8(s, static_cast<unsigned>(v >> 24));
+}
+void u32be(std::string& s, unsigned long v) {
+  u8(s, static_cast<unsigned>(v >> 24));
+  u8(s, static_cast<unsigned>(v >> 16));
+  u8(s, static_cast<unsigned>(v >> 8));
+  u8(s, static_cast<unsigned>(v));
+}
+
+/// An Ethernet/IPv4/TCP-or-UDP frame with the fields the decoder reads.
+std::string eth_frame(std::uint32_t src_addr, std::uint32_t dst_addr, unsigned proto,
+                      unsigned src_port, unsigned dst_port, int vlan_tags = 0) {
+  std::string f(12, '\0');  // MAC addresses: irrelevant
+  for (int i = 0; i < vlan_tags; ++i) {
+    u16be(f, 0x8100);
+    u16be(f, 0x0001);  // tag control
+  }
+  u16be(f, 0x0800);  // IPv4
+  u8(f, 0x45);       // version 4, IHL 5
+  u8(f, 0);          // TOS
+  u16be(f, 40);      // total length (unused by the decoder)
+  u32be(f, 0);       // id + flags
+  u8(f, 64);         // TTL
+  u8(f, proto);
+  u16be(f, 0);  // checksum
+  u32be(f, src_addr);
+  u32be(f, dst_addr);
+  u16be(f, src_port);
+  u16be(f, dst_port);
+  f.append(16, '\0');  // rest of the transport header
+  return f;
+}
+
+std::string classic_header(unsigned long magic_value, bool big_endian,
+                           unsigned long link_type = 1) {
+  std::string s;
+  const auto put32 = big_endian ? u32be : u32le;
+  const auto put16 = big_endian ? u16be : u16le;
+  put32(s, magic_value);
+  put16(s, 2);
+  put16(s, 4);
+  put32(s, 0);       // thiszone
+  put32(s, 0);       // sigfigs
+  put32(s, 65535);   // snaplen
+  put32(s, link_type);
+  return s;
+}
+
+void classic_record(std::string& s, bool big_endian, unsigned long sec, unsigned long frac,
+                    const std::string& frame, unsigned long orig_len = 0) {
+  const auto put32 = big_endian ? u32be : u32le;
+  put32(s, sec);
+  put32(s, frac);
+  put32(s, frame.size());
+  put32(s, orig_len != 0 ? orig_len : frame.size());
+  s += frame;
+}
+
+// ---- classic pcap ----------------------------------------------------------
+
+TEST(PcapClassic, ParsesMicrosecondLittleEndianCaptures) {
+  std::string file = classic_header(0xa1b2c3d4ul, false);
+  classic_record(file, false, 10, 500, eth_frame(0x0a000001, 0x0a000002, 6, 1234, 80), 1500);
+  classic_record(file, false, 10, 900, eth_frame(0x0a000002, 0x0a000001, 17, 5004, 5004));
+
+  const PcapCapture cap = parse_pcap(file);
+  EXPECT_EQ(cap.skipped, 0u);
+  ASSERT_EQ(cap.packets.size(), 2u);
+  EXPECT_EQ(cap.packets[0].time_ns, 10u * 1'000'000'000ull + 500'000ull);
+  EXPECT_EQ(cap.packets[0].src_addr, 0x0a000001u);
+  EXPECT_EQ(cap.packets[0].dst_addr, 0x0a000002u);
+  EXPECT_EQ(cap.packets[0].proto, 6);
+  EXPECT_EQ(cap.packets[0].src_port, 1234);
+  EXPECT_EQ(cap.packets[0].dst_port, 80);
+  EXPECT_EQ(cap.packets[0].bytes, 1500u);  // orig_len wins over the captured slice
+  EXPECT_EQ(cap.packets[1].proto, 17);
+}
+
+TEST(PcapClassic, HandlesNanosecondAndBigEndianMagics) {
+  // Nanosecond little-endian: the fraction is already ns.
+  std::string ns_file = classic_header(0xa1b23c4dul, false);
+  classic_record(ns_file, false, 1, 12345, eth_frame(1, 2, 6, 1, 2));
+  EXPECT_EQ(parse_pcap(ns_file).packets.at(0).time_ns, 1'000'000'000ull + 12'345ull);
+
+  // Big-endian microsecond: the same magic bytes in the other order.
+  std::string be_file = classic_header(0xa1b2c3d4ul, true);
+  classic_record(be_file, true, 2, 7, eth_frame(3, 4, 17, 9, 10));
+  const PcapCapture cap = parse_pcap(be_file);
+  ASSERT_EQ(cap.packets.size(), 1u);
+  EXPECT_EQ(cap.packets[0].time_ns, 2'000'000'000ull + 7'000ull);
+  EXPECT_EQ(cap.packets[0].src_addr, 3u);
+  EXPECT_EQ(cap.packets[0].dst_port, 10);
+}
+
+TEST(PcapClassic, DecodesVlanTagsSkipsNonIpv4AndReadsRawIp) {
+  std::string file = classic_header(0xa1b2c3d4ul, false);
+  classic_record(file, false, 1, 0, eth_frame(1, 2, 6, 1, 2, /*vlan_tags=*/1));
+  std::string arp(12, '\0');
+  u16be(arp, 0x0806);
+  arp.append(28, '\0');
+  classic_record(file, false, 1, 1, arp);
+  const PcapCapture cap = parse_pcap(file);
+  EXPECT_EQ(cap.packets.size(), 1u);  // the VLAN-tagged IPv4 frame
+  EXPECT_EQ(cap.skipped, 1u);         // the ARP frame
+
+  // Raw-IP link layer: the frame starts at the IPv4 header.
+  std::string raw_file = classic_header(0xa1b2c3d4ul, false, /*link_type=*/101);
+  const std::string eth = eth_frame(7, 8, 17, 53, 53);
+  classic_record(raw_file, false, 1, 0, eth.substr(14));
+  const PcapCapture raw = parse_pcap(raw_file);
+  ASSERT_EQ(raw.packets.size(), 1u);
+  EXPECT_EQ(raw.packets[0].src_addr, 7u);
+  EXPECT_EQ(raw.packets[0].proto, 17);
+}
+
+TEST(PcapClassic, RejectsCorruptStructures) {
+  EXPECT_THROW((void)parse_pcap(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_pcap("abc"), std::invalid_argument);
+  std::string bad_magic;
+  u32le(bad_magic, 0xdeadbeeful);
+  bad_magic.append(20, '\0');
+  EXPECT_THROW((void)parse_pcap(bad_magic), std::invalid_argument);
+
+  // Record header cut short.
+  std::string truncated = classic_header(0xa1b2c3d4ul, false);
+  truncated.append(8, '\0');
+  EXPECT_THROW((void)parse_pcap(truncated), std::invalid_argument);
+
+  // Record claims more data than the file holds.
+  std::string overrun = classic_header(0xa1b2c3d4ul, false);
+  u32le(overrun, 1);
+  u32le(overrun, 0);
+  u32le(overrun, 4096);  // incl_len
+  u32le(overrun, 4096);
+  overrun.append(10, '\0');
+  EXPECT_THROW((void)parse_pcap(overrun), std::invalid_argument);
+
+  // A link layer we cannot decode is an error, not silence.
+  std::string sll = classic_header(0xa1b2c3d4ul, false, /*link_type=*/113);
+  classic_record(sll, false, 1, 0, eth_frame(1, 2, 6, 1, 2));
+  EXPECT_THROW((void)parse_pcap(sll), std::invalid_argument);
+}
+
+// ---- pcapng ----------------------------------------------------------------
+
+void ng_block(std::string& s, unsigned long type, const std::string& body) {
+  const unsigned long total = 12 + ((body.size() + 3) & ~3ul);
+  u32le(s, type);
+  u32le(s, total);
+  s += body;
+  s.append(total - 12 - body.size(), '\0');  // pad to 32 bits
+  u32le(s, total);
+}
+
+std::string ng_shb() {
+  std::string body;
+  u32le(body, 0x1a2b3c4dul);  // byte-order magic
+  u16le(body, 1);             // version 1.0
+  u16le(body, 0);
+  u32le(body, 0xfffffffful);  // section length unknown
+  u32le(body, 0xfffffffful);
+  std::string s;
+  ng_block(s, 0x0a0d0d0aul, body);
+  return s;
+}
+
+std::string ng_idb(unsigned tsresol) {
+  std::string body;
+  u16le(body, 1);  // LINKTYPE_ETHERNET
+  u16le(body, 0);
+  u32le(body, 65535);  // snaplen
+  if (tsresol != 0) {
+    u16le(body, 9);  // if_tsresol
+    u16le(body, 1);
+    u8(body, tsresol);
+    body.append(3, '\0');  // option padding
+    u16le(body, 0);        // opt_endofopt
+    u16le(body, 0);
+  }
+  std::string s;
+  ng_block(s, 1, body);
+  return s;
+}
+
+std::string ng_epb(unsigned long long ts, const std::string& frame) {
+  std::string body;
+  u32le(body, 0);  // interface 0
+  u32le(body, static_cast<unsigned long>(ts >> 32));
+  u32le(body, static_cast<unsigned long>(ts & 0xffffffffull));
+  u32le(body, frame.size());
+  u32le(body, frame.size());
+  body += frame;
+  std::string s;
+  ng_block(s, 6, body);
+  return s;
+}
+
+TEST(Pcapng, ParsesEnhancedPacketBlocksWithTsresol) {
+  // Nanosecond resolution (if_tsresol = 9): the timestamp is ns verbatim.
+  const std::string file =
+      ng_shb() + ng_idb(9) + ng_epb(123'456'789ull, eth_frame(5, 6, 6, 80, 443));
+  const PcapCapture cap = parse_pcap(file);
+  ASSERT_EQ(cap.packets.size(), 1u);
+  EXPECT_EQ(cap.packets[0].time_ns, 123'456'789ull);
+  EXPECT_EQ(cap.packets[0].src_addr, 5u);
+  EXPECT_EQ(cap.packets[0].dst_port, 443);
+
+  // Default resolution (no option): microsecond ticks.
+  const std::string us_file = ng_shb() + ng_idb(0) + ng_epb(1000, eth_frame(5, 6, 6, 80, 443));
+  EXPECT_EQ(parse_pcap(us_file).packets.at(0).time_ns, 1'000'000ull);
+}
+
+TEST(Pcapng, RejectsCorruptBlocksAndUnknownInterfaces) {
+  // EPB before any IDB: interface 0 does not exist.
+  EXPECT_THROW((void)parse_pcap(ng_shb() + ng_epb(0, eth_frame(1, 2, 6, 1, 2))),
+               std::invalid_argument);
+  // A lying block length.
+  std::string bad = ng_shb();
+  bad[4] = 13;  // total_len not a multiple of 4
+  EXPECT_THROW((void)parse_pcap(bad), std::invalid_argument);
+}
+
+// ---- flow folding ----------------------------------------------------------
+
+TEST(TraceFromPcap, FoldsFlowsAndRoundTripsThroughTheTraceParser) {
+  std::string file = classic_header(0xa1b2c3d4ul, false);
+  // TCP elephant: two packets, same 5-tuple, 1 ms apart (within the gap).
+  classic_record(file, false, 1, 0, eth_frame(0x0a000001, 0x0a000002, 6, 4000, 80), 900'000);
+  classic_record(file, false, 1, 1000, eth_frame(0x0a000001, 0x0a000002, 6, 4000, 80), 200'000);
+  // Same tuple again after a 2 s silence: a NEW flow.
+  classic_record(file, false, 3, 0, eth_frame(0x0a000001, 0x0a000002, 6, 4000, 80), 5'000);
+  // UDP chatter the other way: latency-sensitive priority.
+  classic_record(file, false, 1, 500, eth_frame(0x0a000002, 0x0a000001, 17, 5004, 5004), 200);
+
+  const std::string csv = trace_from_pcap(parse_pcap(file));
+  const FlowTrace trace = FlowTrace::parse(csv);  // strictness is the contract
+  ASSERT_EQ(trace.records.size(), 3u);
+
+  // Flow 1: the two-packet TCP elephant, 1.1 MB -> priority 1.
+  EXPECT_EQ(trace.records[0].start, sim::Time::zero());
+  EXPECT_EQ(trace.records[0].bytes, 1'100'000);
+  EXPECT_EQ(trace.records[0].priority, 1);
+  EXPECT_EQ(trace.records[0].src, 0u);  // 10.0.0.1 seen first
+  EXPECT_EQ(trace.records[0].dst, 1u);
+  // Flow 2: the UDP packet 500 us later -> priority 2, reversed ports.
+  EXPECT_EQ(trace.records[1].start, sim::Time::microseconds(500));
+  EXPECT_EQ(trace.records[1].bytes, 200);
+  EXPECT_EQ(trace.records[1].priority, 2);
+  EXPECT_EQ(trace.records[1].src, 1u);
+  EXPECT_EQ(trace.records[1].dst, 0u);
+  // Flow 3: the split re-use of the tuple, small -> priority 0.
+  EXPECT_EQ(trace.records[2].start, sim::Time::seconds_f(2.0));
+  EXPECT_EQ(trace.records[2].bytes, 5'000);
+  EXPECT_EQ(trace.records[2].priority, 0);
+}
+
+TEST(TraceFromPcap, RejectsCapturesWithNoUsableFlows) {
+  EXPECT_THROW((void)trace_from_pcap(PcapCapture{}), std::invalid_argument);
+  // Self-addressed packets cannot be replayed (src == dst after mapping).
+  std::string file = classic_header(0xa1b2c3d4ul, false);
+  classic_record(file, false, 1, 0, eth_frame(9, 9, 6, 1, 2));
+  EXPECT_THROW((void)trace_from_pcap(parse_pcap(file)), std::invalid_argument);
+
+  TraceOptions bad;
+  bad.flow_gap_us = 0.0;
+  EXPECT_THROW((void)trace_from_pcap(PcapCapture{}, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xdrs::traffic

@@ -19,7 +19,8 @@ namespace {
 
 TEST(Presets, KnowsTheBuiltInGrids) {
   const auto names = known_presets();
-  for (const char* expected : {"small", "full", "policy-cross", "composite", "trace"}) {
+  for (const char* expected :
+       {"small", "full", "policy-cross", "composite", "trace", "empirical"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing preset " << expected;
   }
@@ -35,6 +36,16 @@ TEST(Presets, CompositeAndTraceGridsHaveTheDocumentedShape) {
   EXPECT_EQ(make_preset("composite").size(), 12u);
   // 1 trace scenario x 3 loads x 2 circuit schedulers.
   EXPECT_EQ(make_preset("trace").size(), 6u);
+  // 3 empirical scenarios x 2 loads x 2 circuit schedulers.
+  EXPECT_EQ(make_preset("empirical").size(), 12u);
+}
+
+TEST(Presets, EmpiricalGridCoversBothBundledCdfs) {
+  // The grid must exercise websearch, datamining and the websearch+incast
+  // composite — the key-uniqueness sweep below keeps their keys distinct.
+  std::set<std::string> scenarios;
+  for (const ScenarioSpec& spec : make_preset("empirical")) scenarios.insert(spec.scenario);
+  EXPECT_EQ(scenarios, (std::set<std::string>{"websearch", "datamining", "websearch+incast"}));
 }
 
 TEST(Presets, EveryPresetExpandsToPairwiseDistinctKeys) {

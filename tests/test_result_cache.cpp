@@ -4,9 +4,11 @@
 // and still emits byte-identical artefacts.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "exp/cache.hpp"
@@ -227,6 +229,51 @@ TEST_F(ResultCacheTest, ShardsCanShareOneCacheDirectory) {
 
 TEST_F(ResultCacheTest, UnwritableDirectoryThrows) {
   EXPECT_THROW(ResultCache{"/proc/definitely/not/writable"}, std::runtime_error);
+}
+
+// ---- eviction (sweepctl gc) ------------------------------------------------
+
+TEST_F(ResultCacheTest, GcEvictsStaleEntriesAndKeepsFreshOnes) {
+  ResultCache cache{dir_};
+  const ScenarioSpec fresh = fixed_spec();
+  const ScenarioSpec stale = ScenarioSpec{fixed_spec()}.with_seed(8);
+  cache.store(fresh, run_scenario(fresh));
+  cache.store(stale, run_scenario(stale));
+
+  // Backdate one entry by 10 days; also plant an orphaned temp file (a
+  // crashed writer) and an unrelated file gc must never touch.
+  const auto ago =
+      std::filesystem::file_time_type::clock::now() - std::chrono::hours{24 * 10};
+  std::filesystem::last_write_time(cache.entry_path(stale), ago);
+  const std::string orphan = cache.entry_path(stale) + ".tmp.0123456789abcdef";
+  const std::string unrelated = (std::filesystem::path{dir_} / "notes.txt").string();
+  {
+    std::ofstream{orphan} << "{";
+    std::ofstream{unrelated} << "keep me";
+  }
+  std::filesystem::last_write_time(orphan, ago);
+  std::filesystem::last_write_time(unrelated, ago);
+
+  const GcStats gcs = cache.gc(/*keep_days=*/7.0);
+  EXPECT_EQ(gcs.removed, 2u);  // the stale entry and the orphaned temp file
+  EXPECT_EQ(gcs.kept, 1u);
+  EXPECT_FALSE(std::filesystem::exists(cache.entry_path(stale)));
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+  EXPECT_TRUE(std::filesystem::exists(unrelated));
+
+  // The fresh entry still serves; the evicted one is a clean miss.
+  EXPECT_TRUE(cache.lookup(fresh).has_value());
+  EXPECT_FALSE(cache.lookup(stale).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // An astronomical keep_days means "keep everything" — it must not
+  // overflow the age computation into deleting the whole cache.
+  EXPECT_EQ(cache.gc(1e9).removed, 0u);
+  EXPECT_EQ(cache.gc(1e9).kept, 1u);
+
+  // keep_days = 0 wipes every entry; negative values are an error.
+  EXPECT_EQ(cache.gc(0.0).removed, 1u);
+  EXPECT_THROW((void)cache.gc(-1.0), std::invalid_argument);
 }
 
 }  // namespace

@@ -231,6 +231,18 @@ TEST(ScenarioSpec, EveryBuiltInScenarioActuallyRuns) {
           << ',' << i % 3 << '\n';
     }
   }
+  // Likewise for empirical workloads: the bundled CDFs live in the repo
+  // root, and the datamining tail (mean ~50 MB flows) would starve a 5 ms
+  // window anyway — substitute a small-flow CDF so every scenario observes
+  // traffic.
+  const std::string cdf_path =
+      (std::filesystem::temp_directory_path() /
+       ("xdrs_scenario_cdf_" + std::to_string(::getpid()) + ".csv"))
+          .string();
+  {
+    std::ofstream out{cdf_path, std::ios::trunc};
+    out << "bytes,cdf\n2000,0.3\n20000,0.8\n100000,1.0\n";
+  }
   for (const auto& name : known_scenarios()) {
     if (name == "test-custom") continue;  // registered by an earlier test
     // Flow-level scenarios start slowly (flow interarrivals are milliseconds
@@ -238,12 +250,14 @@ TEST(ScenarioSpec, EveryBuiltInScenarioActuallyRuns) {
     ScenarioSpec s = make_scenario(name, 4, 0.5, 5).with_window(5_ms, 500_us);
     for (auto& w : s.workloads) {
       if (w.kind == topo::WorkloadSpec::Kind::kTraceReplay) w.trace_path = trace_path;
+      if (w.kind == topo::WorkloadSpec::Kind::kEmpirical) w.cdf_path = cdf_path;
     }
     const core::RunReport r = run_scenario(s);
     EXPECT_GT(r.offered_packets, 0u) << name;
     EXPECT_GT(r.delivered_packets, 0u) << name;
   }
   std::filesystem::remove(trace_path);
+  std::filesystem::remove(cdf_path);
 }
 
 TEST(ScenarioSpec, SameSpecIsReproducible) {

@@ -103,6 +103,39 @@ TEST(ShardMerge, ShardFileCarriesIndicesHashesAndState) {
   EXPECT_EQ(points[1].at("index").as_u64(), 3u);
   EXPECT_EQ(points[0].at("key").as_str(), grid[1].key());
   EXPECT_NE(points[0].at("report").find("latency_state"), nullptr);
+  // Per-point wall time rides along for straggler reports (sweepctl
+  // status); it never enters to_json()/to_csv(), which must stay
+  // byte-identical across thread counts.
+  EXPECT_GE(points[0].at("wall_us").as_i64(), 0);
+}
+
+TEST(ShardMerge, WallTimesSurviveMergeButNotTheArtefact) {
+  const auto grid = small_grid();
+  const SweepResult shard0 = run_shard(grid, 0, 2);
+  const SweepResult shard1 = run_shard(grid, 1, 2);
+  const SweepResult merged =
+      SweepResult::merge_shards(grid, {shard0.to_shard_json(), shard1.to_shard_json()});
+  std::int64_t total = 0;
+  for (const PointResult& p : merged.points) total += p.wall_us;
+  std::int64_t expected = 0;
+  for (const PointResult& p : shard0.points) expected += p.wall_us;
+  for (const PointResult& p : shard1.points) expected += p.wall_us;
+  EXPECT_EQ(total, expected);
+  EXPECT_GT(total, 0);  // a real simulation takes measurable wall time
+  EXPECT_EQ(merged.to_json().find("wall_us"), std::string::npos);
+  EXPECT_EQ(merged.to_csv().find("wall_us"), std::string::npos);
+
+  // Shard files predating the wall-time field still merge (unmeasured = 0).
+  std::string legacy = shard0.to_shard_json();
+  for (std::size_t pos = 0; (pos = legacy.find(",\"wall_us\":")) != std::string::npos;) {
+    const std::size_t end = legacy.find(",\"report\"", pos);
+    ASSERT_NE(end, std::string::npos);
+    legacy.erase(pos, end - pos);
+  }
+  const SweepResult old =
+      SweepResult::merge_shards(grid, {legacy, shard1.to_shard_json()});
+  EXPECT_EQ(old.points[0].wall_us, 0);
+  EXPECT_EQ(old.to_json(), merged.to_json());
 }
 
 TEST(ShardMerge, RejectsMissingDuplicateAndForeignPoints) {

@@ -1,0 +1,99 @@
+// pcap2trace — convert a packet capture into the flow-trace CSV the
+// trace-replay workload consumes (traffic/trace_replay.hpp), with no
+// libpcap dependency:
+//
+//   $ pcap2trace --in=capture.pcap --out=examples/my_trace.csv
+//   $ sweepctl run --preset trace ...        # after pointing trace_path at it
+//
+// Reads classic pcap (all four magics) and pcapng (SHB/IDB/EPB), decodes
+// Ethernet (VLAN-tagged too) and raw-IPv4 link layers, folds packets into
+// flows by 5-tuple with an idle-gap split, maps IP addresses to dense
+// trace port ids, and emits time-sorted `start_us,src,dst,bytes,priority`
+// rows — the exact format FlowTrace::parse validates.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "traffic/pcap.hpp"
+#include "traffic/trace_replay.hpp"
+#include "util/file_io.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+using namespace xdrs;
+
+struct Options {
+  std::string in_path;
+  std::string out_path;
+  traffic::TraceOptions trace{};
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pcap2trace --in=CAPTURE --out=TRACE.csv\n"
+               "                  [--flow-gap-us=F] [--elephant-bytes=N]\n"
+               "\n"
+               "  --flow-gap-us     idle time on a 5-tuple that starts a new flow\n"
+               "                    (default 1000)\n"
+               "  --elephant-bytes  flows >= this size are marked priority 1;\n"
+               "                    UDP flows are 2, the rest 0 (default 1000000)\n");
+  return 2;
+}
+
+// Whole-token, in-range numeric parses: "--flow-gap-us=5x" is an error.
+bool parse(int argc, char** argv, Options& opt) {
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = arg.substr(0, eq);
+    const std::string val = arg.substr(eq + 1);
+    if (key == "--in") {
+      opt.in_path = val;
+    } else if (key == "--out") {
+      opt.out_path = val;
+    } else if (key == "--flow-gap-us" && util::parse_number(val, opt.trace.flow_gap_us) &&
+               opt.trace.flow_gap_us > 0.0) {
+      // parsed in the condition
+    } else if (key == "--elephant-bytes" && util::parse_number(val, opt.trace.elephant_bytes) &&
+               opt.trace.elephant_bytes > 0) {
+      // parsed in the condition
+    } else {
+      return false;
+    }
+  }
+  return !opt.in_path.empty() && !opt.out_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+
+  const std::optional<std::string> raw = util::read_file(opt.in_path);
+  if (!raw) {
+    std::fprintf(stderr, "pcap2trace: cannot read %s\n", opt.in_path.c_str());
+    return 1;
+  }
+
+  try {
+    const traffic::PcapCapture capture = traffic::parse_pcap(*raw);
+    const std::string csv = traffic::trace_from_pcap(capture, opt.trace);
+    // Round-trip through the strict trace parser before writing: the tool
+    // must never emit a file the replay workload then rejects.
+    const traffic::FlowTrace trace = traffic::FlowTrace::parse(csv);
+    util::write_file(opt.out_path, csv);
+    std::printf("wrote %s: %zu packets (%llu skipped) -> %zu flows, %u trace ports, "
+                "%.1f us span, %.1f MB\n",
+                opt.out_path.c_str(), capture.packets.size(),
+                static_cast<unsigned long long>(capture.skipped), trace.records.size(),
+                trace.max_port + 1, static_cast<double>(trace.span.ps()) / 1e6,
+                static_cast<double>(trace.total_bytes) / 1e6);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pcap2trace: %s\n", e.what());
+    return 1;
+  }
+}

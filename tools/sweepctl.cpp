@@ -13,12 +13,16 @@
 // `run` without --shard writes the full artefact directly; with --cache,
 // already-computed points are loaded instead of simulated.  `status` reports
 // grid size, per-point cache presence and shard-file coverage without
-// running anything.
+// running anything — and, from the wall times recorded in shard files, a
+// straggler report (per-shard totals, imbalance, slowest points).  `gc`
+// evicts cache entries older than --keep-days.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/cache.hpp"
@@ -48,7 +52,11 @@ int usage(const char* error = nullptr) {
                "                                reassemble shard files into the artefact,\n"
                "                                byte-identical to a single-process run\n"
                "  status --preset NAME [--cache DIR] [SHARD.json...]\n"
-               "                                show grid size, cache and shard coverage\n");
+               "                                show grid size, cache and shard coverage;\n"
+               "                                with shard files, report straggler shards\n"
+               "                                and the slowest points (recorded wall time)\n"
+               "  gc     --cache DIR --keep-days N\n"
+               "                                evict cache entries older than N days\n");
   return 2;
 }
 
@@ -60,6 +68,7 @@ struct Options {
   std::string csv_path;
   exp::ShardOptions shard{};
   unsigned threads{0};
+  double keep_days{-1.0};  // gc; negative = not given
   bool progress{false};
   std::vector<std::string> inputs;  // positional shard files
 };
@@ -115,6 +124,10 @@ bool parse(int argc, char** argv, Options& opt) {
         // not silently run with 2 threads, nor an overflowing or negative
         // value with a wrapped thread count.
         if (!value() || !util::parse_number(val, opt.threads)) return false;
+      } else if (key == "--keep-days") {
+        if (!value() || !util::parse_number(val, opt.keep_days) || opt.keep_days < 0.0) {
+          return false;
+        }
       } else if (key == "--progress") {
         opt.progress = true;
       } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
@@ -233,10 +246,23 @@ int cmd_status(const Options& opt) {
 
   if (!opt.inputs.empty()) {
     std::vector<bool> covered(grid.size(), false);
+    // Straggler accounting from the recorded per-point wall times: which
+    // shard carried the most wall-clock, and which points dominate it.
+    struct ShardWall {
+      std::string path;
+      std::int64_t total_us{0};
+    };
+    std::vector<ShardWall> shard_walls;
+    std::vector<std::pair<std::int64_t, std::string>> point_walls;  // (us, key)
     for (const std::string& path : opt.inputs) {
       std::size_t points = 0;
       std::size_t matching = 0;
       std::size_t mismatched = 0;
+      std::int64_t wall_us = 0;
+      // Staged per file and committed only after the whole file parses, and
+      // only for points merge would accept — a truncated or stale shard
+      // must not smuggle bogus keys into the straggler report.
+      std::vector<std::pair<std::int64_t, std::string>> file_walls;
       try {
         const stats::JsonValue doc = stats::parse_json(read_file(path));
         for (const stats::JsonValue& entry : doc.at("points").items()) {
@@ -251,17 +277,26 @@ int cmd_status(const Options& opt) {
             ++mismatched;
             continue;
           }
+          if (const stats::JsonValue* wall = entry.find("wall_us")) {
+            wall_us += wall->as_i64();
+            file_walls.emplace_back(wall->as_i64(), entry.at("key").as_str());
+          }
           if (!covered[index]) {
             covered[index] = true;
             ++matching;
           }
         }
+        point_walls.insert(point_walls.end(), file_walls.begin(), file_walls.end());
         if (mismatched != 0) {
-          std::printf("shard %s: %zu points (%zu new, %zu stale — merge would reject)\n",
-                      path.c_str(), points, matching, mismatched);
+          std::printf("shard %s: %zu points (%zu new, %zu stale — merge would reject), "
+                      "wall %.1f ms\n",
+                      path.c_str(), points, matching, mismatched,
+                      static_cast<double>(wall_us) / 1e3);
         } else {
-          std::printf("shard %s: %zu points (%zu new)\n", path.c_str(), points, matching);
+          std::printf("shard %s: %zu points (%zu new), wall %.1f ms\n", path.c_str(), points,
+                      matching, static_cast<double>(wall_us) / 1e3);
         }
+        shard_walls.push_back({path, wall_us});
       } catch (const std::invalid_argument& e) {
         std::printf("shard %s: unreadable (%s)\n", path.c_str(), e.what());
       }
@@ -270,7 +305,47 @@ int cmd_status(const Options& opt) {
     for (const bool c : covered) missing += c ? 0 : 1;
     std::printf("coverage: %zu/%zu points, %zu missing\n", grid.size() - missing, grid.size(),
                 missing);
+
+    // The straggler report the merge step wants before it blocks on a slow
+    // host: the wall-time spread across shards and the slowest points.
+    if (shard_walls.size() > 1) {
+      const auto [min_it, max_it] =
+          std::minmax_element(shard_walls.begin(), shard_walls.end(),
+                              [](const ShardWall& a, const ShardWall& b) {
+                                return a.total_us < b.total_us;
+                              });
+      std::printf("stragglers: slowest shard %s (%.1f ms) vs fastest %s (%.1f ms)",
+                  max_it->path.c_str(), static_cast<double>(max_it->total_us) / 1e3,
+                  min_it->path.c_str(), static_cast<double>(min_it->total_us) / 1e3);
+      if (min_it->total_us > 0) {
+        std::printf(", %.2fx imbalance",
+                    static_cast<double>(max_it->total_us) /
+                        static_cast<double>(min_it->total_us));
+      }
+      std::printf("\n");
+    }
+    if (!point_walls.empty()) {
+      std::sort(point_walls.begin(), point_walls.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const std::size_t top = std::min<std::size_t>(point_walls.size(), 5);
+      std::printf("slowest points:\n");
+      for (std::size_t i = 0; i < top; ++i) {
+        std::printf("  %10.1f ms  %s\n", static_cast<double>(point_walls[i].first) / 1e3,
+                    point_walls[i].second.c_str());
+      }
+    }
   }
+  return 0;
+}
+
+int cmd_gc(const Options& opt) {
+  if (opt.cache_dir.empty()) return usage("gc: --cache is required");
+  if (opt.keep_days < 0.0) return usage("gc: --keep-days is required");
+  exp::ResultCache cache{opt.cache_dir};
+  const exp::GcStats gcs = cache.gc(opt.keep_days);
+  std::printf("cache %s: removed %llu entries older than %g days, kept %llu\n",
+              cache.dir().c_str(), static_cast<unsigned long long>(gcs.removed), opt.keep_days,
+              static_cast<unsigned long long>(gcs.kept));
   return 0;
 }
 
@@ -281,6 +356,7 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, opt)) return usage();
   try {
     if (opt.command == "presets") return cmd_presets();
+    if (opt.command == "gc") return cmd_gc(opt);
     if (opt.preset.empty()) return usage("--preset is required");
     if (opt.command == "run") return cmd_run(opt);
     if (opt.command == "merge") return cmd_merge(opt);
