@@ -1,6 +1,8 @@
 // E3a — wall-clock compute cost of each scheduling algorithm vs port count
 // (google-benchmark microbenchmark), plus the steady-state zero-allocation
-// gate CI runs (`--alloc-check`).
+// gate CI runs (`--alloc-check`), plus a self-contained timing mode
+// (`--ports=N [--csv=PATH]`) that emits machine-readable numbers so kernel
+// before/after comparisons are recorded, not copy-pasted.
 //
 // Grounds the paper's claim that schedule computation is the bottleneck a
 // hardware scheduler removes: even on a modern CPU, exact max-weight
@@ -13,11 +15,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "demand/demand_matrix.hpp"
 #include "schedulers/policy_registry.hpp"
 #include "sim/random.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -72,44 +79,124 @@ BENCHMARK(BM_Rotor)->RangeMultiplier(2)->Range(kLo, kHi);
 /// `--alloc-check`: for every registered matcher spec, warm the decision
 /// loop, then count heap allocations over a steady-state window.  Any
 /// allocation is a regression of the allocation-free compute contract.
+/// Run at 64 AND 128 ports: the bitset and warm-rematch workspaces must be
+/// preallocated at paper scale too (two words per port row, not one).
 int alloc_check() {
-  constexpr std::uint32_t kPorts = 64;
+  constexpr std::uint32_t kPortCounts[] = {64, 128};
   constexpr int kWarmupDecisions = 64;
   constexpr int kMeasuredDecisions = 256;
 
   const auto& registry = schedulers::PolicyRegistry::instance();
-  const demand::DemandMatrix d = random_demand(kPorts, 7, 0.5);
 
   int failures = 0;
-  std::printf("steady-state heap allocations per %d decisions (%u ports):\n",
-              kMeasuredDecisions, kPorts);
-  for (const auto& spec : registry.known_specs(schedulers::PolicyKind::kMatcher)) {
-    auto matcher = registry.make_matcher(spec, {.ports = kPorts, .seed = 42});
-    schedulers::Matching out;
-    for (int i = 0; i < kWarmupDecisions; ++i) matcher->compute_into(d, out);
+  for (const std::uint32_t ports : kPortCounts) {
+    const demand::DemandMatrix d = random_demand(ports, 7, 0.5);
+    std::printf("steady-state heap allocations per %d decisions (%u ports):\n",
+                kMeasuredDecisions, ports);
+    for (const auto& spec : registry.known_specs(schedulers::PolicyKind::kMatcher)) {
+      auto matcher = registry.make_matcher(spec, {.ports = ports, .seed = 42});
+      schedulers::Matching out;
+      for (int i = 0; i < kWarmupDecisions; ++i) matcher->compute_into(d, out);
 
-    const std::uint64_t before = bench::heap_allocs();
-    for (int i = 0; i < kMeasuredDecisions; ++i) matcher->compute_into(d, out);
-    const std::uint64_t allocs = bench::heap_allocs() - before;
+      const std::uint64_t before = bench::heap_allocs();
+      for (int i = 0; i < kMeasuredDecisions; ++i) matcher->compute_into(d, out);
+      const std::uint64_t allocs = bench::heap_allocs() - before;
 
-    const bool ok = allocs == 0;
-    if (!ok) ++failures;
-    std::printf("  %-12s %-18s %8llu %s\n", spec.c_str(), matcher->name().c_str(),
-                static_cast<unsigned long long>(allocs), ok ? "OK" : "FAIL");
+      const bool ok = allocs == 0;
+      if (!ok) ++failures;
+      std::printf("  %-12s %-18s %8llu %s\n", spec.c_str(), matcher->name().c_str(),
+                  static_cast<unsigned long long>(allocs), ok ? "OK" : "FAIL");
+    }
   }
   if (failures > 0) {
-    std::fprintf(stderr, "alloc-check: %d matcher(s) allocate in steady state\n", failures);
+    std::fprintf(stderr, "alloc-check: %d matcher config(s) allocate in steady state\n",
+                 failures);
     return 1;
   }
   std::printf("alloc-check: all matchers run allocation-free in steady state\n");
   return 0;
 }
 
+/// `--ports=N [--csv=PATH]`: time every registered matcher at exactly the
+/// requested port counts (repeatable flag) over the same randomized demand
+/// the microbenchmarks use, and optionally append the numbers to a CSV —
+/// one row per (spec, ports) — so kernel before/after comparisons live in
+/// version-controllable files instead of terminal scrollback.
+int timing_mode(const std::vector<std::uint32_t>& port_counts, const std::string& csv_path) {
+  using clock = std::chrono::steady_clock;
+  constexpr int kWarmupDecisions = 64;
+  constexpr auto kMinWindow = std::chrono::milliseconds{200};
+
+  std::FILE* csv = nullptr;
+  if (!csv_path.empty()) {
+    csv = std::fopen(csv_path.c_str(), "w");
+    if (csv == nullptr) {
+      std::fprintf(stderr, "bench_matching_compute: cannot open %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::fprintf(csv, "spec,name,ports,decisions,ns_per_decision,iters_used\n");
+  }
+
+  const auto& registry = schedulers::PolicyRegistry::instance();
+  for (const std::uint32_t ports : port_counts) {
+    const demand::DemandMatrix d = random_demand(ports, ports * 7 + 1, 0.5);
+    std::printf("matcher compute cost at %u ports:\n", ports);
+    for (const auto& spec : registry.known_specs(schedulers::PolicyKind::kMatcher)) {
+      auto matcher = registry.make_matcher(spec, {.ports = ports, .seed = 42});
+      schedulers::Matching out;
+      for (int i = 0; i < kWarmupDecisions; ++i) matcher->compute_into(d, out);
+
+      // Run whole batches until the measured window is long enough for the
+      // clock resolution to be noise.
+      std::uint64_t decisions = 0;
+      const auto start = clock::now();
+      auto elapsed = start - start;
+      while (elapsed < kMinWindow) {
+        for (int i = 0; i < 64; ++i) matcher->compute_into(d, out);
+        decisions += 64;
+        elapsed = clock::now() - start;
+      }
+      const double ns =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+          static_cast<double>(decisions);
+
+      std::printf("  %-12s %-18s %12.1f ns/decision  (%llu decisions, %u iters)\n",
+                  spec.c_str(), matcher->name().c_str(), ns,
+                  static_cast<unsigned long long>(decisions), matcher->last_iterations());
+      if (csv != nullptr) {
+        std::fprintf(csv, "%s,%s,%u,%llu,%.1f,%u\n", spec.c_str(), matcher->name().c_str(),
+                     ports, static_cast<unsigned long long>(decisions), ns,
+                     matcher->last_iterations());
+      }
+    }
+  }
+  if (csv != nullptr) std::fclose(csv);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::uint32_t> port_counts;
+  std::string csv_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--alloc-check") == 0) return alloc_check();
+    if (std::strncmp(argv[i], "--ports=", 8) == 0) {
+      std::uint32_t ports = 0;
+      if (!util::parse_number(argv[i] + 8, ports) || ports == 0) {
+        std::fprintf(stderr, "bench_matching_compute: bad --ports value: %s\n", argv[i] + 8);
+        return 1;
+      }
+      port_counts.push_back(ports);
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv_path = argv[i] + 6;
+    }
+  }
+  if (!port_counts.empty()) return timing_mode(port_counts, csv_path);
+  if (!csv_path.empty()) {
+    std::fprintf(stderr, "bench_matching_compute: --csv requires --ports=N\n");
+    return 1;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

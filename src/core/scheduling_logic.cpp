@@ -146,6 +146,9 @@ void SchedulingLogic::decide_hybrid() {
     control::GrantSet eps_gs;
     eps_gs.epoch = epoch;
     eps_gs.computed_at = sim_.now();
+    // Exact size via a support-bitmap popcount, so the grant vector grows
+    // once instead of doubling through the visitor below.
+    eps_gs.grants.reserve(plan->residual.nonzero_count());
     plan->residual.for_each_nonzero([&](net::PortId i, net::PortId j, std::int64_t bytes) {
       control::Grant g;
       g.src = i;

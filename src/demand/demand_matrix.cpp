@@ -1,6 +1,7 @@
 #include "demand/demand_matrix.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <stdexcept>
 
@@ -9,7 +10,11 @@ namespace xdrs::demand {
 DemandMatrix::DemandMatrix(std::uint32_t inputs, std::uint32_t outputs)
     : inputs_{inputs},
       outputs_{outputs},
-      v_(static_cast<std::size_t>(inputs) * outputs, 0) {
+      wpr_{util::words_for_bits(outputs)},
+      wpc_{util::words_for_bits(inputs)},
+      v_(static_cast<std::size_t>(inputs) * outputs, 0),
+      row_bits_(static_cast<std::size_t>(inputs) * wpr_, 0),
+      col_bits_(static_cast<std::size_t>(outputs) * wpc_, 0) {
   if (inputs == 0 || outputs == 0) {
     throw std::invalid_argument{"DemandMatrix: dimensions must be >= 1"};
   }
@@ -27,6 +32,7 @@ void DemandMatrix::set(net::PortId i, net::PortId j, std::int64_t v) {
   auto& slot = v_[idx(i, j)];
   total_ += v - slot;
   slot = v;
+  update_support(i, j, v > 0);
 }
 
 void DemandMatrix::add(net::PortId i, net::PortId j, std::int64_t delta) {
@@ -34,6 +40,7 @@ void DemandMatrix::add(net::PortId i, net::PortId j, std::int64_t delta) {
   if (slot + delta < 0) throw std::invalid_argument{"DemandMatrix: add would go negative"};
   slot += delta;
   total_ += delta;
+  update_support(i, j, slot > 0);
 }
 
 void DemandMatrix::subtract_clamped(net::PortId i, net::PortId j, std::int64_t delta) {
@@ -41,10 +48,13 @@ void DemandMatrix::subtract_clamped(net::PortId i, net::PortId j, std::int64_t d
   const std::int64_t removed = std::min(slot, delta);
   slot -= removed;
   total_ -= removed;
+  update_support(i, j, slot > 0);
 }
 
 void DemandMatrix::clear() noexcept {
   std::fill(v_.begin(), v_.end(), 0);
+  std::fill(row_bits_.begin(), row_bits_.end(), 0);
+  std::fill(col_bits_.begin(), col_bits_.end(), 0);
   total_ = 0;
 }
 
@@ -54,7 +64,11 @@ void DemandMatrix::resize(std::uint32_t inputs, std::uint32_t outputs) {
   }
   inputs_ = inputs;
   outputs_ = outputs;
+  wpr_ = util::words_for_bits(outputs);
+  wpc_ = util::words_for_bits(inputs);
   v_.assign(static_cast<std::size_t>(inputs) * outputs, 0);
+  row_bits_.assign(static_cast<std::size_t>(inputs) * wpr_, 0);
+  col_bits_.assign(static_cast<std::size_t>(outputs) * wpc_, 0);
   total_ = 0;
 }
 
@@ -62,12 +76,32 @@ void DemandMatrix::fill(std::int64_t v) {
   if (v < 0) throw std::invalid_argument{"DemandMatrix: negative demand"};
   std::fill(v_.begin(), v_.end(), v);
   total_ = v * static_cast<std::int64_t>(v_.size());
+  if (v > 0) {
+    std::fill(row_bits_.begin(), row_bits_.end(), ~std::uint64_t{0});
+    std::fill(col_bits_.begin(), col_bits_.end(), ~std::uint64_t{0});
+    // Tail bits past the dimensions must stay zero for every row/column.
+    const std::uint64_t rt = util::tail_mask(outputs_);
+    for (std::uint32_t i = 0; i < inputs_; ++i) {
+      row_bits_[static_cast<std::size_t>(i) * wpr_ + wpr_ - 1] = rt;
+    }
+    const std::uint64_t ct = util::tail_mask(inputs_);
+    for (std::uint32_t j = 0; j < outputs_; ++j) {
+      col_bits_[static_cast<std::size_t>(j) * wpc_ + wpc_ - 1] = ct;
+    }
+  } else {
+    std::fill(row_bits_.begin(), row_bits_.end(), 0);
+    std::fill(col_bits_.begin(), col_bits_.end(), 0);
+  }
 }
 
 void DemandMatrix::copy_from(const DemandMatrix& other) {
   inputs_ = other.inputs_;
   outputs_ = other.outputs_;
+  wpr_ = other.wpr_;
+  wpc_ = other.wpc_;
   v_.assign(other.v_.begin(), other.v_.end());
+  row_bits_.assign(other.row_bits_.begin(), other.row_bits_.end());
+  col_bits_.assign(other.col_bits_.begin(), other.col_bits_.end());
   total_ = other.total_;
 }
 
@@ -97,17 +131,30 @@ std::int64_t DemandMatrix::max_line_sum() const {
 }
 
 std::size_t DemandMatrix::nonzero_count() const {
-  return static_cast<std::size_t>(std::count_if(v_.begin(), v_.end(), [](auto x) { return x > 0; }));
+  std::size_t c = 0;
+  for (const std::uint64_t w : row_bits_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
 }
 
 void DemandMatrix::for_each_nonzero(
     const std::function<void(net::PortId, net::PortId, std::int64_t)>& fn) const {
   for (std::uint32_t i = 0; i < inputs_; ++i) {
-    for (std::uint32_t j = 0; j < outputs_; ++j) {
-      const std::int64_t v = v_[static_cast<std::size_t>(i) * outputs_ + j];
-      if (v > 0) fn(i, j, v);
+    const std::int64_t* row = v_.data() + static_cast<std::size_t>(i) * outputs_;
+    const std::uint64_t* bits = row_support(i);
+    for (std::uint32_t w = 0; w < wpr_; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const std::uint32_t j = w * 64u + static_cast<std::uint32_t>(std::countr_zero(word));
+        fn(i, j, row[j]);
+        word &= word - 1;
+      }
     }
   }
+}
+
+bool DemandMatrix::operator==(const DemandMatrix& other) const noexcept {
+  return inputs_ == other.inputs_ && outputs_ == other.outputs_ && total_ == other.total_ &&
+         row_bits_ == other.row_bits_ && v_ == other.v_;
 }
 
 std::string DemandMatrix::to_string() const {

@@ -92,6 +92,22 @@ std::vector<ScenarioSpec> preset_empirical() {
   return grid;  // 12 points
 }
 
+/// The 128-port paper-scale grid, unlocked by the bitset matcher kernels:
+/// 2 scenarios x 2 loads x 3 hardware-style matchers = 12 points at the
+/// largest port count the paper's scaling argument targets.  Windows are
+/// shorter than `full` — per-point event counts grow with the port square,
+/// and this grid exists to exercise matcher cost at scale, not to re-measure
+/// long-horizon stats.  Recorded as BENCH_sweep_128.json.
+std::vector<ScenarioSpec> preset_p128() {
+  std::vector<ScenarioSpec> grid;
+  for (const char* scenario : {"uniform", "permutation"}) {
+    grid.push_back(make_scenario(scenario, 128, 0.5, 7).with_window(1_ms, 200_us));
+  }
+  grid = expand(grid, axis_load({0.5, 0.9}));
+  grid = expand(grid, axis_matcher({"islip:1", "islip:4", "rrm:1"}));
+  return grid;  // 12 points
+}
+
 using PresetBuilder = std::vector<ScenarioSpec> (*)();
 
 const std::map<std::string, PresetBuilder>& presets() {
@@ -102,6 +118,7 @@ const std::map<std::string, PresetBuilder>& presets() {
       {"composite", &preset_composite},
       {"trace", &preset_trace},
       {"empirical", &preset_empirical},
+      {"p128", &preset_p128},
   };
   return map;
 }

@@ -1,14 +1,35 @@
 #include "schedulers/greedy.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 namespace xdrs::schedulers {
 
 void GreedyMaxWeightMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
+  if (warm_valid_ && demand == prev_demand_) {
+    out = prev_result_;
+    last_iterations_ = prev_iterations_;
+    return;
+  }
+
+  // Harvest positive edges straight off the support bitmap: one word test
+  // per 64 outputs, find-first-set within each word (row-major ascending,
+  // same order the generic visitor produced).
   edges_.clear();
-  demand.for_each_nonzero(
-      [this](net::PortId i, net::PortId j, std::int64_t w) { edges_.push_back({w, i, j}); });
+  const std::uint32_t wpr = demand.words_per_row();
+  for (std::uint32_t i = 0; i < demand.inputs(); ++i) {
+    const std::uint64_t* bits = demand.row_support(i);
+    const std::int64_t* row = demand.row_data(i);
+    for (std::uint32_t w = 0; w < wpr; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const std::uint32_t j = w * 64u + static_cast<std::uint32_t>(std::countr_zero(word));
+        edges_.push_back({row[j], i, j});
+        word &= word - 1;
+      }
+    }
+  }
 
   // Heaviest first; ties broken by (input, output) for determinism.
   std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
@@ -25,6 +46,11 @@ void GreedyMaxWeightMatcher::compute_into(const demand::DemandMatrix& demand, Ma
     out.match(e.i, e.j);
     ++last_iterations_;
   }
+
+  prev_demand_.copy_from(demand);
+  prev_result_ = out;
+  prev_iterations_ = last_iterations_;
+  warm_valid_ = true;
 }
 
 }  // namespace xdrs::schedulers

@@ -5,6 +5,11 @@
 // matching; in hardware it maps to a priority-encoder tree, but each pick
 // depends on the previous one, so iterations are sequential in the matched
 // pair count.
+//
+// Edge harvest walks the demand support bitmap (find-first-set per word) so
+// sparse matrices cost proportional to their nonzeros; the matcher also
+// keeps an epoch-warm cache — deterministic and stateless across calls, so
+// an unchanged demand matrix replays the cached matching exactly.
 #ifndef XDRS_SCHEDULERS_GREEDY_HPP
 #define XDRS_SCHEDULERS_GREEDY_HPP
 
@@ -32,6 +37,11 @@ class GreedyMaxWeightMatcher final : public MatchingAlgorithm {
 
   std::uint32_t last_iterations_{0};
   std::vector<Edge> edges_;  ///< recycled sort workspace
+  // Epoch-warm replay cache (see hungarian.hpp for the soundness argument).
+  demand::DemandMatrix prev_demand_;
+  Matching prev_result_;
+  std::uint32_t prev_iterations_{0};
+  bool warm_valid_{false};
 };
 
 }  // namespace xdrs::schedulers

@@ -1,5 +1,7 @@
 #include "schedulers/hopcroft_karp.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <limits>
 #include <stdexcept>
 
@@ -107,10 +109,28 @@ std::uint32_t HopcroftKarp::match_of_left(std::uint32_t left) const {
 }
 
 void MaxSizeMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
+  // Warm replay on support equality: max-size matching never looks at the
+  // demand values, only at which pairs are positive.
+  if (warm_valid_ && demand.inputs() == prev_inputs_ && demand.outputs() == prev_outputs_ &&
+      demand.row_support_words() == prev_support_) {
+    out = prev_result_;
+    last_iterations_ = prev_iterations_;
+    return;
+  }
+
   hk_.reset(demand.inputs(), demand.outputs());
-  auto& hk = hk_;
-  demand.for_each_nonzero(
-      [&hk](net::PortId i, net::PortId j, std::int64_t) { hk.add_edge(i, j); });
+  // Edge harvest straight off the support bitmap, row-major ascending.
+  const std::uint32_t wpr = demand.words_per_row();
+  for (std::uint32_t i = 0; i < demand.inputs(); ++i) {
+    const std::uint64_t* bits = demand.row_support(i);
+    for (std::uint32_t w = 0; w < wpr; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        hk_.add_edge(i, w * 64u + static_cast<std::uint32_t>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+  }
   hk_.solve();
   last_iterations_ = hk_.phases();
 
@@ -119,6 +139,13 @@ void MaxSizeMatcher::compute_into(const demand::DemandMatrix& demand, Matching& 
     const std::uint32_t r = hk_.match_of_left(l);
     if (r != HopcroftKarp::kFree) out.match(l, r);
   }
+
+  prev_support_ = demand.row_support_words();
+  prev_inputs_ = demand.inputs();
+  prev_outputs_ = demand.outputs();
+  prev_result_ = out;
+  prev_iterations_ = last_iterations_;
+  warm_valid_ = true;
 }
 
 }  // namespace xdrs::schedulers

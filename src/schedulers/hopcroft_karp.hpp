@@ -54,6 +54,11 @@ class HopcroftKarp {
 };
 
 /// MatchingAlgorithm adapter: max-size matching over positive demand.
+///
+/// The result depends only on the SUPPORT of the demand matrix (which pairs
+/// are positive), not the values — so the epoch-warm cache keys on the
+/// row-major support bitmap alone, and a backlog that changed in magnitude
+/// but not in pattern still replays the previous matching exactly.
 class MaxSizeMatcher final : public MatchingAlgorithm {
  public:
   MaxSizeMatcher() = default;
@@ -66,6 +71,12 @@ class MaxSizeMatcher final : public MatchingAlgorithm {
  private:
   std::uint32_t last_iterations_{0};
   HopcroftKarp hk_{0, 0};  ///< recycled solver
+  // Epoch-warm replay cache, keyed on (dims, support bitmap).
+  std::vector<std::uint64_t> prev_support_;
+  std::uint32_t prev_inputs_{0}, prev_outputs_{0};
+  Matching prev_result_;
+  std::uint32_t prev_iterations_{0};
+  bool warm_valid_{false};
 };
 
 }  // namespace xdrs::schedulers

@@ -7,6 +7,16 @@
 namespace xdrs::schedulers {
 
 void HungarianMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
+  // Epoch-warm replay: demand unchanged since the previous compute means
+  // the answer is unchanged too (the algorithm below is deterministic and
+  // stateless across calls).  The equality probe rejects via shape/total/
+  // support-bitmap compares before it ever touches the dense grid.
+  if (warm_valid_ && demand == prev_demand_) {
+    out = prev_result_;
+    last_iterations_ = prev_iterations_;
+    return;
+  }
+
   // Solve the assignment problem on the square padding of -demand (the
   // classic potentials formulation minimises cost; negation maximises
   // weight).  Zero-demand assignments are stripped afterwards: they carry no
@@ -16,15 +26,23 @@ void HungarianMatcher::compute_into(const demand::DemandMatrix& demand, Matching
   const auto n = static_cast<std::size_t>(n32);
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
 
-  const auto cost = [&demand](std::size_t i, std::size_t j) -> std::int64_t {
-    if (i < demand.inputs() && j < demand.outputs()) {
-      return -demand.at(static_cast<net::PortId>(i), static_cast<net::PortId>(j));
+  // Dense negated padded cost matrix, rebuilt each cold compute: the
+  // augmenting search then scans contiguous rows instead of calling a
+  // checked accessor O(N^3) times.
+  if (cost_.size() != n * n) cost_.assign(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t* crow = cost_.data() + i * n;
+    if (i < demand.inputs()) {
+      const std::int64_t* drow = demand.row_data(static_cast<net::PortId>(i));
+      for (std::size_t j = 0; j < demand.outputs(); ++j) crow[j] = -drow[j];
+      for (std::size_t j = demand.outputs(); j < n; ++j) crow[j] = 0;
+    } else {
+      std::fill_n(crow, n, std::int64_t{0});
     }
-    return 0;  // padding rows/columns
-  };
+  }
 
   // 1-indexed arrays per the standard formulation; row 0 / column 0 are
-  // sentinels.  All six workspaces are per-instance and recycled: assign()
+  // sentinels.  All workspaces are per-instance and recycled: assign()
   // reuses capacity, so repeated computes at a fixed port count stay off
   // the heap.
   auto& u = u_;
@@ -41,18 +59,25 @@ void HungarianMatcher::compute_into(const demand::DemandMatrix& demand, Matching
     p[0] = i;
     std::size_t j0 = 0;
     auto& minv = minv_;
-    auto& used = used_;
     minv.assign(n + 1, kInf);
-    used.assign(n + 1, 0);
+    // Column frontier as a bitset over 0..n: bit j set <=> column j not yet
+    // visited by this augmenting search.  used_cols_ records the visit
+    // order for the dual-update sweep.
+    unused_cols_.reset_all_set(n32 + 1);
+    used_cols_.clear();
     do {
       ++last_iterations_;
-      used[j0] = true;
+      unused_cols_.clear(static_cast<std::uint32_t>(j0));
+      used_cols_.push_back(static_cast<std::uint32_t>(j0));
       const std::size_t i0 = p[j0];
+      const std::int64_t* crow = cost_.data() + (i0 - 1) * n;
+      const std::int64_t ui0 = u[i0];
       std::int64_t delta = kInf;
       std::size_t j1 = 0;
-      for (std::size_t j = 1; j <= n; ++j) {
-        if (used[j]) continue;
-        const std::int64_t cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+      // Visit the unvisited columns by find-first-set; bit 0 was cleared on
+      // the first pass, so every j here is >= 1.
+      unused_cols_.view().for_each_set([&](std::uint32_t j) {
+        const std::int64_t cur = crow[j - 1] - ui0 - v[j];
         if (cur < minv[j]) {
           minv[j] = cur;
           way[j] = j0;
@@ -61,15 +86,12 @@ void HungarianMatcher::compute_into(const demand::DemandMatrix& demand, Matching
           delta = minv[j];
           j1 = j;
         }
+      });
+      for (const std::uint32_t j : used_cols_) {
+        u[p[j]] += delta;
+        v[j] -= delta;
       }
-      for (std::size_t j = 0; j <= n; ++j) {
-        if (used[j]) {
-          u[p[j]] += delta;
-          v[j] -= delta;
-        } else {
-          minv[j] -= delta;
-        }
-      }
+      unused_cols_.view().for_each_set([&](std::uint32_t j) { minv[j] -= delta; });
       j0 = j1;
     } while (p[j0] != 0);
     // Unwind the augmenting path.
@@ -84,13 +106,17 @@ void HungarianMatcher::compute_into(const demand::DemandMatrix& demand, Matching
   for (std::size_t j = 1; j <= n; ++j) {
     const std::size_t i = p[j];
     if (i == 0) continue;
-    const std::size_t row = i - 1;
-    const std::size_t col = j - 1;
-    if (row < demand.inputs() && col < demand.outputs() &&
-        demand.at(static_cast<net::PortId>(row), static_cast<net::PortId>(col)) > 0) {
-      out.match(static_cast<net::PortId>(row), static_cast<net::PortId>(col));
+    const auto row = static_cast<net::PortId>(i - 1);
+    const auto col = static_cast<net::PortId>(j - 1);
+    if (row < demand.inputs() && col < demand.outputs() && demand.has_demand(row, col)) {
+      out.match(row, col);
     }
   }
+
+  prev_demand_.copy_from(demand);
+  prev_result_ = out;
+  prev_iterations_ = last_iterations_;
+  warm_valid_ = true;
 }
 
 std::int64_t HungarianMatcher::matching_weight(const Matching& m,

@@ -5,6 +5,16 @@
 // policy (Tassiulas/Ephremides); it is far too slow for per-slot hardware
 // arbitration, which is precisely the paper's point — we provide it as the
 // quality yardstick the practical algorithms are measured against.
+//
+// Two kernel-level accelerations, both exact:
+//  * the augmenting search runs over a dense negated cost matrix built once
+//    per compute (contiguous row scans, no checked accessor in the O(N^3)
+//    inner loop) with the unused-column frontier kept as a uint64_t bitset;
+//  * epoch-warm replay — the matcher caches its previous (demand, matching)
+//    pair, and when the demand matrix is value-identical it replays the
+//    cached result.  Sound because the algorithm is deterministic and
+//    carries no state across computes, so equal input implies bit-equal
+//    output; any difference falls back to the cold compute.
 #ifndef XDRS_SCHEDULERS_HUNGARIAN_HPP
 #define XDRS_SCHEDULERS_HUNGARIAN_HPP
 
@@ -12,6 +22,7 @@
 #include <vector>
 
 #include "schedulers/matcher.hpp"
+#include "util/bitset.hpp"
 
 namespace xdrs::schedulers {
 
@@ -33,7 +44,14 @@ class HungarianMatcher final : public MatchingAlgorithm {
   // Recycled potential/augmenting-path workspaces (1-indexed, see .cpp).
   std::vector<std::int64_t> u_, v_, minv_;
   std::vector<std::size_t> p_, way_;
-  std::vector<char> used_;
+  std::vector<std::int64_t> cost_;           // dense negated padded cost, n x n
+  util::PortBitset unused_cols_;             // augmenting-search frontier
+  std::vector<std::uint32_t> used_cols_;     // columns visited this search
+  // Epoch-warm replay cache.
+  demand::DemandMatrix prev_demand_;
+  Matching prev_result_;
+  std::uint32_t prev_iterations_{0};
+  bool warm_valid_{false};
 };
 
 }  // namespace xdrs::schedulers

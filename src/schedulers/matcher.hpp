@@ -28,6 +28,16 @@ class MatchingAlgorithm {
   /// This is the hot-path entry point: implementations keep per-instance
   /// workspaces so that steady-state calls with a stable `demand` shape and
   /// a recycled `out` perform zero heap allocations.
+  ///
+  /// Epoch-warm rematching contract: an implementation MAY cache its
+  /// previous (input, result) pair and replay the cached matching, but only
+  /// when the replay is provably bit-identical to a cold compute — i.e. the
+  /// matcher is deterministic, carries no state across calls (no round-robin
+  /// pointers, no rng, no previous-matching memory), and the cache key
+  /// covers everything the algorithm reads (full values for weight-driven
+  /// matchers, the support bitmap alone for pattern-driven ones).  Stateful
+  /// matchers must always cold-compute; warm or cold, `last_iterations()`
+  /// must report what the cold compute would have.
   virtual void compute_into(const demand::DemandMatrix& demand, Matching& out) = 0;
 
   /// By-value convenience wrapper over compute_into (tests, examples).

@@ -1,21 +1,9 @@
 #include "schedulers/rga.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace xdrs::schedulers {
-namespace {
-
-/// Round-robin selection: the first candidate at or after `ptr`, wrapping.
-/// `candidates` is sorted ascending.
-net::PortId round_robin_pick(const std::vector<net::PortId>& candidates, std::uint32_t ptr,
-                             std::uint32_t wrap) {
-  for (const net::PortId c : candidates) {
-    if (c >= ptr && c < wrap) return c;
-  }
-  return candidates.front();
-}
-
-}  // namespace
 
 RgaMatcherBase::RgaMatcherBase(std::uint32_t max_iterations) : max_iterations_{max_iterations} {
   if (max_iterations == 0) throw std::invalid_argument{"RGA: iterations must be >= 1"};
@@ -27,55 +15,68 @@ void RgaMatcherBase::compute_into(const demand::DemandMatrix& demand, Matching& 
   out.reset(inputs, outputs);
   last_iterations_ = 0;
 
-  // Size the workspaces for the worst case up front (every input requesting
-  // every output), so steady-state arbitration — whatever the pointer state
-  // produces — never grows a list.
-  if (requests_.size() != outputs) {
-    requests_.resize(outputs);
-    for (auto& r : requests_) r.reserve(inputs);
-  }
-  if (grants_.size() != inputs) {
-    grants_.resize(inputs);
-    for (auto& g : grants_) g.reserve(outputs);
-  }
+  const std::uint32_t wpr = demand.words_per_row();  // words over outputs
+  const std::uint32_t wpc = demand.words_per_col();  // words over inputs
+
+  // Occupancy masks: all ports start free.  Workspaces only reallocate when
+  // the port count changes; grant_bits_ rows are re-zeroed by the accept
+  // phase of the round that set them, so assigning here is enough.
+  free_in_.reset_all_set(inputs);
+  free_out_.reset_all_set(outputs);
+  has_grant_.reset(inputs);
+  const std::size_t grant_words = static_cast<std::size_t>(inputs) * wpr;
+  if (grant_bits_.size() != grant_words) grant_bits_.assign(grant_words, 0);
+  if (cand_.size() != wpc) cand_.assign(wpc, 0);
+
+  const std::uint32_t max_pairs = std::min(inputs, outputs);
 
   for (std::uint32_t iter = 0; iter < max_iterations_; ++iter) {
     ++last_iterations_;
 
-    // Request phase: every unmatched input requests all unmatched outputs
-    // for which it has demand.
-    for (auto& r : requests_) r.clear();
-    bool any_request = false;
-    for (std::uint32_t i = 0; i < inputs; ++i) {
-      if (out.input_matched(i)) continue;
-      for (std::uint32_t j = 0; j < outputs; ++j) {
-        if (out.output_matched(j)) continue;
-        if (demand.at_unchecked(i, j) > 0) {
-          requests_[j].push_back(i);
-          any_request = true;
-        }
+    // Request + grant phase: each free output's requesters are its demand
+    // column ANDed with the free-input mask — one word op per 64 inputs
+    // instead of the old O(inputs) scan per output.
+    bool any_grant = false;
+    const std::uint64_t* fin = free_in_.words();
+    free_out_.view().for_each_set([&](std::uint32_t j) {
+      const std::uint64_t* col = demand.col_support(j);
+      std::uint64_t nonzero = 0;
+      for (std::uint32_t w = 0; w < wpc; ++w) {
+        cand_[w] = col[w] & fin[w];
+        nonzero |= cand_[w];
       }
-    }
-    if (!any_request) break;
+      if (nonzero == 0) return;
+      const net::PortId chosen = select_grant(j, {cand_.data(), wpc});
+      grant_bits_[static_cast<std::size_t>(chosen) * wpr + j / 64u] |= std::uint64_t{1}
+                                                                      << (j % 64u);
+      has_grant_.set(chosen);
+      any_grant = true;
+    });
+    if (!any_grant) break;  // no requests anywhere: the matching is maximal
 
-    // Grant phase: each requested output grants one input.
-    for (auto& g : grants_) g.clear();
-    for (std::uint32_t j = 0; j < outputs; ++j) {
-      if (requests_[j].empty()) continue;
-      const net::PortId chosen = select_grant(j, requests_[j]);
-      grants_[chosen].push_back(j);
-    }
-
-    // Accept phase: each granted input accepts one output.
-    bool any_accept = false;
-    for (std::uint32_t i = 0; i < inputs; ++i) {
-      if (grants_[i].empty()) continue;
-      const net::PortId chosen = select_accept(i, grants_[i]);
+    // Accept phase: each granted input accepts one output, ascending input
+    // order (the contract the deterministic pointer disciplines and the
+    // PIM rng stream both rely on).  Every grant row set this round is
+    // cleared here, restoring the all-zero invariant.
+    has_grant_.view().for_each_set([&](std::uint32_t i) {
+      const std::size_t row = static_cast<std::size_t>(i) * wpr;
+      const net::PortId chosen = select_accept(i, {grant_bits_.data() + row, wpr});
       out.match(i, chosen);
+      free_in_.clear(i);
+      free_out_.clear(chosen);
       on_accept(i, chosen, iter);
-      any_accept = true;
+      std::fill_n(grant_bits_.begin() + static_cast<std::ptrdiff_t>(row), wpr, 0);
+    });
+    has_grant_.reset(inputs);
+
+    // Early exit: a perfect matching cannot grow, so skip the remaining
+    // rounds.  The scalar loop burned exactly one further round discovering
+    // there were no requests left; account for it so last_iterations_ (an
+    // input to the timing models) stays bit-identical.
+    if (out.size() == max_pairs) {
+      if (iter + 1 < max_iterations_) ++last_iterations_;
+      break;
     }
-    if (!any_accept) break;  // converged: further iterations cannot add pairs
   }
 }
 
@@ -88,18 +89,18 @@ std::string RrmMatcher::name() const {
   return "rrm-i" + std::to_string(max_iterations());
 }
 
-net::PortId RrmMatcher::select_grant(net::PortId output, const std::vector<net::PortId>& candidates) {
+net::PortId RrmMatcher::select_grant(net::PortId output, util::BitsetView candidates) {
   const auto wrap = static_cast<std::uint32_t>(accept_ptr_.size());
-  const net::PortId chosen = round_robin_pick(candidates, grant_ptr_[output], wrap);
+  const net::PortId chosen = candidates.round_robin_pick(grant_ptr_[output]);
   // RRM advances the grant pointer unconditionally — the root cause of its
   // pointer synchronisation pathology.
   grant_ptr_[output] = (chosen + 1) % wrap;
   return chosen;
 }
 
-net::PortId RrmMatcher::select_accept(net::PortId input, const std::vector<net::PortId>& candidates) {
+net::PortId RrmMatcher::select_accept(net::PortId input, util::BitsetView candidates) {
   const auto wrap = static_cast<std::uint32_t>(grant_ptr_.size());
-  const net::PortId chosen = round_robin_pick(candidates, accept_ptr_[input], wrap);
+  const net::PortId chosen = candidates.round_robin_pick(accept_ptr_[input]);
   accept_ptr_[input] = (chosen + 1) % wrap;
   return chosen;
 }
@@ -109,26 +110,19 @@ void RrmMatcher::on_accept(net::PortId /*i*/, net::PortId /*j*/, std::uint32_t /
 // --------------------------------------------------------------------- iSLIP
 
 IslipMatcher::IslipMatcher(std::uint32_t ports, std::uint32_t iterations)
-    : RgaMatcherBase{iterations},
-      grant_ptr_(ports, 0),
-      accept_ptr_(ports, 0),
-      granted_output_of_input_(ports, 0) {}
+    : RgaMatcherBase{iterations}, grant_ptr_(ports, 0), accept_ptr_(ports, 0) {}
 
 std::string IslipMatcher::name() const {
   return "islip-i" + std::to_string(max_iterations());
 }
 
-net::PortId IslipMatcher::select_grant(net::PortId output, const std::vector<net::PortId>& candidates) {
-  const auto wrap = static_cast<std::uint32_t>(accept_ptr_.size());
-  const net::PortId chosen = round_robin_pick(candidates, grant_ptr_[output], wrap);
+net::PortId IslipMatcher::select_grant(net::PortId output, util::BitsetView candidates) {
   // Pointer update deferred to on_accept: iSLIP moves it only if accepted.
-  granted_output_of_input_[chosen] = output;
-  return chosen;
+  return candidates.round_robin_pick(grant_ptr_[output]);
 }
 
-net::PortId IslipMatcher::select_accept(net::PortId input, const std::vector<net::PortId>& candidates) {
-  const auto wrap = static_cast<std::uint32_t>(grant_ptr_.size());
-  return round_robin_pick(candidates, accept_ptr_[input], wrap);
+net::PortId IslipMatcher::select_accept(net::PortId input, util::BitsetView candidates) {
+  return candidates.round_robin_pick(accept_ptr_[input]);
 }
 
 void IslipMatcher::on_accept(net::PortId i, net::PortId j, std::uint32_t iter) {
@@ -147,14 +141,14 @@ std::string PimMatcher::name() const {
   return "pim-i" + std::to_string(max_iterations());
 }
 
-net::PortId PimMatcher::select_grant(net::PortId /*output*/,
-                                     const std::vector<net::PortId>& candidates) {
-  return candidates[rng_.next_below(candidates.size())];
+net::PortId PimMatcher::select_grant(net::PortId /*output*/, util::BitsetView candidates) {
+  // popcount + select-k draws the same uniform index the sorted candidate
+  // vector did, so the rng stream is unchanged.
+  return candidates.kth_set(static_cast<std::uint32_t>(rng_.next_below(candidates.count())));
 }
 
-net::PortId PimMatcher::select_accept(net::PortId /*input*/,
-                                      const std::vector<net::PortId>& candidates) {
-  return candidates[rng_.next_below(candidates.size())];
+net::PortId PimMatcher::select_accept(net::PortId /*input*/, util::BitsetView candidates) {
+  return candidates.kth_set(static_cast<std::uint32_t>(rng_.next_below(candidates.count())));
 }
 
 void PimMatcher::on_accept(net::PortId /*i*/, net::PortId /*j*/, std::uint32_t /*iter*/) {}

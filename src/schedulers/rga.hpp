@@ -14,6 +14,14 @@
 //            100% throughput under uniform traffic.
 //  * PIM   — DEC AN2 parallel iterative matching: uniform-random grant and
 //            accept choices; converges in O(log N) iterations on average.
+//
+// The software kernel mirrors the hardware structure: port sets are
+// uint64_t occupancy bitsets (64 ports per word).  A request round is one
+// AND of an output's demand column against the free-input mask; grant and
+// accept selections are find-first-set (round-robin) or popcount+select
+// (PIM) over the candidate words.  The per-iteration working set at 128
+// ports is a few KiB, so the whole arbitration runs out of L1 — this is
+// where the 128-port grid stopped being matcher-bound.
 #ifndef XDRS_SCHEDULERS_RGA_HPP
 #define XDRS_SCHEDULERS_RGA_HPP
 
@@ -22,6 +30,7 @@
 
 #include "schedulers/matcher.hpp"
 #include "sim/random.hpp"
+#include "util/bitset.hpp"
 
 namespace xdrs::schedulers {
 
@@ -38,29 +47,30 @@ class RgaMatcherBase : public MatchingAlgorithm {
  protected:
   explicit RgaMatcherBase(std::uint32_t max_iterations);
 
-  enum class PointerPolicy : std::uint8_t {
-    kAlwaysAdvance,       // RRM
-    kAdvanceOnAcceptOnce  // iSLIP (first iteration only)
-  };
-
-  /// Grant selection for an output among requesting inputs; `candidates` is
-  /// non-empty and sorted ascending.
+  /// Grant selection for an output among requesting inputs; `candidates`
+  /// is a non-empty bitset over inputs (ascending bit order replaces the
+  /// old sorted-vector contract).
   [[nodiscard]] virtual net::PortId select_grant(net::PortId output,
-                                                 const std::vector<net::PortId>& candidates) = 0;
-  /// Accept selection for an input among granting outputs.
+                                                 util::BitsetView candidates) = 0;
+  /// Accept selection for an input among granting outputs (bitset over
+  /// outputs, non-empty).
   [[nodiscard]] virtual net::PortId select_accept(net::PortId input,
-                                                  const std::vector<net::PortId>& candidates) = 0;
+                                                  util::BitsetView candidates) = 0;
   /// Invoked when input `i` accepted output `j` during iteration `iter`.
   virtual void on_accept(net::PortId i, net::PortId j, std::uint32_t iter) = 0;
 
  private:
   std::uint32_t max_iterations_;
   std::uint32_t last_iterations_{0};
-  // Recycled arbitration workspaces: per-output requesting inputs and
-  // per-input granting outputs.  The inner vectors keep their capacity
-  // across decisions, so steady-state computes never allocate.
-  std::vector<std::vector<net::PortId>> requests_;
-  std::vector<std::vector<net::PortId>> grants_;
+  // Recycled bitset workspaces, re-dimensioned only when the port count
+  // changes, so steady-state computes never allocate:
+  //   free_in_ / free_out_  — unmatched inputs/outputs ("occupancy" masks)
+  //   has_grant_            — inputs holding >= 1 grant this round
+  //   grant_bits_           — per-input grant sets (inputs x words-per-row)
+  //   cand_                 — one output's requesters: column AND free_in_
+  util::PortBitset free_in_, free_out_, has_grant_;
+  std::vector<std::uint64_t> grant_bits_;
+  std::vector<std::uint64_t> cand_;
 };
 
 /// Round-robin matching with unconditionally advancing pointers.
@@ -71,10 +81,8 @@ class RrmMatcher final : public RgaMatcherBase {
   [[nodiscard]] std::string name() const override;
 
  protected:
-  [[nodiscard]] net::PortId select_grant(net::PortId output,
-                                         const std::vector<net::PortId>& candidates) override;
-  [[nodiscard]] net::PortId select_accept(net::PortId input,
-                                          const std::vector<net::PortId>& candidates) override;
+  [[nodiscard]] net::PortId select_grant(net::PortId output, util::BitsetView candidates) override;
+  [[nodiscard]] net::PortId select_accept(net::PortId input, util::BitsetView candidates) override;
   void on_accept(net::PortId i, net::PortId j, std::uint32_t iter) override;
 
  private:
@@ -90,18 +98,13 @@ class IslipMatcher final : public RgaMatcherBase {
   [[nodiscard]] std::string name() const override;
 
  protected:
-  [[nodiscard]] net::PortId select_grant(net::PortId output,
-                                         const std::vector<net::PortId>& candidates) override;
-  [[nodiscard]] net::PortId select_accept(net::PortId input,
-                                          const std::vector<net::PortId>& candidates) override;
+  [[nodiscard]] net::PortId select_grant(net::PortId output, util::BitsetView candidates) override;
+  [[nodiscard]] net::PortId select_accept(net::PortId input, util::BitsetView candidates) override;
   void on_accept(net::PortId i, net::PortId j, std::uint32_t iter) override;
 
  private:
   std::vector<std::uint32_t> grant_ptr_;
   std::vector<std::uint32_t> accept_ptr_;
-  // The output granted to each input in the current iteration, so that
-  // on_accept can advance the right grant pointer.
-  std::vector<std::uint32_t> granted_output_of_input_;
 };
 
 /// PIM: uniform-random grant and accept.
@@ -112,10 +115,8 @@ class PimMatcher final : public RgaMatcherBase {
   [[nodiscard]] std::string name() const override;
 
  protected:
-  [[nodiscard]] net::PortId select_grant(net::PortId output,
-                                         const std::vector<net::PortId>& candidates) override;
-  [[nodiscard]] net::PortId select_accept(net::PortId input,
-                                          const std::vector<net::PortId>& candidates) override;
+  [[nodiscard]] net::PortId select_grant(net::PortId output, util::BitsetView candidates) override;
+  [[nodiscard]] net::PortId select_accept(net::PortId input, util::BitsetView candidates) override;
   void on_accept(net::PortId i, net::PortId j, std::uint32_t iter) override;
 
  private:

@@ -1,5 +1,6 @@
 #include "schedulers/serena.hpp"
 
+#include <bit>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -33,13 +34,25 @@ void SerenaMatcher::random_matching_into(const demand::DemandMatrix& demand, Mat
   }
 
   out.reset(ports_, ports_);
+  const std::uint32_t wpr = demand.words_per_row();
+  if (cand_.size() != wpr) cand_.assign(wpr, 0);
+  free_out_.reset_all_set(ports_);
   for (const std::uint32_t i : order_) {
-    candidates_.clear();
-    for (std::uint32_t j = 0; j < ports_; ++j) {
-      if (!out.output_matched(j) && demand.at(i, j) > 0) candidates_.push_back(j);
+    // Candidates: the input's demand row ANDed with the free-output mask.
+    const std::uint64_t* row = demand.row_support(i);
+    const std::uint64_t* fo = free_out_.words();
+    std::uint32_t count = 0;
+    for (std::uint32_t w = 0; w < wpr; ++w) {
+      cand_[w] = row[w] & fo[w];
+      count += static_cast<std::uint32_t>(std::popcount(cand_[w]));
     }
-    if (!candidates_.empty()) {
-      out.match(i, candidates_[rng_.next_below(candidates_.size())]);
+    if (count > 0) {
+      // Same draw the sorted candidate vector produced: uniform index into
+      // the ascending candidate list, realised as select-k.
+      const util::BitsetView cv{cand_.data(), wpr};
+      const std::uint32_t j = cv.kth_set(static_cast<std::uint32_t>(rng_.next_below(count)));
+      out.match(i, j);
+      free_out_.clear(j);
     }
   }
 }
@@ -81,22 +94,35 @@ void SerenaMatcher::compute_into(const demand::DemandMatrix& demand, Matching& o
   // Age out pairs whose demand has drained since the last slot.
   carried_.reset(ports_, ports_);
   previous_.for_each_pair([&](net::PortId i, net::PortId j) {
-    if (demand.at(i, j) > 0) carried_.match(i, j);
+    if (demand.has_demand(i, j)) carried_.match(i, j);
   });
 
   random_matching_into(demand, fresh_);
   merge_into(carried_, fresh_, demand, out);
 
-  // Opportunistic completion: any still-free positive pair joins.
-  for (std::uint32_t i = 0; i < ports_; ++i) {
-    if (out.input_matched(i)) continue;
-    for (std::uint32_t j = 0; j < ports_; ++j) {
-      if (!out.output_matched(j) && demand.at(i, j) > 0) {
+  // Opportunistic completion: any still-free positive pair joins (lowest
+  // free output with demand per free input — a find-first-set over the
+  // demand row ANDed with the free-output mask).
+  free_in_.reset_all_set(ports_);
+  free_out_.reset_all_set(ports_);
+  out.for_each_pair([&](net::PortId i, net::PortId j) {
+    free_in_.clear(i);
+    free_out_.clear(j);
+  });
+  const std::uint32_t wpr = demand.words_per_row();
+  free_in_.view().for_each_set([&](std::uint32_t i) {
+    const std::uint64_t* row = demand.row_support(i);
+    const std::uint64_t* fo = free_out_.words();
+    for (std::uint32_t w = 0; w < wpr; ++w) {
+      const std::uint64_t word = row[w] & fo[w];
+      if (word != 0) {
+        const std::uint32_t j = w * 64u + static_cast<std::uint32_t>(std::countr_zero(word));
         out.match(i, j);
+        free_out_.clear(j);
         break;
       }
     }
-  }
+  });
   previous_ = out;
   last_iterations_ = 1;
 }

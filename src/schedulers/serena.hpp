@@ -11,6 +11,7 @@
 
 #include "schedulers/matcher.hpp"
 #include "sim/random.hpp"
+#include "util/bitset.hpp"
 
 namespace xdrs::schedulers {
 
@@ -40,10 +41,14 @@ class SerenaMatcher final : public MatchingAlgorithm {
   sim::Rng rng_;
   Matching previous_;
   std::uint32_t last_iterations_{1};
-  // Recycled per-decision workspaces.
+  // Recycled per-decision workspaces.  Candidate sets are bitset ANDs of a
+  // demand row against the free-output mask; the uniform-random pick is
+  // popcount + select-k, drawing the same rng stream the old sorted
+  // candidate vector did.
   Matching carried_, fresh_;
   std::vector<std::uint32_t> order_;
-  std::vector<net::PortId> candidates_;
+  util::PortBitset free_in_, free_out_;
+  std::vector<std::uint64_t> cand_;
   std::vector<std::size_t> uf_parent_;
   std::vector<std::int64_t> weight_a_, weight_b_;
 };

@@ -67,8 +67,9 @@ void SolsticeScheduler::plan_into(const demand::DemandMatrix& dem, CircuitPlan& 
 
     hk_.reset(n, n);
     for (std::uint32_t i = 0; i < n; ++i) {
+      const std::int64_t* row = stuffed_.row_data(i);
       for (std::uint32_t j = 0; j < n; ++j) {
-        if (stuffed_.at(i, j) >= t) hk_.add_edge(i, j);
+        if (row[j] >= t) hk_.add_edge(i, j);
       }
     }
     if (hk_.solve() < n) {

@@ -24,7 +24,7 @@ void WavefrontMatcher::compute_into(const demand::DemandMatrix& demand, Matching
     for (std::uint32_t i = 0; i < ports_; ++i) {
       const std::uint32_t j = (i + d) % ports_;
       if (out.input_matched(i) || out.output_matched(j)) continue;
-      if (demand.at_unchecked(i, j) > 0) out.match(i, j);
+      if (demand.has_demand(i, j)) out.match(i, j);
     }
   }
   last_iterations_ = ports_;

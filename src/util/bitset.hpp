@@ -1,0 +1,157 @@
+// Flat uint64_t bitset primitives shared by the demand-matrix support
+// bitmaps and the matcher kernels: 64 ports per word, find-first-set
+// instead of O(N) scans, popcount + select-k for random disciplines.
+//
+// The helpers operate on raw word spans so the same code serves both the
+// DemandMatrix-owned bitmaps and matcher-local masks; PortBitset is the
+// small owning workspace matchers recycle across decisions (resize happens
+// only when the port count changes, so steady-state computes stay off the
+// heap).  Invariant everywhere: bits at positions >= bit_count in the last
+// word are zero — iteration, popcounts and whole-word compares rely on it.
+#ifndef XDRS_UTIL_BITSET_HPP
+#define XDRS_UTIL_BITSET_HPP
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace xdrs::util {
+
+inline constexpr std::uint32_t kBitsetNone = 0xffffffffu;
+
+[[nodiscard]] constexpr std::uint32_t words_for_bits(std::uint32_t bits) noexcept {
+  return (bits + 63u) / 64u;
+}
+
+/// Mask of the valid bits of the LAST word of a `bits`-bit set (all-ones
+/// when bits is a multiple of 64 — a zero-bit set has no words at all).
+[[nodiscard]] constexpr std::uint64_t tail_mask(std::uint32_t bits) noexcept {
+  const std::uint32_t rem = bits % 64u;
+  return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1u;
+}
+
+/// Non-owning view of a word span; the unit the selection disciplines
+/// (round-robin, uniform-random) receive as their candidate set.
+struct BitsetView {
+  const std::uint64_t* words{nullptr};
+  std::uint32_t word_count{0};
+
+  [[nodiscard]] bool any() const noexcept {
+    for (std::uint32_t w = 0; w < word_count; ++w) {
+      if (words[w] != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    std::uint32_t c = 0;
+    for (std::uint32_t w = 0; w < word_count; ++w) {
+      c += static_cast<std::uint32_t>(std::popcount(words[w]));
+    }
+    return c;
+  }
+
+  /// Lowest set bit; kBitsetNone when empty.
+  [[nodiscard]] std::uint32_t first_set() const noexcept {
+    for (std::uint32_t w = 0; w < word_count; ++w) {
+      if (words[w] != 0) return w * 64u + static_cast<std::uint32_t>(std::countr_zero(words[w]));
+    }
+    return kBitsetNone;
+  }
+
+  /// Lowest set bit at position >= from; kBitsetNone when there is none.
+  [[nodiscard]] std::uint32_t first_set_at_or_after(std::uint32_t from) const noexcept {
+    std::uint32_t w = from / 64u;
+    if (w >= word_count) return kBitsetNone;
+    std::uint64_t word = words[w] & (~std::uint64_t{0} << (from % 64u));
+    while (true) {
+      if (word != 0) return w * 64u + static_cast<std::uint32_t>(std::countr_zero(word));
+      if (++w >= word_count) return kBitsetNone;
+      word = words[w];
+    }
+  }
+
+  /// k-th (0-based) set bit; precondition k < count().
+  [[nodiscard]] std::uint32_t kth_set(std::uint32_t k) const noexcept {
+    for (std::uint32_t w = 0; w < word_count; ++w) {
+      std::uint64_t word = words[w];
+      const auto c = static_cast<std::uint32_t>(std::popcount(word));
+      if (k >= c) {
+        k -= c;
+        continue;
+      }
+      while (k > 0) {
+        word &= word - 1;  // drop lowest set bit
+        --k;
+      }
+      return w * 64u + static_cast<std::uint32_t>(std::countr_zero(word));
+    }
+    return kBitsetNone;
+  }
+
+  /// Round-robin pick: lowest set bit at or after `ptr`, wrapping to the
+  /// lowest set bit overall.  Precondition: any().  Matches the scalar
+  /// "first candidate >= ptr, else candidates.front()" rule exactly.
+  [[nodiscard]] std::uint32_t round_robin_pick(std::uint32_t ptr) const noexcept {
+    const std::uint32_t at = first_set_at_or_after(ptr);
+    return at != kBitsetNone ? at : first_set();
+  }
+
+  /// Calls fn(bit_index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::uint32_t w = 0; w < word_count; ++w) {
+      std::uint64_t word = words[w];
+      while (word != 0) {
+        fn(w * 64u + static_cast<std::uint32_t>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+  }
+};
+
+/// Owning fixed-universe bitset workspace.  reset() re-dimensions without
+/// reallocating when the universe is unchanged — the per-decision path.
+class PortBitset {
+ public:
+  PortBitset() = default;
+
+  /// Clears and re-dimensions to a `bits`-bit universe, all zero.
+  void reset(std::uint32_t bits) {
+    bits_ = bits;
+    w_.assign(words_for_bits(bits), 0);
+  }
+
+  /// Clears and re-dimensions to a `bits`-bit universe, all ones (tail
+  /// bits beyond the universe stay zero).
+  void reset_all_set(std::uint32_t bits) {
+    bits_ = bits;
+    w_.assign(words_for_bits(bits), ~std::uint64_t{0});
+    if (!w_.empty()) w_.back() = tail_mask(bits);
+  }
+
+  [[nodiscard]] std::uint32_t bits() const noexcept { return bits_; }
+  [[nodiscard]] std::uint32_t word_count() const noexcept {
+    return static_cast<std::uint32_t>(w_.size());
+  }
+  [[nodiscard]] const std::uint64_t* words() const noexcept { return w_.data(); }
+  [[nodiscard]] std::uint64_t* words() noexcept { return w_.data(); }
+
+  void set(std::uint32_t b) noexcept { w_[b / 64u] |= std::uint64_t{1} << (b % 64u); }
+  void clear(std::uint32_t b) noexcept { w_[b / 64u] &= ~(std::uint64_t{1} << (b % 64u)); }
+  [[nodiscard]] bool test(std::uint32_t b) const noexcept {
+    return (w_[b / 64u] >> (b % 64u)) & 1u;
+  }
+
+  [[nodiscard]] BitsetView view() const noexcept {
+    return {w_.data(), static_cast<std::uint32_t>(w_.size())};
+  }
+
+ private:
+  std::vector<std::uint64_t> w_;
+  std::uint32_t bits_{0};
+};
+
+}  // namespace xdrs::util
+
+#endif  // XDRS_UTIL_BITSET_HPP

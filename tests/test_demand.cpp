@@ -131,6 +131,79 @@ TEST(DemandMatrix, OutOfRangeThrows) {
   EXPECT_THROW((void)m.col_sum(2), std::out_of_range);
 }
 
+// ---------------------------------------------------- support bitmap views
+
+/// Checks every bitmap invariant against the dense store: bit set iff the
+/// element is strictly positive (rows AND transposed columns), tail bits
+/// past the dimensions zero, and the popcount-derived nonzero count right.
+void expect_support_consistent(const DemandMatrix& m) {
+  for (net::PortId i = 0; i < m.inputs(); ++i) {
+    for (net::PortId j = 0; j < m.outputs(); ++j) {
+      const bool nz = m.at(i, j) > 0;
+      EXPECT_EQ(m.has_demand(i, j), nz) << "(" << i << "," << j << ")";
+      EXPECT_EQ(((m.row_support(i)[j / 64] >> (j % 64)) & 1u) != 0, nz);
+      EXPECT_EQ(((m.col_support(j)[i / 64] >> (i % 64)) & 1u) != 0, nz);
+    }
+  }
+  for (net::PortId i = 0; i < m.inputs(); ++i) {
+    EXPECT_EQ(m.row_support(i)[m.words_per_row() - 1] & ~util::tail_mask(m.outputs()), 0u);
+  }
+  for (net::PortId j = 0; j < m.outputs(); ++j) {
+    EXPECT_EQ(m.col_support(j)[m.words_per_col() - 1] & ~util::tail_mask(m.inputs()), 0u);
+  }
+  std::size_t expected = 0;
+  for (net::PortId i = 0; i < m.inputs(); ++i) {
+    for (net::PortId j = 0; j < m.outputs(); ++j) expected += m.at(i, j) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(m.nonzero_count(), expected);
+}
+
+TEST(DemandMatrix, SupportBitmapTracksEveryMutation) {
+  // 65 outputs forces a two-word row with a 1-bit tail.
+  DemandMatrix m{3, 65};
+  m.set(0, 0, 5);
+  m.set(0, 64, 7);  // tail-word bit
+  m.set(1, 63, 1);  // last bit of word 0
+  m.add(2, 10, 3);
+  expect_support_consistent(m);
+
+  m.set(0, 0, 0);  // drain via set
+  m.subtract_clamped(0, 64, 100);  // drain via clamped subtraction
+  m.add_unchecked(1, 63, -1);  // drain via the unchecked hot path
+  expect_support_consistent(m);
+
+  m.fill(9);
+  expect_support_consistent(m);
+  m.fill(0);
+  expect_support_consistent(m);
+
+  m.set(2, 2, 4);
+  m.clear();
+  expect_support_consistent(m);
+
+  m.resize(65, 3);
+  m.set(64, 2, 8);
+  expect_support_consistent(m);
+
+  DemandMatrix copy{1, 1};
+  copy.copy_from(m);
+  expect_support_consistent(copy);
+}
+
+TEST(DemandMatrix, EqualityComparesValuesNotJustSupport) {
+  DemandMatrix a{2}, b{2};
+  a.set(0, 0, 3);
+  a.set(0, 1, 5);
+  b.set(0, 0, 3);
+  b.set(0, 1, 5);
+  EXPECT_EQ(a, b);
+  // Same shape, same support bitmap, same total — only the dense values
+  // differ, so the equality must fall through to the value compare.
+  b.set(0, 0, 5);
+  b.set(0, 1, 3);
+  EXPECT_FALSE(a == b);
+}
+
 // ------------------------------------------------------------- estimators
 
 TEST(InstantaneousEstimator, TracksBacklogExactly) {

@@ -1,0 +1,540 @@
+// Kernel-equivalence property tests: the bitset / epoch-warm matcher
+// kernels must be EXACT, not approximate.  For every registered matcher
+// spec, this file drives the production matcher and an independent
+// reference implementation in lockstep over correlated epoch sequences
+// (unchanged, lightly mutated, and redrawn demand matrices — the cases the
+// warm-rematch caches and the incremental support bitmaps must get right)
+// and asserts element-identical matchings and identical iteration counts at
+// port counts {8, 64, 65, 128} — 65 exercises the bitset tail word.
+//
+// The references are transcriptions of the pre-bitset scalar kernels
+// (O(N) candidate scans, checked accessors, no caches).  For stateful
+// disciplines (round-robin pointers, PIM/SERENA rng streams, rotor phase)
+// the reference carries its own state, so any drift in pointer updates or
+// random-draw order — not just in the final matching rule — fails the test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "demand/demand_matrix.hpp"
+#include "schedulers/hopcroft_karp.hpp"
+#include "schedulers/matching.hpp"
+#include "schedulers/policy_registry.hpp"
+#include "sim/random.hpp"
+
+namespace xdrs::schedulers {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;  // matcher seed, mirrored by the refs
+
+// ---------------------------------------------------------------- references
+
+/// Interface mirroring the slice of MatchingAlgorithm the tests compare.
+class ScalarRef {
+ public:
+  virtual ~ScalarRef() = default;
+  virtual void compute(const demand::DemandMatrix& d, Matching& out) = 0;
+  [[nodiscard]] virtual std::uint32_t last_iterations() const = 0;
+};
+
+/// The pre-bitset request-grant-accept scaffold: per-output candidate
+/// vectors rebuilt by O(N^2) scans each round, sorted ascending by
+/// construction.
+class ScalarRga : public ScalarRef {
+ public:
+  explicit ScalarRga(std::uint32_t max_iterations) : max_iterations_{max_iterations} {}
+
+  void compute(const demand::DemandMatrix& demand, Matching& out) override {
+    const std::uint32_t inputs = demand.inputs();
+    const std::uint32_t outputs = demand.outputs();
+    out.reset(inputs, outputs);
+    last_iterations_ = 0;
+    std::vector<std::vector<net::PortId>> requests(outputs), grants(inputs);
+    for (std::uint32_t iter = 0; iter < max_iterations_; ++iter) {
+      ++last_iterations_;
+      for (auto& r : requests) r.clear();
+      bool any_request = false;
+      for (std::uint32_t i = 0; i < inputs; ++i) {
+        if (out.input_matched(i)) continue;
+        for (std::uint32_t j = 0; j < outputs; ++j) {
+          if (out.output_matched(j)) continue;
+          if (demand.at(i, j) > 0) {
+            requests[j].push_back(i);
+            any_request = true;
+          }
+        }
+      }
+      if (!any_request) break;
+      for (auto& g : grants) g.clear();
+      for (std::uint32_t j = 0; j < outputs; ++j) {
+        if (requests[j].empty()) continue;
+        grants[select_grant(j, requests[j])].push_back(j);
+      }
+      bool any_accept = false;
+      for (std::uint32_t i = 0; i < inputs; ++i) {
+        if (grants[i].empty()) continue;
+        const net::PortId chosen = select_accept(i, grants[i]);
+        out.match(i, chosen);
+        on_accept(i, chosen, iter);
+        any_accept = true;
+      }
+      if (!any_accept) break;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t last_iterations() const override { return last_iterations_; }
+
+ protected:
+  static net::PortId round_robin_pick(const std::vector<net::PortId>& candidates,
+                                      std::uint32_t ptr, std::uint32_t wrap) {
+    for (const net::PortId c : candidates) {
+      if (c >= ptr && c < wrap) return c;
+    }
+    return candidates.front();
+  }
+
+  virtual net::PortId select_grant(net::PortId output,
+                                   const std::vector<net::PortId>& candidates) = 0;
+  virtual net::PortId select_accept(net::PortId input,
+                                    const std::vector<net::PortId>& candidates) = 0;
+  virtual void on_accept(net::PortId i, net::PortId j, std::uint32_t iter) = 0;
+
+ private:
+  std::uint32_t max_iterations_;
+  std::uint32_t last_iterations_{0};
+};
+
+class ScalarRrm final : public ScalarRga {
+ public:
+  ScalarRrm(std::uint32_t ports, std::uint32_t iterations)
+      : ScalarRga{iterations}, grant_ptr_(ports, 0), accept_ptr_(ports, 0) {}
+
+ protected:
+  net::PortId select_grant(net::PortId output, const std::vector<net::PortId>& c) override {
+    const auto wrap = static_cast<std::uint32_t>(accept_ptr_.size());
+    const net::PortId chosen = round_robin_pick(c, grant_ptr_[output], wrap);
+    grant_ptr_[output] = (chosen + 1) % wrap;
+    return chosen;
+  }
+  net::PortId select_accept(net::PortId input, const std::vector<net::PortId>& c) override {
+    const auto wrap = static_cast<std::uint32_t>(grant_ptr_.size());
+    const net::PortId chosen = round_robin_pick(c, accept_ptr_[input], wrap);
+    accept_ptr_[input] = (chosen + 1) % wrap;
+    return chosen;
+  }
+  void on_accept(net::PortId, net::PortId, std::uint32_t) override {}
+
+ private:
+  std::vector<std::uint32_t> grant_ptr_, accept_ptr_;
+};
+
+class ScalarIslip final : public ScalarRga {
+ public:
+  ScalarIslip(std::uint32_t ports, std::uint32_t iterations)
+      : ScalarRga{iterations}, grant_ptr_(ports, 0), accept_ptr_(ports, 0) {}
+
+ protected:
+  net::PortId select_grant(net::PortId output, const std::vector<net::PortId>& c) override {
+    const auto wrap = static_cast<std::uint32_t>(accept_ptr_.size());
+    return round_robin_pick(c, grant_ptr_[output], wrap);
+  }
+  net::PortId select_accept(net::PortId input, const std::vector<net::PortId>& c) override {
+    const auto wrap = static_cast<std::uint32_t>(grant_ptr_.size());
+    return round_robin_pick(c, accept_ptr_[input], wrap);
+  }
+  void on_accept(net::PortId i, net::PortId j, std::uint32_t iter) override {
+    if (iter != 0) return;
+    const auto ports = static_cast<std::uint32_t>(grant_ptr_.size());
+    grant_ptr_[j] = (i + 1) % ports;
+    accept_ptr_[i] = (j + 1) % ports;
+  }
+
+ private:
+  std::vector<std::uint32_t> grant_ptr_, accept_ptr_;
+};
+
+class ScalarPim final : public ScalarRga {
+ public:
+  ScalarPim(std::uint32_t iterations, std::uint64_t seed) : ScalarRga{iterations}, rng_{seed} {}
+
+ protected:
+  net::PortId select_grant(net::PortId, const std::vector<net::PortId>& c) override {
+    return c[rng_.next_below(c.size())];
+  }
+  net::PortId select_accept(net::PortId, const std::vector<net::PortId>& c) override {
+    return c[rng_.next_below(c.size())];
+  }
+  void on_accept(net::PortId, net::PortId, std::uint32_t) override {}
+
+ private:
+  sim::Rng rng_;
+};
+
+/// The pre-dense-cost Hungarian: potentials over a checked cost lambda.
+class ScalarHungarian final : public ScalarRef {
+ public:
+  void compute(const demand::DemandMatrix& demand, Matching& out) override {
+    const std::uint32_t n32 = std::max(demand.inputs(), demand.outputs());
+    const auto n = static_cast<std::size_t>(n32);
+    constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+    const auto cost = [&demand](std::size_t i, std::size_t j) -> std::int64_t {
+      if (i < demand.inputs() && j < demand.outputs()) {
+        return -demand.at(static_cast<net::PortId>(i), static_cast<net::PortId>(j));
+      }
+      return 0;
+    };
+    std::vector<std::int64_t> u(n + 1, 0), v(n + 1, 0), minv(n + 1);
+    std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+    std::vector<char> used(n + 1);
+    last_iterations_ = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      p[0] = i;
+      std::size_t j0 = 0;
+      minv.assign(n + 1, kInf);
+      used.assign(n + 1, 0);
+      do {
+        ++last_iterations_;
+        used[j0] = true;
+        const std::size_t i0 = p[j0];
+        std::int64_t delta = kInf;
+        std::size_t j1 = 0;
+        for (std::size_t j = 1; j <= n; ++j) {
+          if (used[j]) continue;
+          const std::int64_t cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+          if (cur < minv[j]) {
+            minv[j] = cur;
+            way[j] = j0;
+          }
+          if (minv[j] < delta) {
+            delta = minv[j];
+            j1 = j;
+          }
+        }
+        for (std::size_t j = 0; j <= n; ++j) {
+          if (used[j]) {
+            u[p[j]] += delta;
+            v[j] -= delta;
+          } else {
+            minv[j] -= delta;
+          }
+        }
+        j0 = j1;
+      } while (p[j0] != 0);
+      do {
+        const std::size_t j1 = way[j0];
+        p[j0] = p[j1];
+        j0 = j1;
+      } while (j0 != 0);
+    }
+    out.reset(demand.inputs(), demand.outputs());
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t i = p[j];
+      if (i == 0) continue;
+      const std::size_t row = i - 1;
+      const std::size_t col = j - 1;
+      if (row < demand.inputs() && col < demand.outputs() &&
+          demand.at(static_cast<net::PortId>(row), static_cast<net::PortId>(col)) > 0) {
+        out.match(static_cast<net::PortId>(row), static_cast<net::PortId>(col));
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t last_iterations() const override { return last_iterations_; }
+
+ private:
+  std::uint32_t last_iterations_{0};
+};
+
+/// The pre-bitmap greedy: edge harvest via checked scans, then the same
+/// (weight desc, input, output) sort and pick loop.
+class ScalarGreedy final : public ScalarRef {
+ public:
+  void compute(const demand::DemandMatrix& demand, Matching& out) override {
+    struct Edge {
+      std::int64_t w;
+      net::PortId i, j;
+    };
+    std::vector<Edge> edges;
+    for (net::PortId i = 0; i < demand.inputs(); ++i) {
+      for (net::PortId j = 0; j < demand.outputs(); ++j) {
+        const std::int64_t w = demand.at(i, j);
+        if (w > 0) edges.push_back({w, i, j});
+      }
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.w != b.w) return a.w > b.w;
+      if (a.i != b.i) return a.i < b.i;
+      return a.j < b.j;
+    });
+    out.reset(demand.inputs(), demand.outputs());
+    last_iterations_ = 0;
+    for (const Edge& e : edges) {
+      if (out.size() == std::min(demand.inputs(), demand.outputs())) break;
+      if (out.input_matched(e.i) || out.output_matched(e.j)) continue;
+      out.match(e.i, e.j);
+      ++last_iterations_;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t last_iterations() const override { return last_iterations_; }
+
+ private:
+  std::uint32_t last_iterations_{0};
+};
+
+/// Max-size via a fresh Hopcroft-Karp per epoch, edges from checked scans
+/// (the solver class itself is unchanged by the kernel work).
+class ScalarMaxSize final : public ScalarRef {
+ public:
+  void compute(const demand::DemandMatrix& demand, Matching& out) override {
+    HopcroftKarp hk{demand.inputs(), demand.outputs()};
+    for (net::PortId i = 0; i < demand.inputs(); ++i) {
+      for (net::PortId j = 0; j < demand.outputs(); ++j) {
+        if (demand.at(i, j) > 0) hk.add_edge(i, j);
+      }
+    }
+    hk.solve();
+    last_iterations_ = hk.phases();
+    out.reset(demand.inputs(), demand.outputs());
+    for (std::uint32_t l = 0; l < demand.inputs(); ++l) {
+      const std::uint32_t r = hk.match_of_left(l);
+      if (r != HopcroftKarp::kFree) out.match(l, r);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t last_iterations() const override { return last_iterations_; }
+
+ private:
+  std::uint32_t last_iterations_{0};
+};
+
+/// The pre-bitset SERENA: candidate vectors and scan-based completion,
+/// with its own previous-matching state and rng stream.
+class ScalarSerena final : public ScalarRef {
+ public:
+  ScalarSerena(std::uint32_t ports, std::uint64_t seed)
+      : ports_{ports}, rng_{seed}, previous_{ports, ports} {}
+
+  void compute(const demand::DemandMatrix& demand, Matching& out) override {
+    Matching carried;
+    carried.reset(ports_, ports_);
+    previous_.for_each_pair([&](net::PortId i, net::PortId j) {
+      if (demand.at(i, j) > 0) carried.match(i, j);
+    });
+
+    Matching fresh;
+    random_matching_into(demand, fresh);
+    merge_into(carried, fresh, demand, out);
+
+    for (std::uint32_t i = 0; i < ports_; ++i) {
+      if (out.input_matched(i)) continue;
+      for (std::uint32_t j = 0; j < ports_; ++j) {
+        if (!out.output_matched(j) && demand.at(i, j) > 0) {
+          out.match(i, j);
+          break;
+        }
+      }
+    }
+    previous_ = out;
+  }
+
+  [[nodiscard]] std::uint32_t last_iterations() const override { return 1; }
+
+ private:
+  static std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void random_matching_into(const demand::DemandMatrix& demand, Matching& out) {
+    std::vector<std::uint32_t> order(ports_);
+    for (std::uint32_t k = 0; k < ports_; ++k) order[k] = k;
+    for (std::uint32_t k = ports_ - 1; k > 0; --k) {
+      std::swap(order[k], order[rng_.next_below(k + 1)]);
+    }
+    out.reset(ports_, ports_);
+    std::vector<net::PortId> candidates;
+    for (const std::uint32_t i : order) {
+      candidates.clear();
+      for (std::uint32_t j = 0; j < ports_; ++j) {
+        if (!out.output_matched(j) && demand.at(i, j) > 0) candidates.push_back(j);
+      }
+      if (!candidates.empty()) {
+        out.match(i, candidates[rng_.next_below(candidates.size())]);
+      }
+    }
+  }
+
+  void merge_into(const Matching& a, const Matching& b, const demand::DemandMatrix& demand,
+                  Matching& out) {
+    std::vector<std::size_t> uf(static_cast<std::size_t>(ports_) * 2);
+    for (std::size_t x = 0; x < uf.size(); ++x) uf[x] = x;
+    const auto out_node = [this](net::PortId j) { return static_cast<std::size_t>(ports_) + j; };
+    const auto unite = [&uf](std::size_t x, std::size_t y) { uf[uf_find(uf, x)] = uf_find(uf, y); };
+    a.for_each_pair([&](net::PortId i, net::PortId j) { unite(i, out_node(j)); });
+    b.for_each_pair([&](net::PortId i, net::PortId j) { unite(i, out_node(j)); });
+
+    std::vector<std::int64_t> wa(static_cast<std::size_t>(ports_) * 2, 0);
+    std::vector<std::int64_t> wb(static_cast<std::size_t>(ports_) * 2, 0);
+    a.for_each_pair([&](net::PortId i, net::PortId j) { wa[uf_find(uf, i)] += demand.at(i, j); });
+    b.for_each_pair([&](net::PortId i, net::PortId j) { wb[uf_find(uf, i)] += demand.at(i, j); });
+
+    out.reset(ports_, ports_);
+    a.for_each_pair([&](net::PortId i, net::PortId j) {
+      const std::size_t c = uf_find(uf, i);
+      if (wa[c] >= wb[c]) out.match(i, j);
+    });
+    b.for_each_pair([&](net::PortId i, net::PortId j) {
+      const std::size_t c = uf_find(uf, i);
+      if (wb[c] > wa[c]) out.match(i, j);
+    });
+  }
+
+  std::uint32_t ports_;
+  sim::Rng rng_;
+  Matching previous_;
+};
+
+/// The pre-bitset wavefront, with its own rotating diagonal offset.
+class ScalarWavefront final : public ScalarRef {
+ public:
+  explicit ScalarWavefront(std::uint32_t ports) : ports_{ports} {}
+
+  void compute(const demand::DemandMatrix& demand, Matching& out) override {
+    out.reset(ports_, ports_);
+    for (std::uint32_t w = 0; w < ports_; ++w) {
+      const std::uint32_t d = (w + offset_) % ports_;
+      for (std::uint32_t i = 0; i < ports_; ++i) {
+        const std::uint32_t j = (i + d) % ports_;
+        if (out.input_matched(i) || out.output_matched(j)) continue;
+        if (demand.at(i, j) > 0) out.match(i, j);
+      }
+    }
+    offset_ = (offset_ + 1) % ports_;
+  }
+
+  [[nodiscard]] std::uint32_t last_iterations() const override { return ports_; }
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t offset_{0};
+};
+
+/// Fallback for specs without a hand-written scalar twin (rotor): a second
+/// production instance.  Still meaningful — it fails if per-instance state
+/// (cache, phase) makes two identically-seeded instances diverge over the
+/// same epoch sequence.
+class ProductionRef final : public ScalarRef {
+ public:
+  ProductionRef(const std::string& spec, std::uint32_t ports)
+      : matcher_{PolicyRegistry::instance().make_matcher(spec,
+                                                         {.ports = ports, .seed = kSeed})} {}
+
+  void compute(const demand::DemandMatrix& d, Matching& out) override {
+    matcher_->compute_into(d, out);
+  }
+  [[nodiscard]] std::uint32_t last_iterations() const override {
+    return matcher_->last_iterations();
+  }
+
+ private:
+  std::unique_ptr<MatchingAlgorithm> matcher_;
+};
+
+/// Parses the iteration argument of "name:k" specs (defaults to 1).
+std::uint32_t spec_iterations(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return 1;
+  return static_cast<std::uint32_t>(std::stoul(spec.substr(colon + 1)));
+}
+
+std::unique_ptr<ScalarRef> make_reference(const std::string& spec, std::uint32_t ports) {
+  const std::string name = spec.substr(0, spec.find(':'));
+  if (name == "rrm") return std::make_unique<ScalarRrm>(ports, spec_iterations(spec));
+  if (name == "islip") return std::make_unique<ScalarIslip>(ports, spec_iterations(spec));
+  if (name == "pim") return std::make_unique<ScalarPim>(spec_iterations(spec), kSeed);
+  if (name == "maxweight") return std::make_unique<ScalarHungarian>();
+  if (name == "ilqf") return std::make_unique<ScalarGreedy>();
+  if (name == "maxsize") return std::make_unique<ScalarMaxSize>();
+  if (name == "serena") return std::make_unique<ScalarSerena>(ports, kSeed);
+  if (name == "wavefront") return std::make_unique<ScalarWavefront>(ports);
+  return std::make_unique<ProductionRef>(spec, ports);
+}
+
+// ------------------------------------------------------------- epoch driver
+
+/// Correlated epoch sequence: redraws, small deltas (including drains to
+/// zero, which flip support bits), and exact repeats (the warm-replay hit
+/// case) — the mix a real estimator feeds a matcher across epochs.
+void step_demand(demand::DemandMatrix& d, std::uint32_t epoch, sim::Rng& rng) {
+  const std::uint32_t n = d.inputs();
+  switch (epoch % 4) {
+    case 0: {  // fresh redraw
+      d.clear();
+      for (net::PortId i = 0; i < n; ++i) {
+        for (net::PortId j = 0; j < n; ++j) {
+          if (rng.bernoulli(0.4)) d.set(i, j, rng.uniform_int(1, 1'000'000));
+        }
+      }
+      break;
+    }
+    case 1:  // exact repeat: unchanged demand, the warm-replay hit
+      break;
+    case 2: {  // sparse delta: touch ~n cells, half of them drained to zero
+      for (std::uint32_t k = 0; k < n; ++k) {
+        const auto i = static_cast<net::PortId>(rng.next_below(n));
+        const auto j = static_cast<net::PortId>(rng.next_below(n));
+        if (rng.bernoulli(0.5)) {
+          d.set(i, j, 0);
+        } else {
+          d.set(i, j, rng.uniform_int(1, 1'000'000));
+        }
+      }
+      break;
+    }
+    default:  // value-only delta: support pattern unchanged, weights scaled
+      for (net::PortId i = 0; i < n; ++i) {
+        for (net::PortId j = 0; j < n; ++j) {
+          const std::int64_t v = d.at(i, j);
+          if (v > 1) d.set(i, j, v / 2 + 1);
+        }
+      }
+      break;
+  }
+}
+
+void run_lockstep(std::uint32_t ports, std::uint32_t epochs) {
+  const auto& registry = PolicyRegistry::instance();
+  for (const auto& spec : registry.known_specs(PolicyKind::kMatcher)) {
+    auto matcher = registry.make_matcher(spec, {.ports = ports, .seed = kSeed});
+    auto reference = make_reference(spec, ports);
+
+    demand::DemandMatrix d{ports};
+    sim::Rng workload{ports * 1000003ull + 17};
+    Matching got, want;
+    for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+      step_demand(d, epoch, workload);
+      matcher->compute_into(d, got);
+      reference->compute(d, want);
+      ASSERT_EQ(got, want) << spec << " at " << ports << " ports, epoch " << epoch;
+      ASSERT_EQ(matcher->last_iterations(), reference->last_iterations())
+          << spec << " at " << ports << " ports, epoch " << epoch;
+    }
+  }
+}
+
+TEST(MatcherKernels, LockstepAt8Ports) { run_lockstep(8, 16); }
+TEST(MatcherKernels, LockstepAt64Ports) { run_lockstep(64, 8); }
+TEST(MatcherKernels, LockstepAt65PortsTailWord) { run_lockstep(65, 8); }
+TEST(MatcherKernels, LockstepAt128Ports) { run_lockstep(128, 4); }
+
+}  // namespace
+}  // namespace xdrs::schedulers

@@ -20,7 +20,7 @@ namespace {
 TEST(Presets, KnowsTheBuiltInGrids) {
   const auto names = known_presets();
   for (const char* expected :
-       {"small", "full", "policy-cross", "composite", "trace", "empirical"}) {
+       {"small", "full", "policy-cross", "composite", "trace", "empirical", "p128"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing preset " << expected;
   }
@@ -38,6 +38,10 @@ TEST(Presets, CompositeAndTraceGridsHaveTheDocumentedShape) {
   EXPECT_EQ(make_preset("trace").size(), 6u);
   // 3 empirical scenarios x 2 loads x 2 circuit schedulers.
   EXPECT_EQ(make_preset("empirical").size(), 12u);
+  // 2 paper-scale scenarios x 2 loads x 3 matchers, all at 128 ports.
+  const std::vector<ScenarioSpec> p128 = make_preset("p128");
+  EXPECT_EQ(p128.size(), 12u);
+  for (const ScenarioSpec& spec : p128) EXPECT_EQ(spec.config.ports, 128u);
 }
 
 TEST(Presets, EmpiricalGridCoversBothBundledCdfs) {
