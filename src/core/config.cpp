@@ -48,15 +48,21 @@ void RunReport::merge(const RunReport& other) {
   peak_switch_buffer_bytes = std::max(peak_switch_buffer_bytes, other.peak_switch_buffer_bytes);
   peak_host_buffer_bytes = std::max(peak_host_buffer_bytes, other.peak_host_buffer_bytes);
 
+  deadline_flows_met += other.deadline_flows_met;
+  deadline_flows_missed += other.deadline_flows_missed;
+  goodput_before_deadline_bytes += other.goodput_before_deadline_bytes;
+
   latency.merge(other.latency);
   latency_sensitive.merge(other.latency_sensitive);
   jitter_us.merge(other.jitter_us);
+  fct_deadline.merge(other.fct_deadline);
+  fct_other.merge(other.fct_other);
 }
 
 std::vector<stats::Field> RunReport::fields() const {
   using stats::Field;
   std::vector<Field> f;
-  f.reserve(38);
+  f.reserve(50);
   f.push_back(Field::u64("schema_version", kSchemaVersion));
   f.push_back(Field::str("policy_stack", policy_stack));
   f.push_back(Field::i64("duration_ps", duration.ps()));
@@ -93,6 +99,18 @@ std::vector<stats::Field> RunReport::fields() const {
   f.push_back(Field::u64("jitter_flows", jitter_us.count()));
   f.push_back(Field::f64("jitter_mean_us", jitter_us.mean()));
   f.push_back(Field::f64("jitter_max_us", jitter_us.max()));
+  f.push_back(Field::u64("deadline_flows_met", deadline_flows_met));
+  f.push_back(Field::u64("deadline_flows_missed", deadline_flows_missed));
+  f.push_back(Field::f64("deadline_miss_ratio", deadline_miss_ratio()));
+  f.push_back(Field::i64("goodput_before_deadline_bytes", goodput_before_deadline_bytes));
+  f.push_back(Field::u64("fct_deadline_count", fct_deadline.count()));
+  f.push_back(Field::f64("fct_deadline_mean_ps", fct_deadline.mean()));
+  f.push_back(Field::i64("fct_deadline_p50_ps", fct_deadline.p50()));
+  f.push_back(Field::i64("fct_deadline_p99_ps", fct_deadline.p99()));
+  f.push_back(Field::i64("fct_deadline_max_ps", fct_deadline.max()));
+  f.push_back(Field::u64("fct_other_count", fct_other.count()));
+  f.push_back(Field::f64("fct_other_mean_ps", fct_other.mean()));
+  f.push_back(Field::i64("fct_other_p99_ps", fct_other.p99()));
   return f;
 }
 

@@ -93,8 +93,10 @@ struct RunReport {
   /// Serialization schema version, emitted as the first CSV/JSON field so
   /// archived artifacts stay interpretable across schema evolution.
   /// History: 1 = unversioned seed schema; 2 = adds schema_version and
-  /// policy_stack (the unified policy-stack redesign).
-  static constexpr std::uint64_t kSchemaVersion = 2;
+  /// policy_stack (the unified policy-stack redesign); 3 = adds the
+  /// deadline/SLO completion metrics (deadline_flows_met/missed,
+  /// goodput_before_deadline_bytes, per-class FCT histograms).
+  static constexpr std::uint64_t kSchemaVersion = 3;
 
   sim::Time duration{};
 
@@ -134,6 +136,29 @@ struct RunReport {
   stats::Histogram latency;                  ///< all delivered packets
   stats::Histogram latency_sensitive;        ///< kLatencySensitive class only
   stats::Summary jitter_us;                  ///< RFC3550 jitter per CBR flow, us
+
+  // ---- deadline/SLO completion metrics (schema 3) -------------------------
+  // Flows are tracked only when the generator stamps a total size
+  // (net::Packet::flow_bytes > 0) and only when they start inside the
+  // measurement window.  A flow with a deadline counts as met when its last
+  // byte arrives by the deadline, as missed when it completes late OR is
+  // still unfinished at the end of the run with its deadline expired;
+  // unfinished flows whose deadline lies beyond the run are censored
+  // (excluded), so short runs cannot inflate the miss ratio.
+  std::uint64_t deadline_flows_met{0};
+  std::uint64_t deadline_flows_missed{0};
+  /// Bytes of deadline-carrying flows delivered at or before their deadline
+  /// — the useful work the SLO actually received.
+  std::int64_t goodput_before_deadline_bytes{0};
+  stats::Histogram fct_deadline;             ///< FCT of completed deadline flows
+  stats::Histogram fct_other;                ///< FCT of completed no-deadline flows
+
+  /// missed / (met + missed); exactly 0 when no flow carries a deadline.
+  [[nodiscard]] double deadline_miss_ratio() const noexcept {
+    const std::uint64_t total = deadline_flows_met + deadline_flows_missed;
+    return total == 0 ? 0.0
+                      : static_cast<double>(deadline_flows_missed) / static_cast<double>(total);
+  }
 
   /// delivered / offered bytes.
   [[nodiscard]] double delivery_ratio() const noexcept {

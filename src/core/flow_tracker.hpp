@@ -1,0 +1,83 @@
+// Per-flow completion tracking: FCT and deadline met/missed records.
+//
+// Generators that model whole flows stamp every packet with the owning
+// flow's total size (net::Packet::flow_bytes) and absolute deadline
+// (net::Packet::deadline, zero = none).  The tracker folds delivered
+// packets into per-flow state and, at the end of a run, turns that state
+// into the RunReport deadline metrics:
+//
+//   * a flow COMPLETES when its delivered bytes reach flow_bytes; the
+//     completion time minus the first packet's creation time is its FCT
+//   * a deadline flow is MET when it completes by its deadline, MISSED
+//     when it completes late or is still unfinished at the end of the run
+//     with its deadline already expired
+//   * an unfinished flow whose deadline lies beyond the run (or that has
+//     no deadline) is CENSORED — excluded entirely — so a short horizon
+//     cannot inflate the miss ratio with flows that were never given a
+//     chance
+//   * goodput-before-deadline accumulates the bytes of deadline flows that
+//     arrived at or before their deadline: the useful work the SLO got
+//
+// The tracker observes EVERY delivery, including warmup, because a flow
+// that straddles the measurement boundary must be recognised (and then
+// excluded: only flows whose first packet was created inside the window
+// count).  Every output is an order-independent fold (sums, maxima,
+// histogram bucket counts), so metrics are deterministic even though the
+// per-flow table iterates in hash order.
+#ifndef XDRS_CORE_FLOW_TRACKER_HPP
+#define XDRS_CORE_FLOW_TRACKER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace xdrs::core {
+
+class FlowCompletionTracker {
+ public:
+  /// Folds one delivered packet in.  Packets without a stamped flow size
+  /// (flow_bytes <= 0: packet-level sources like Poisson/CBR) are ignored.
+  void on_deliver(const net::Packet& p, sim::Time now);
+
+  /// Writes the deadline metrics of flows whose first packet was created in
+  /// [measure_start, end) into `report`.  `end` is the run horizon used for
+  /// the missed-vs-censored split of unfinished flows.
+  void finalize(sim::Time measure_start, sim::Time end, RunReport& report) const;
+
+  [[nodiscard]] std::size_t tracked_flows() const noexcept { return flows_.size(); }
+
+ private:
+  // Flow ids are only unique per source port (each generator numbers its
+  // own flows), so the table keys on the (ingress port, flow id) pair.
+  struct Key {
+    net::PortId src{0};
+    net::FlowId flow{0};
+    bool operator==(const Key&) const noexcept = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      h = (h ^ k.flow) * 0x100000001b3ULL;
+      h = (h ^ k.src) * 0x100000001b3ULL;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct FlowState {
+    sim::Time first_created{sim::Time::max()};  ///< earliest packet creation seen
+    sim::Time deadline{};                       ///< absolute; zero = none
+    sim::Time completed_at{};                   ///< zero until complete
+    std::int64_t flow_bytes{0};
+    std::int64_t delivered{0};
+    std::int64_t bytes_before_deadline{0};
+  };
+
+  std::unordered_map<Key, FlowState, KeyHash> flows_;
+};
+
+}  // namespace xdrs::core
+
+#endif  // XDRS_CORE_FLOW_TRACKER_HPP

@@ -42,6 +42,10 @@ void HybridSwitchFramework::wire() {
       [this](net::PortId s, net::PortId d, std::int64_t b, sim::Time at) {
         scheduling_.on_departure(s, d, b, at);
       });
+  processing_.set_deadline_callback(
+      [this](net::PortId s, net::PortId d, sim::Time deadline, sim::Time at) {
+        scheduling_.on_deadline(s, d, deadline, at);
+      });
 
   // Scheduling -> processing: grants (after the switching logic has
   // configured circuits; SchedulingLogic enforces the ordering).
@@ -91,6 +95,10 @@ void HybridSwitchFramework::inject(const net::Packet& p) {
 }
 
 void HybridSwitchFramework::on_deliver(const net::Packet& p, control::FabricPath via) {
+  // The completion tracker sees every delivery, warmup included, so flows
+  // straddling the measurement boundary are recognised and then excluded at
+  // finalize (their early packets were never measured).
+  completion_.on_deliver(p, sim_.now());
   if (!measuring_) return;
   report_.serviced_bytes += p.size_bytes;
   // Only packets born inside the measurement window count further, so
@@ -185,6 +193,7 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
   for (const auto& [flow, jit] : flow_jitter_) {
     if (jit.samples() >= 8) report_.jitter_us.record(jit.jitter().us());
   }
+  completion_.finalize(measure_start_, horizon, report_);
   return report_;
 }
 

@@ -22,6 +22,7 @@
 #include "schedulers/policy_registry.hpp"
 
 #include "core/config.hpp"
+#include "core/flow_tracker.hpp"
 #include "core/policy_stack.hpp"
 #include "core/processing_logic.hpp"
 #include "core/scheduling_logic.hpp"
@@ -110,6 +111,7 @@ class HybridSwitchFramework {
   sim::Time measure_start_{};
   RunReport report_;
   std::unordered_map<net::FlowId, stats::Rfc3550Jitter> flow_jitter_;
+  FlowCompletionTracker completion_;
 
   // Snapshots taken at measurement start, to report deltas.
   struct Baseline {

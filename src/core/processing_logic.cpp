@@ -80,6 +80,7 @@ void ProcessingLogic::enqueue(net::Packet p) {
   if (voqs_.enqueue(input, p)) {
     trace_.record(sim_.now(), TraceCategory::kEnqueue, input, p.dst);
     if (arrival_cb_) arrival_cb_(input, p.dst, p.size_bytes, sim_.now());
+    if (deadline_cb_ && !p.deadline.is_zero()) deadline_cb_(input, p.dst, p.deadline, sim_.now());
     // A sleeping OCS window may be waiting for exactly this backlog.
     pump_ocs(input);
     pump_eps(input);

@@ -45,6 +45,8 @@ class ProcessingLogic {
   using RequestCallback = std::function<void(const control::SchedulingRequest&)>;
   using VoqEventCallback =
       std::function<void(net::PortId src, net::PortId dst, std::int64_t bytes, sim::Time at)>;
+  using DeadlineCallback =
+      std::function<void(net::PortId src, net::PortId dst, sim::Time deadline, sim::Time at)>;
 
   ProcessingLogic(sim::Simulator& sim, const FrameworkConfig& cfg, net::Classifier& classifier,
                   switching::OpticalCircuitSwitch& ocs, switching::ElectricalPacketSwitch& eps,
@@ -55,6 +57,8 @@ class ProcessingLogic {
   /// Demand-estimator hooks.
   void set_arrival_callback(VoqEventCallback cb) { arrival_cb_ = std::move(cb); }
   void set_departure_callback(VoqEventCallback cb) { departure_cb_ = std::move(cb); }
+  /// Fired when a packet carrying a flow deadline enters its VOQ.
+  void set_deadline_callback(DeadlineCallback cb) { deadline_cb_ = std::move(cb); }
 
   /// Entry point for generator traffic at host `p.src`.
   void ingest(const net::Packet& p);
@@ -106,6 +110,7 @@ class ProcessingLogic {
   RequestCallback request_cb_;
   VoqEventCallback arrival_cb_;
   VoqEventCallback departure_cb_;
+  DeadlineCallback deadline_cb_;
   ProcessingStats stats_;
 };
 

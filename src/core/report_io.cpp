@@ -77,6 +77,8 @@ std::string report_state_json(const RunReport& report) {
   out += ",\"latency_state\":" + histogram_state_json(report.latency);
   out += ",\"latency_sensitive_state\":" + histogram_state_json(report.latency_sensitive);
   out += ",\"jitter_state\":" + summary_state_json(report.jitter_us);
+  out += ",\"fct_deadline_state\":" + histogram_state_json(report.fct_deadline);
+  out += ",\"fct_other_state\":" + histogram_state_json(report.fct_other);
   out += '}';
   return out;
 }
@@ -111,11 +113,17 @@ RunReport report_from_state(const JsonValue& state) {
   r.peak_host_buffer_bytes = state.at("peak_host_buffer_bytes").as_i64();
   r.scheduler_decisions = state.at("scheduler_decisions").as_u64();
   r.mean_decision_latency = sim::Time::picoseconds(state.at("mean_decision_latency_ps").as_i64());
-  // Digest fields (delivery_ratio, latency_* quantiles) are derived; the
-  // distributions themselves come back from their state objects.
+  r.deadline_flows_met = state.at("deadline_flows_met").as_u64();
+  r.deadline_flows_missed = state.at("deadline_flows_missed").as_u64();
+  r.goodput_before_deadline_bytes = state.at("goodput_before_deadline_bytes").as_i64();
+  // Digest fields (delivery_ratio, latency_* quantiles, deadline_miss_ratio)
+  // are derived; the distributions themselves come back from their state
+  // objects.
   r.latency = histogram_from_state(state.at("latency_state"));
   r.latency_sensitive = histogram_from_state(state.at("latency_sensitive_state"));
   r.jitter_us = summary_from_state(state.at("jitter_state"));
+  r.fct_deadline = histogram_from_state(state.at("fct_deadline_state"));
+  r.fct_other = histogram_from_state(state.at("fct_other_state"));
   return r;
 }
 

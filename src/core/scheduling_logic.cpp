@@ -39,6 +39,11 @@ void SchedulingLogic::on_departure(net::PortId src, net::PortId dst, std::int64_
   estimator_->on_departure(src, dst, bytes, at);
 }
 
+void SchedulingLogic::on_deadline(net::PortId src, net::PortId dst, sim::Time deadline,
+                                  sim::Time at) {
+  estimator_->on_deadline(src, dst, deadline, at);
+}
+
 std::string SchedulingLogic::installed_policy_names() const {
   std::string s = matcher_ ? matcher_->name() : std::string{"-"};
   s += '/';

@@ -69,6 +69,7 @@ class SchedulingLogic {
   void on_request(const control::SchedulingRequest& req);
   void on_arrival(net::PortId src, net::PortId dst, std::int64_t bytes, sim::Time at);
   void on_departure(net::PortId src, net::PortId dst, std::int64_t bytes, sim::Time at);
+  void on_deadline(net::PortId src, net::PortId dst, sim::Time deadline, sim::Time at);
 
   [[nodiscard]] const SchedulingStats& stats() const noexcept { return stats_; }
 

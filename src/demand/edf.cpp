@@ -1,0 +1,65 @@
+#include "demand/edf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xdrs::demand {
+
+namespace {
+
+/// Urgency reference timescale: the hybrid scheduling epoch.  Deadlines are
+/// compared against this horizon, so "urgent" means "due within about one
+/// scheduling decision from now".
+constexpr sim::Time kRefHorizon = sim::Time::microseconds(100);
+
+}  // namespace
+
+EdfEstimator::EdfEstimator(std::uint32_t inputs, std::uint32_t outputs, double boost)
+    : backlog_{inputs, outputs},
+      earliest_(static_cast<std::size_t>(inputs) * outputs, sim::Time::zero()),
+      boost_{boost} {
+  if (!(boost > 0.0)) throw std::invalid_argument{"EdfEstimator: boost must be positive"};
+}
+
+void EdfEstimator::on_arrival(net::PortId src, net::PortId dst, std::int64_t bytes,
+                              sim::Time /*at*/) {
+  backlog_.add(src, dst, bytes);
+}
+
+void EdfEstimator::on_departure(net::PortId src, net::PortId dst, std::int64_t bytes,
+                                sim::Time /*at*/) {
+  backlog_.subtract_clamped(src, dst, bytes);
+  if (backlog_.at_unchecked(src, dst) == 0) {
+    // Drained VOQ: whatever deadline flow was pending has left this queue.
+    earliest_[static_cast<std::size_t>(src) * backlog_.outputs() + dst] = sim::Time::zero();
+  }
+}
+
+void EdfEstimator::on_deadline(net::PortId src, net::PortId dst, sim::Time deadline,
+                               sim::Time /*at*/) {
+  if (deadline.is_zero()) return;
+  sim::Time& slot = earliest_[static_cast<std::size_t>(src) * backlog_.outputs() + dst];
+  if (slot.is_zero() || deadline < slot) slot = deadline;
+}
+
+void EdfEstimator::snapshot(sim::Time now, DemandMatrix& out) {
+  out.copy_from(backlog_);
+  const std::int64_t floor_ps = kRefHorizon.ps() / 64;
+  for (std::uint32_t i = 0; i < backlog_.inputs(); ++i) {
+    for (std::uint32_t j = 0; j < backlog_.outputs(); ++j) {
+      const sim::Time dl = earliest_[static_cast<std::size_t>(i) * backlog_.outputs() + j];
+      if (dl.is_zero()) continue;
+      const std::int64_t d = out.at_unchecked(i, j);
+      if (d == 0) continue;
+      const std::int64_t left_ps = std::max(dl.ps() - now.ps(), floor_ps);
+      const double urgency =
+          1.0 + boost_ * static_cast<double>(kRefHorizon.ps()) / static_cast<double>(left_ps);
+      const auto weighted = static_cast<std::int64_t>(
+          std::llround(static_cast<double>(d) * urgency));
+      out.add_unchecked(i, j, weighted - d);
+    }
+  }
+}
+
+}  // namespace xdrs::demand

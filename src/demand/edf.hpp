@@ -1,0 +1,55 @@
+// EDF-flavoured demand estimation: backlog weighted by deadline urgency.
+//
+// A deadline-blind estimator reports how much traffic each VOQ holds; this
+// one also reports how URGENT it is.  It tracks the earliest pending flow
+// deadline per VOQ (from the on_deadline hook) and, at snapshot time,
+// multiplies the instantaneous backlog by an urgency factor that grows as
+// that deadline approaches and caps once it has passed:
+//
+//   urgency(i, j) = 1 + boost * T_ref / max(deadline - now, T_ref / 64)
+//
+// with T_ref = 100 us (the hybrid scheduling epoch).  Far-future deadlines
+// leave demand almost untouched (factor -> 1), a deadline one epoch out
+// weights it by 1 + boost, and an expired deadline by 1 + 64 * boost — so a
+// matcher or circuit scheduler maximising weight preferentially serves the
+// queues whose flows are about to miss.  This is earliest-deadline-first
+// pressure expressed in the only vocabulary the scheduling algorithms
+// speak: the demand matrix.
+//
+// The per-VOQ deadline clears when the VOQ drains (no bytes left means no
+// pending deadline flow at this granularity — the estimator deliberately
+// does not track individual flows, matching what switch hardware could
+// read from occupancy registers plus one "earliest deadline" tag per VOQ).
+#ifndef XDRS_DEMAND_EDF_HPP
+#define XDRS_DEMAND_EDF_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "demand/estimator.hpp"
+
+namespace xdrs::demand {
+
+class EdfEstimator final : public DemandEstimator {
+ public:
+  /// Precondition: boost > 0 (boost = 0 would be exactly "instantaneous").
+  EdfEstimator(std::uint32_t inputs, std::uint32_t outputs, double boost);
+
+  void on_arrival(net::PortId src, net::PortId dst, std::int64_t bytes, sim::Time at) override;
+  void on_departure(net::PortId src, net::PortId dst, std::int64_t bytes, sim::Time at) override;
+  void on_deadline(net::PortId src, net::PortId dst, sim::Time deadline, sim::Time at) override;
+  void snapshot(sim::Time now, DemandMatrix& out) override;
+  [[nodiscard]] const char* name() const noexcept override { return "edf"; }
+
+  [[nodiscard]] double boost() const noexcept { return boost_; }
+
+ private:
+  DemandMatrix backlog_;
+  /// Earliest pending deadline per (src, dst) VOQ; zero = none.
+  std::vector<sim::Time> earliest_;
+  double boost_;
+};
+
+}  // namespace xdrs::demand
+
+#endif  // XDRS_DEMAND_EDF_HPP

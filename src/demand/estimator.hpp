@@ -36,6 +36,17 @@ class DemandEstimator {
   /// `bytes` departed from VOQ (src, dst) at time `at`.
   virtual void on_departure(net::PortId src, net::PortId dst, std::int64_t bytes, sim::Time at) = 0;
 
+  /// A packet carrying a flow deadline entered VOQ (src, dst): `deadline`
+  /// is the absolute time its flow must complete by.  Defaulted to a no-op
+  /// so deadline-blind estimators ignore SLO information entirely; only
+  /// deadline-aware estimators (EDF) override it.
+  virtual void on_deadline(net::PortId src, net::PortId dst, sim::Time deadline, sim::Time at) {
+    (void)src;
+    (void)dst;
+    (void)deadline;
+    (void)at;
+  }
+
   /// Writes the current estimate into `out` (resizing it as needed).
   virtual void snapshot(sim::Time now, DemandMatrix& out) = 0;
 

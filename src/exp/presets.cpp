@@ -108,6 +108,25 @@ std::vector<ScenarioSpec> preset_p128() {
   return grid;  // 12 points
 }
 
+/// Deadline-aware vs deadline-blind stacks on the SLO scenarios, recorded
+/// as BENCH_sweep_deadline.json.  websearch_dl (slotted) fully crosses
+/// {maxweight, srpt_w} x {instantaneous, edf} so the deadline-aware axes
+/// separate per-dimension; rpc_slo (hybrid) crosses the estimator only,
+/// since the circuit path never consults the matcher.  2x2x2x2 + 2x2 =
+/// 12 points.
+std::vector<ScenarioSpec> preset_deadline() {
+  std::vector<ScenarioSpec> grid{
+      make_scenario("websearch_dl", 8, 0.5, 7).with_window(2_ms, 400_us)};
+  grid = expand(grid, axis_load({0.6, 0.9}));
+  grid = expand(grid, axis_matcher({"maxweight", "srpt_w:2"}));
+  grid = expand(grid, axis_estimator({"instantaneous", "edf"}));
+  std::vector<ScenarioSpec> rpc{make_scenario("rpc_slo", 8, 0.5, 7).with_window(2_ms, 400_us)};
+  rpc = expand(rpc, axis_load({0.6, 0.9}));
+  rpc = expand(rpc, axis_estimator({"instantaneous", "edf"}));
+  grid.insert(grid.end(), rpc.begin(), rpc.end());
+  return grid;  // 12 points
+}
+
 using PresetBuilder = std::vector<ScenarioSpec> (*)();
 
 const std::map<std::string, PresetBuilder>& presets() {
@@ -116,6 +135,7 @@ const std::map<std::string, PresetBuilder>& presets() {
       {"full", &preset_full},
       {"policy-cross", &preset_policy_cross},
       {"composite", &preset_composite},
+      {"deadline", &preset_deadline},
       {"trace", &preset_trace},
       {"empirical", &preset_empirical},
       {"p128", &preset_p128},

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "traffic/deadline.hpp"
 #include "traffic/empirical_cdf.hpp"
 #include "traffic/trace_replay.hpp"
 
@@ -301,6 +302,21 @@ std::string ScenarioSpec::identity_json() const {
       // Same content-not-path contract for empirical flow-size CDFs.
       wf.push_back(Field::str("cdf_digest", traffic::cdf_digest_hex(w.cdf_path)));
     }
+    // Deadline model knobs: two specs differing only in their SLO model run
+    // different packet streams (deadline stamps) and different completion
+    // metrics, so the cache identity must separate them.
+    wf.push_back(Field::str("deadline_kind", traffic::to_string(w.deadline.kind)));
+    if (w.deadline.enabled()) {
+      wf.push_back(Field::i64("deadline_fixed_ps", w.deadline.fixed.ps()));
+      wf.push_back(Field::f64("deadline_slo_fraction", w.deadline.slo_fraction));
+      wf.push_back(Field::i64("deadline_slack_ps", w.deadline.slack.ps()));
+      if (w.deadline.kind == traffic::DeadlineSpec::Kind::kCdf) {
+        // Content digest again: the deadline budget distribution is part of
+        // what the point measured.
+        wf.push_back(
+            Field::str("deadline_cdf_digest", traffic::cdf_digest_hex(w.deadline.cdf_path)));
+      }
+    }
     out += stats::to_json_object(wf);
   }
   out += "]}";
@@ -469,6 +485,40 @@ Registry built_in_scenarios() {
   };
   r["websearch"] = empirical("websearch", kWebsearchCdfPath);
   r["datamining"] = empirical("datamining", kDataminingCdfPath);
+  // Deadline/SLO scenarios — the grids BENCH_sweep_deadline.json runs on.
+  r["rpc_slo"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    // RPC fan-out with per-request SLOs riding on a deadline-blind uniform
+    // background: every incast response flow must complete within a
+    // size-proportional budget (service at >= 25% of line rate) plus 100 us
+    // of scheduling slack, while the background competes for the fabric.
+    ScenarioSpec fanout = make_scenario("incast", ports, load, seed);
+    for (auto& w : fanout.workloads) {
+      w.deadline.kind = traffic::DeadlineSpec::Kind::kSlo;
+      w.deadline.slo_fraction = 0.25;
+      w.deadline.slack = sim::Time::microseconds(100);
+    }
+    return ScenarioSpec::composite(
+        "rpc_slo", {fanout, make_scenario("uniform", ports, load, seed)}, {0.5, 0.5});
+  };
+  r["websearch_dl"] = [](std::uint32_t ports, double load, std::uint64_t seed) {
+    // Websearch flow sizes with completion deadlines drawn from the same
+    // published CDF (budget = SLO-rate transmission time of a drawn byte
+    // count + slack).  Slotted, so deadline/size-aware matchers (srpt_w)
+    // can separate from deadline-blind ones on miss ratio.
+    ScenarioSpec s = slotted_base(ports, seed);
+    s.scenario = "websearch_dl";
+    topo::WorkloadSpec w;
+    w.kind = Kind::kEmpirical;
+    w.cdf_path = kWebsearchCdfPath;
+    w.load = load;
+    w.deadline.kind = traffic::DeadlineSpec::Kind::kCdf;
+    w.deadline.cdf_path = kWebsearchCdfPath;
+    w.deadline.slo_fraction = 0.25;
+    w.deadline.slack = sim::Time::microseconds(50);
+    w.seed = seed + 100;
+    s.workloads.push_back(w);
+    return s;
+  };
   // Composites: the bursty mixes the hybrid design is actually judged on —
   // heavy structured traffic riding on a background the EPS must keep
   // serving.  Shares split one load axis across the constituent workloads.

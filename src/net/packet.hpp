@@ -77,6 +77,15 @@ struct Packet {
   sim::Time created_at{};    ///< stamped by the generator at the host
   sim::Time enqueued_at{};   ///< stamped when entering a VOQ
   sim::Time delivered_at{};  ///< stamped on delivery at the egress
+  /// Absolute simulation time by which the owning FLOW should finish.
+  /// Zero means "no deadline"; every packet of a flow carries the same
+  /// value, so the completion recorder and deadline-aware policies read it
+  /// without a flow table lookup.
+  sim::Time deadline{};
+  /// Total bytes of the owning flow (0 = unknown).  Lets the completion
+  /// recorder detect "flow done" from delivered bytes alone, without the
+  /// generator having to signal completion out of band.
+  std::int64_t flow_bytes{0};
 };
 
 }  // namespace xdrs::net

@@ -10,8 +10,10 @@
 #include "schedulers/hungarian.hpp"
 #include "schedulers/rga.hpp"
 #include "schedulers/rotor.hpp"
+#include "demand/edf.hpp"
 #include "schedulers/serena.hpp"
 #include "schedulers/solstice.hpp"
+#include "schedulers/srpt.hpp"
 #include "schedulers/wavefront.hpp"
 
 namespace xdrs::schedulers {
@@ -262,6 +264,17 @@ PolicyRegistry::PolicyRegistry() {
         return std::make_unique<SerenaMatcher>(c.ports, c.seed);
       },
       {"serena"});
+  register_matcher(
+      "srpt_w",
+      [](const PolicySpec& s, const PolicyContext&) -> std::unique_ptr<MatchingAlgorithm> {
+        // Optional argument: urgency steepness gamma ("srpt_w:2.0").
+        const double gamma = s.double_arg(1.0);
+        if (gamma <= 0.0) {
+          throw std::invalid_argument{"policy spec '" + s.str() + "': gamma must be positive"};
+        }
+        return std::make_unique<SrptWeightedMatcher>(gamma);
+      },
+      {"srpt_w:2"});
 
   // ---- circuit schedulers -------------------------------------------------
   register_circuit(
@@ -326,6 +339,18 @@ PolicyRegistry::PolicyRegistry() {
         return std::make_unique<demand::EwmaEstimator>(c.ports, c.ports, alpha);
       },
       {"ewma:0.25"});
+  register_estimator(
+      "edf",
+      [](const PolicySpec& s, const PolicyContext& c) -> std::unique_ptr<demand::DemandEstimator> {
+        // Optional argument: urgency boost ("edf:4"); default 4 weights a
+        // queue due within one epoch at 5x its raw backlog.
+        const double boost = s.double_arg(4.0);
+        if (boost <= 0.0) {
+          throw std::invalid_argument{"policy spec '" + s.str() + "': boost must be positive"};
+        }
+        return std::make_unique<demand::EdfEstimator>(c.ports, c.ports, boost);
+      },
+      {"edf"});
   register_estimator(
       "windowed",
       [](const PolicySpec& s, const PolicyContext& c) -> std::unique_ptr<demand::DemandEstimator> {

@@ -1,0 +1,46 @@
+#include "schedulers/srpt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xdrs::schedulers {
+
+namespace {
+
+/// Weight ceiling.  Small enough that a full 128x128 matrix of saturated
+/// weights (16384 * 1e14 ~ 1.6e18) stays clear of int64 overflow in the
+/// DemandMatrix running total, large enough for ~14 decades of dynamic
+/// range between "one byte left" and "bottomless elephant".
+constexpr double kMaxWeight = 1e14;
+
+}  // namespace
+
+SrptWeightedMatcher::SrptWeightedMatcher(double gamma) : gamma_{gamma} {
+  if (!(gamma > 0.0)) throw std::invalid_argument{"SrptWeightedMatcher: gamma must be positive"};
+}
+
+void SrptWeightedMatcher::compute_into(const demand::DemandMatrix& demand, Matching& out) {
+  // d^gamma via one division (gamma 1, 2) instead of std::pow where the
+  // result is identical: dd and dd*dd are exact doubles for any demand the
+  // transform can distinguish, and pow() at ~40 ns/cell was ~98% of the
+  // whole decision cost on a dense 64-port matrix.
+  const int fast = gamma_ == 1.0 ? 1 : gamma_ == 2.0 ? 2 : 0;
+  scratch_.copy_from(demand);
+  for (std::uint32_t i = 0; i < demand.inputs(); ++i) {
+    for (std::uint32_t j = 0; j < demand.outputs(); ++j) {
+      const std::int64_t d = scratch_.at_unchecked(i, j);
+      if (d == 0) continue;
+      const auto dd = static_cast<double>(d);
+      const double pow_d =
+          fast == 1 ? dd : fast == 2 ? dd * dd : std::pow(dd, gamma_);
+      const double raw = kMaxWeight / pow_d;
+      const auto w = static_cast<std::int64_t>(
+          std::llround(std::clamp(raw, 1.0, kMaxWeight)));
+      scratch_.add_unchecked(i, j, w - d);
+    }
+  }
+  inner_.compute_into(scratch_, out);
+}
+
+}  // namespace xdrs::schedulers

@@ -1,0 +1,57 @@
+// SRPT urgency weighting for matchers (shortest-remaining-processing-time).
+//
+// Weight-driven matchers (maxweight, ilqf-greedy) serve the HEAVIEST
+// backlog first — the right call for throughput, the wrong one for
+// deadlines: a 2 KB RPC response with 50 us of slack loses every
+// arbitration to a 100 MB shuffle flow that could not care less.  pFabric
+// and PDQ invert the priority: serve the flow closest to done.  This
+// wrapper expresses that inversion in the demand-matrix vocabulary by
+// transforming each VOQ's backlog d into
+//
+//   w(d) = clamp(W / d^gamma, 1, W),  W = 10^14
+//
+// and handing the transformed matrix to an inner greedy max-weight matcher,
+// which now grants the SMALLEST remaining queues first.  gamma sets the
+// steepness: gamma -> 0 degenerates to maximal matching (size-blind),
+// gamma = 1 is classic 1/remaining SRPT, larger gamma sharpens the
+// preference for nearly-done queues.  The transform preserves support
+// exactly (w >= 1 iff d >= 1), so the "never grant zero demand" contract
+// holds, and is applied into a recycled scratch matrix, so the hot path
+// stays allocation-free.
+//
+// Epoch-warm correctness: the inner matcher caches on equality of the
+// TRANSFORMED matrix — the only input the algorithm reads — so any urgency
+// change (backlog drains, EDF-estimator boosts shifting the demand)
+// invalidates the warm entry by construction, while genuinely unchanged
+// urgency replays bit-identically.
+#ifndef XDRS_SCHEDULERS_SRPT_HPP
+#define XDRS_SCHEDULERS_SRPT_HPP
+
+#include "schedulers/greedy.hpp"
+#include "schedulers/matcher.hpp"
+
+namespace xdrs::schedulers {
+
+class SrptWeightedMatcher final : public MatchingAlgorithm {
+ public:
+  /// Precondition: gamma > 0.
+  explicit SrptWeightedMatcher(double gamma);
+
+  void compute_into(const demand::DemandMatrix& demand, Matching& out) override;
+  [[nodiscard]] std::string name() const override { return "srpt-weighted"; }
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept override {
+    return inner_.last_iterations();
+  }
+  [[nodiscard]] bool hardware_parallel() const noexcept override { return false; }
+
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+ private:
+  double gamma_;
+  GreedyMaxWeightMatcher inner_;
+  demand::DemandMatrix scratch_;  ///< recycled urgency-transformed demand
+};
+
+}  // namespace xdrs::schedulers
+
+#endif  // XDRS_SCHEDULERS_SRPT_HPP

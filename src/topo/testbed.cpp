@@ -56,6 +56,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
     gc.response_bytes = spec.response_bytes;
     gc.period = spec.period;
     gc.line_rate = cfg.link_rate;
+    gc.deadline = spec.deadline;
     gc.seed = spec.seed;
     fw.add_generator(std::make_unique<traffic::IncastGenerator>(gc));
     return;
@@ -119,6 +120,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
         gc.elephant_fraction = spec.elephant_fraction;
         gc.size = empirical_size;  // null for kShuffle/kFlows: built-in mixture
         gc.dest = dest;
+        gc.deadline = spec.deadline;
         gc.seed = seed;
         fw.add_generator(std::make_unique<FlowGenerator>(gc));
         break;

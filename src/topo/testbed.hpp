@@ -9,6 +9,7 @@
 
 #include "core/framework.hpp"
 #include "sim/time.hpp"
+#include "traffic/deadline.hpp"
 
 namespace xdrs::topo {
 
@@ -42,6 +43,10 @@ struct WorkloadSpec {
   std::int64_t response_bytes{64'000};               ///< kIncast per-worker answer
   std::string trace_path;                            ///< kTraceReplay CSV file
   std::string cdf_path;                              ///< kEmpirical bytes,cdf file
+  /// Completion-deadline model for flow-level workloads (kFlows, kShuffle,
+  /// kEmpirical, kIncast).  Packet-level kinds have no flow to complete and
+  /// ignore it; kTraceReplay carries deadlines in the trace file itself.
+  traffic::DeadlineSpec deadline{};
   std::uint64_t seed{7};
 
   [[nodiscard]] std::string name() const;

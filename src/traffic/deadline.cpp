@@ -1,0 +1,65 @@
+#include "traffic/deadline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traffic/empirical_cdf.hpp"
+
+namespace xdrs::traffic {
+namespace {
+
+/// Tag for the assigner's forked rng stream; any constant works as long as
+/// it is fixed — determinism comes from the fork, independence from the tag
+/// being reserved for deadlines.
+constexpr std::uint64_t kDeadlineStreamTag = 0xD15C0DEADULL;
+
+}  // namespace
+
+const char* to_string(DeadlineSpec::Kind k) noexcept {
+  switch (k) {
+    case DeadlineSpec::Kind::kNone:
+      return "none";
+    case DeadlineSpec::Kind::kFixed:
+      return "fixed";
+    case DeadlineSpec::Kind::kSlo:
+      return "slo";
+    case DeadlineSpec::Kind::kCdf:
+      return "cdf";
+  }
+  return "none";
+}
+
+DeadlineAssigner::DeadlineAssigner(const DeadlineSpec& spec, sim::DataRate line_rate,
+                                   std::uint64_t seed)
+    : spec_{spec}, rng_{sim::Rng{seed}.fork(kDeadlineStreamTag)} {
+  if (spec_.kind == DeadlineSpec::Kind::kSlo || spec_.kind == DeadlineSpec::Kind::kCdf) {
+    const double fraction = std::clamp(spec_.slo_fraction, 1e-6, 1.0);
+    const auto bps = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(line_rate.bits_per_sec()) * fraction));
+    slo_rate_ = sim::DataRate::bps(std::max<std::int64_t>(1, bps));
+  }
+  if (spec_.kind == DeadlineSpec::Kind::kCdf) cdf_ = load_cdf_cached(spec_.cdf_path);
+}
+
+sim::Time DeadlineAssigner::assign(sim::Time flow_start, std::int64_t flow_bytes) {
+  switch (spec_.kind) {
+    case DeadlineSpec::Kind::kNone:
+      return sim::Time::zero();
+    case DeadlineSpec::Kind::kFixed:
+      return flow_start + spec_.fixed;
+    case DeadlineSpec::Kind::kSlo:
+      return flow_start + slo_rate_.transmission_time(std::max<std::int64_t>(1, flow_bytes)) +
+             spec_.slack;
+    case DeadlineSpec::Kind::kCdf: {
+      // Budget bytes drawn from the CDF (NOT the flow's own size): tightness
+      // is distributed like real flow sizes, so small flows can get loose
+      // deadlines and large flows impossible ones — the regime PDQ studies.
+      const std::int64_t budget = cdf_->quantile(rng_.next_double());
+      return flow_start + slo_rate_.transmission_time(std::max<std::int64_t>(1, budget)) +
+             spec_.slack;
+    }
+  }
+  return sim::Time::zero();
+}
+
+}  // namespace xdrs::traffic

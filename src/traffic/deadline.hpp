@@ -1,0 +1,91 @@
+// Per-flow deadline / SLO assignment models.
+//
+// The related work fights over exactly one axis our testbed could not
+// express: flows that must FINISH by a time, not merely finish fast.  PDQ
+// ("Finishing Flows Quickly with Preemptive Scheduling") cuts missed
+// deadlines ~3x with deadline-aware preemption; "To schedule or not to
+// schedule" argues simple policies win in identifiable regimes.  This
+// module gives every flow source a pluggable deadline model so scenarios
+// can ask that question on our own switch:
+//
+//   kNone   no deadline (the default; byte-identical to the pre-deadline
+//           behaviour — the assigner draws from its OWN rng stream, so
+//           enabling or disabling deadlines never perturbs arrival or
+//           size randomness)
+//   kFixed  deadline = flow start + fixed offset (hard per-request SLA)
+//   kSlo    deadline = flow start + bytes / (slo_fraction * line_rate)
+//           + slack — the size-proportional SLO of PDQ/D3-style studies:
+//           a flow is "on time" if it achieves a fraction of line rate
+//   kCdf    like kSlo, but the byte budget is drawn from an empirical CDF
+//           (e.g. the websearch mix) instead of the flow's own size, so
+//           deadline tightness is distributed like real flow sizes and
+//           decoupled from the individual flow
+//
+// Deadlines are stamped on every packet of the flow as an ABSOLUTE
+// simulation time (net::Packet::deadline, zero = none) together with the
+// flow's total size (net::Packet::flow_bytes), which is what lets the
+// completion recorder and the deadline-aware policies operate without any
+// out-of-band flow table.
+#ifndef XDRS_TRAFFIC_DEADLINE_HPP
+#define XDRS_TRAFFIC_DEADLINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace xdrs::traffic {
+
+class EmpiricalCdf;
+
+/// Declarative description of a deadline model; lives in workload specs and
+/// generator configs, and renders into scenario identity JSON.
+struct DeadlineSpec {
+  enum class Kind : std::uint8_t { kNone, kFixed, kSlo, kCdf };
+
+  Kind kind{Kind::kNone};
+  sim::Time fixed{};           ///< kFixed: offset added to the flow start
+  double slo_fraction{0.25};   ///< kSlo/kCdf: SLO rate as a fraction of line rate
+  sim::Time slack{};           ///< kSlo/kCdf: slack added to the byte budget
+  std::string cdf_path;        ///< kCdf: byte budgets drawn from this CDF
+
+  [[nodiscard]] bool enabled() const noexcept { return kind != Kind::kNone; }
+};
+
+/// Stable lowercase name for identity JSON ("none", "fixed", "slo", "cdf").
+[[nodiscard]] const char* to_string(DeadlineSpec::Kind k) noexcept;
+
+/// Applies a DeadlineSpec to a stream of flows.  Owns a private rng stream
+/// (seeded independently of the generator's arrival/size randomness) so the
+/// kNone configuration replays the exact pre-deadline packet sequence.
+class DeadlineAssigner {
+ public:
+  /// Disabled assigner: assign() always returns "no deadline".
+  DeadlineAssigner() = default;
+
+  /// `seed` is the owning generator's workload seed; the assigner forks a
+  /// dedicated child stream from it.  Throws (via EmpiricalCdf::load) when a
+  /// kCdf spec names an unreadable or malformed CDF file.
+  DeadlineAssigner(const DeadlineSpec& spec, sim::DataRate line_rate, std::uint64_t seed);
+
+  /// Absolute deadline for a flow of `flow_bytes` starting at `flow_start`,
+  /// or Time::zero() when the model is kNone.  Deterministic given the
+  /// construction seed and call order.
+  [[nodiscard]] sim::Time assign(sim::Time flow_start, std::int64_t flow_bytes);
+
+  [[nodiscard]] bool enabled() const noexcept { return spec_.enabled(); }
+  [[nodiscard]] const DeadlineSpec& spec() const noexcept { return spec_; }
+
+ private:
+  DeadlineSpec spec_{};
+  sim::DataRate slo_rate_{};  ///< slo_fraction * line_rate, floored at 1 bps
+  std::shared_ptr<const EmpiricalCdf> cdf_;
+  sim::Rng rng_{0};
+};
+
+}  // namespace xdrs::traffic
+
+#endif  // XDRS_TRAFFIC_DEADLINE_HPP

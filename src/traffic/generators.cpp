@@ -138,7 +138,10 @@ void CbrGenerator::emit(sim::Simulator& sim, sim::Time horizon) {
 
 // ---------------------------------------------------------------------- Flows
 
-FlowGenerator::FlowGenerator(Config cfg) : cfg_{std::move(cfg)}, rng_{cfg_.seed} {
+FlowGenerator::FlowGenerator(Config cfg)
+    : cfg_{std::move(cfg)},
+      rng_{cfg_.seed},
+      deadline_{cfg_.deadline, cfg_.line_rate, cfg_.seed} {
   if (!cfg_.dest) throw std::invalid_argument{"FlowGenerator: missing destination chooser"};
   if (cfg_.line_rate.is_zero()) throw std::invalid_argument{"FlowGenerator: zero line rate"};
   if (cfg_.load < 0.0 || cfg_.load > 1.0) {
@@ -194,13 +197,15 @@ void FlowGenerator::next_flow(sim::Simulator& sim, sim::Time horizon) {
     }
     const net::PortId dst = cfg_.dest->pick(rng_, cfg_.src);
     const net::FlowId flow = (static_cast<std::uint64_t>(cfg_.src) << 32) | ++flow_seq_;
-    stream(sim, horizon, dst, size, flow, elephant);
+    const sim::Time deadline = deadline_.assign(sim.now(), size);
+    stream(sim, horizon, dst, size, flow, elephant, size, deadline);
     next_flow(sim, horizon);
   });
 }
 
 void FlowGenerator::stream(sim::Simulator& sim, sim::Time horizon, net::PortId dst,
-                           std::int64_t remaining, net::FlowId flow, bool elephant) {
+                           std::int64_t remaining, net::FlowId flow, bool elephant,
+                           std::int64_t flow_bytes, sim::Time deadline) {
   if (remaining <= 0 || sim.now() >= horizon) return;
   const std::int64_t bytes = std::min(cfg_.packet_bytes, remaining);
   net::Packet p = make_packet(cfg_.src, dst, bytes, sim.now());
@@ -208,30 +213,34 @@ void FlowGenerator::stream(sim::Simulator& sim, sim::Time horizon, net::PortId d
   p.tclass = elephant ? net::TrafficClass::kThroughput : net::TrafficClass::kBestEffort;
   p.tuple.proto = net::IpProto::kTcp;
   p.tuple.src_port = static_cast<std::uint16_t>(flow & 0xffff);
+  p.deadline = deadline;
+  p.flow_bytes = flow_bytes;
   sink_(p);
   const sim::Time tx = cfg_.line_rate.transmission_time(bytes + sim::kWireOverheadBytes);
-  sim.schedule(tx, [this, &sim, horizon, dst, remaining, bytes, flow, elephant] {
-    stream(sim, horizon, dst, remaining - bytes, flow, elephant);
+  sim.schedule(tx, [this, &sim, horizon, dst, remaining, bytes, flow, elephant, flow_bytes,
+                    deadline] {
+    stream(sim, horizon, dst, remaining - bytes, flow, elephant, flow_bytes, deadline);
   });
 }
 
 // --------------------------------------------------------------------- Incast
 
-IncastGenerator::IncastGenerator(Config cfg) : cfg_{cfg}, rng_{cfg.seed} {
-  if (cfg.ports < 2) throw std::invalid_argument{"IncastGenerator: need >= 2 ports"};
-  if (cfg.aggregator >= cfg.ports) {
+IncastGenerator::IncastGenerator(Config cfg)
+    : cfg_{std::move(cfg)}, rng_{cfg_.seed}, deadline_{cfg_.deadline, cfg_.line_rate, cfg_.seed} {
+  if (cfg_.ports < 2) throw std::invalid_argument{"IncastGenerator: need >= 2 ports"};
+  if (cfg_.aggregator >= cfg_.ports) {
     throw std::invalid_argument{"IncastGenerator: aggregator out of range"};
   }
-  if (cfg.fan_in > cfg.ports - 1) {
+  if (cfg_.fan_in > cfg_.ports - 1) {
     throw std::invalid_argument{"IncastGenerator: fan-in exceeds worker count"};
   }
-  if (cfg.response_bytes <= 0 || cfg.packet_bytes <= 0) {
+  if (cfg_.response_bytes <= 0 || cfg_.packet_bytes <= 0) {
     throw std::invalid_argument{"IncastGenerator: sizes must be positive"};
   }
-  if (cfg.period <= sim::Time::zero()) {
+  if (cfg_.period <= sim::Time::zero()) {
     throw std::invalid_argument{"IncastGenerator: period must be positive"};
   }
-  if (cfg.line_rate.is_zero()) throw std::invalid_argument{"IncastGenerator: zero line rate"};
+  if (cfg_.line_rate.is_zero()) throw std::invalid_argument{"IncastGenerator: zero line rate"};
   if (cfg_.fan_in == 0) cfg_.fan_in = cfg_.ports - 1;
 }
 
@@ -250,22 +259,25 @@ void IncastGenerator::fire_round(sim::Simulator& sim, sim::Time horizon) {
     std::uint32_t w = (rotation + k) % workers;
     if (w >= cfg_.aggregator) ++w;  // skip the aggregator's own port
     const net::FlowId flow = (round_ << 16) | w;
-    stream(sim, horizon, w, cfg_.response_bytes, flow);
+    const sim::Time deadline = deadline_.assign(sim.now(), cfg_.response_bytes);
+    stream(sim, horizon, w, cfg_.response_bytes, flow, deadline);
   }
   sim.schedule(cfg_.period, [this, &sim, horizon] { fire_round(sim, horizon); });
 }
 
 void IncastGenerator::stream(sim::Simulator& sim, sim::Time horizon, net::PortId worker,
-                             std::int64_t remaining, net::FlowId flow) {
+                             std::int64_t remaining, net::FlowId flow, sim::Time deadline) {
   if (remaining <= 0 || sim.now() >= horizon) return;
   const std::int64_t bytes = std::min(cfg_.packet_bytes, remaining);
   net::Packet p = make_packet(worker, cfg_.aggregator, bytes, sim.now());
   p.flow = flow;
   p.tclass = net::TrafficClass::kThroughput;
+  p.deadline = deadline;
+  p.flow_bytes = cfg_.response_bytes;
   sink_(p);
   const sim::Time tx = cfg_.line_rate.transmission_time(bytes + sim::kWireOverheadBytes);
-  sim.schedule(tx, [this, &sim, horizon, worker, remaining, bytes, flow] {
-    stream(sim, horizon, worker, remaining - bytes, flow);
+  sim.schedule(tx, [this, &sim, horizon, worker, remaining, bytes, flow, deadline] {
+    stream(sim, horizon, worker, remaining - bytes, flow, deadline);
   });
 }
 

@@ -16,6 +16,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
+#include "traffic/deadline.hpp"
 #include "traffic/patterns.hpp"
 
 namespace xdrs::traffic {
@@ -155,6 +156,10 @@ class FlowGenerator final : public TrafficGenerator {
     std::shared_ptr<SizeDistribution> size;
     std::int64_t packet_bytes{sim::kMaxFrameBytes};
     std::shared_ptr<DestinationChooser> dest;
+    /// Optional deadline model; every flow's deadline is stamped on all of
+    /// its packets.  kNone replays the pre-deadline packet sequence exactly
+    /// (the assigner draws from its own rng stream).
+    DeadlineSpec deadline{};
     std::uint64_t seed{1};
   };
 
@@ -168,11 +173,12 @@ class FlowGenerator final : public TrafficGenerator {
  private:
   void next_flow(sim::Simulator& sim, sim::Time horizon);
   void stream(sim::Simulator& sim, sim::Time horizon, net::PortId dst, std::int64_t remaining,
-              net::FlowId flow, bool elephant);
+              net::FlowId flow, bool elephant, std::int64_t flow_bytes, sim::Time deadline);
   [[nodiscard]] double mean_flow_bytes() const;
 
   Config cfg_;
   sim::Rng rng_;
+  DeadlineAssigner deadline_;
   Sink sink_;
   std::uint64_t flow_seq_{0};
 };
@@ -191,6 +197,9 @@ class IncastGenerator final : public TrafficGenerator {
     std::int64_t packet_bytes{sim::kMaxFrameBytes};
     sim::Time period{sim::Time::milliseconds(1)};
     sim::DataRate line_rate{};
+    /// Optional per-request SLO: each worker's response flow gets a deadline
+    /// relative to the round's fire time (rpc_slo scenario).
+    DeadlineSpec deadline{};
     std::uint64_t seed{1};
   };
 
@@ -204,10 +213,11 @@ class IncastGenerator final : public TrafficGenerator {
  private:
   void fire_round(sim::Simulator& sim, sim::Time horizon);
   void stream(sim::Simulator& sim, sim::Time horizon, net::PortId worker,
-              std::int64_t remaining, net::FlowId flow);
+              std::int64_t remaining, net::FlowId flow, sim::Time deadline);
 
   Config cfg_;
   sim::Rng rng_;
+  DeadlineAssigner deadline_;
   Sink sink_;
   std::uint64_t round_{0};
 };

@@ -308,13 +308,26 @@ std::string trace_from_pcap(const PcapCapture& capture, const TraceOptions& opti
                    [](const Flow& a, const Flow& b) { return a.start_ns < b.start_ns; });
   const std::uint64_t origin_ns = flows.front().start_ns;
 
-  std::string csv{"# generated by pcap2trace\nstart_us,src,dst,bytes,priority\n"};
+  const bool with_deadlines = options.slo_rate_gbps > 0.0;
+  std::string csv{"# generated by pcap2trace\n"};
+  csv += with_deadlines ? "start_us,src,dst,bytes,priority,deadline_us\n"
+                        : "start_us,src,dst,bytes,priority\n";
   for (const Flow& f : flows) {
     const int priority = f.proto == 17 ? 2 : (f.bytes >= options.elephant_bytes ? 1 : 0);
-    char line[96];
-    std::snprintf(line, sizeof line, "%.3f,%u,%u,%lld,%d\n",
-                  static_cast<double>(f.start_ns - origin_ns) / 1000.0, f.src, f.dst,
-                  static_cast<long long>(f.bytes), priority);
+    char line[128];
+    if (with_deadlines) {
+      const double deadline_us =
+          priority == 1 ? 0.0
+                        : static_cast<double>(f.bytes) * 8.0 / (options.slo_rate_gbps * 1e3) +
+                              options.slo_slack_us;
+      std::snprintf(line, sizeof line, "%.3f,%u,%u,%lld,%d,%.3f\n",
+                    static_cast<double>(f.start_ns - origin_ns) / 1000.0, f.src, f.dst,
+                    static_cast<long long>(f.bytes), priority, deadline_us);
+    } else {
+      std::snprintf(line, sizeof line, "%.3f,%u,%u,%lld,%d\n",
+                    static_cast<double>(f.start_ns - origin_ns) / 1000.0, f.src, f.dst,
+                    static_cast<long long>(f.bytes), priority);
+    }
     csv += line;
   }
   return csv;

@@ -56,10 +56,16 @@ struct TraceOptions {
   /// Flows at or above this size are marked priority 1 (throughput); UDP
   /// flows are marked 2 (latency-sensitive), everything else 0.
   std::int64_t elephant_bytes{1'000'000};
+  /// > 0 emits the optional deadline_us column: every non-elephant flow
+  /// must complete within its transmission time at this rate plus
+  /// `slo_slack_us`; elephants carry deadline 0 (no completion SLO).
+  double slo_rate_gbps{0.0};
+  double slo_slack_us{50.0};
 };
 
 /// Folds a capture into flows and renders the trace-replay CSV
-/// (start_us,src,dst,bytes,priority — FlowTrace::parse round-trips it).
+/// (start_us,src,dst,bytes,priority[,deadline_us] — FlowTrace::parse
+/// round-trips it).
 /// IP addresses map to dense trace port ids in order of first appearance;
 /// times are relative to the earliest flow.  Throws std::invalid_argument
 /// when the capture contains no usable IPv4 flows.

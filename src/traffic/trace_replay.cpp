@@ -59,14 +59,15 @@ FlowTrace FlowTrace::parse(std::string_view csv) {
 
     // One optional header line, before any record.
     if (!saw_header_candidate && trace.records.empty() &&
-        (line == "start_us,src,dst,bytes" || line == "start_us,src,dst,bytes,priority")) {
+        (line == "start_us,src,dst,bytes" || line == "start_us,src,dst,bytes,priority" ||
+         line == "start_us,src,dst,bytes,priority,deadline_us")) {
       saw_header_candidate = true;
       continue;
     }
 
     const std::vector<std::string_view> cells = split(line, ',');
-    if (cells.size() != 4 && cells.size() != 5) {
-      parse_error(line_no, "expected start_us,src,dst,bytes[,priority] (got " +
+    if (cells.size() < 4 || cells.size() > 6) {
+      parse_error(line_no, "expected start_us,src,dst,bytes[,priority[,deadline_us]] (got " +
                                std::to_string(cells.size()) + " fields)");
     }
 
@@ -92,12 +93,27 @@ FlowTrace FlowTrace::parse(std::string_view csv) {
     if (!parse_number(cells[3], rec.bytes) || rec.bytes <= 0) {
       parse_error(line_no, "bad bytes '" + std::string{cells[3]} + "' (must be positive)");
     }
-    if (cells.size() == 5) {
+    if (cells.size() >= 5) {
       unsigned priority = 0;
       if (!parse_number(cells[4], priority) || priority > 2) {
         parse_error(line_no, "bad priority '" + std::string{cells[4]} + "' (must be 0, 1 or 2)");
       }
       rec.priority = static_cast<std::uint8_t>(priority);
+    }
+    if (cells.size() == 6) {
+      // Completion SLO relative to the flow's own start; 0 = explicitly no
+      // deadline, so a mixed trace can constrain only some flows.
+      double deadline_us = 0.0;
+      if (!parse_number(cells[5], deadline_us) || !(deadline_us >= 0.0) ||
+          !std::isfinite(deadline_us)) {
+        parse_error(line_no, "bad deadline_us '" + std::string{cells[5]} + "'");
+      }
+      if (deadline_us > 1e12) {
+        parse_error(line_no,
+                    "deadline_us '" + std::string{cells[5]} + "' out of range (max 1e12)");
+      }
+      rec.deadline =
+          sim::Time::picoseconds(static_cast<std::int64_t>(std::llround(deadline_us * 1e6)));
     }
     if (!trace.records.empty() && rec.start < trace.records.back().start) {
       parse_error(line_no, "records must be time-sorted (start_us decreased)");
@@ -223,17 +239,25 @@ void TraceReplayGenerator::launch(sim::Simulator& sim, sim::Time horizon, const 
   const net::PortId src = remap_[rec.src];
   net::PortId dst = remap_[rec.dst];
   if (dst == src) dst = (dst + 1) % cfg_.ports;  // remap collision: shift off the source
-  stream(sim, horizon, src, dst, rec.bytes, flow, class_of(rec.priority));
+  // The SLO offset is deliberately NOT time-scaled: scaling adjusts the
+  // arrival process to hit the target load, but how long a flow may take is
+  // a property of the flow itself.
+  const sim::Time deadline = rec.deadline.is_zero() ? sim::Time::zero()
+                                                    : sim.now() + rec.deadline;
+  stream(sim, horizon, src, dst, rec.bytes, flow, class_of(rec.priority), rec.bytes, deadline);
 }
 
 void TraceReplayGenerator::stream(sim::Simulator& sim, sim::Time horizon, net::PortId src,
                                   net::PortId dst, std::int64_t remaining, net::FlowId flow,
-                                  net::TrafficClass tclass) {
+                                  net::TrafficClass tclass, std::int64_t flow_bytes,
+                                  sim::Time deadline) {
   if (remaining <= 0 || sim.now() >= horizon) return;
   const std::int64_t bytes = std::min(cfg_.packet_bytes, remaining);
   net::Packet p = make_packet(src, dst, bytes, sim.now());
   p.flow = flow;
   p.tclass = tclass;
+  p.deadline = deadline;
+  p.flow_bytes = flow_bytes;
   if (tclass == net::TrafficClass::kLatencySensitive) {
     p.tuple.proto = net::IpProto::kUdp;
     p.tuple.dst_port = 5004;  // RTP, so the classifier agrees with the marking
@@ -244,8 +268,9 @@ void TraceReplayGenerator::stream(sim::Simulator& sim, sim::Time horizon, net::P
   sink_(p);
   if (remaining <= bytes) return;  // flow finished: no dead continuation event
   const sim::Time tx = cfg_.line_rate.transmission_time(bytes + sim::kWireOverheadBytes);
-  sim.schedule(tx, [this, &sim, horizon, src, dst, remaining, bytes, flow, tclass] {
-    stream(sim, horizon, src, dst, remaining - bytes, flow, tclass);
+  sim.schedule(tx, [this, &sim, horizon, src, dst, remaining, bytes, flow, tclass, flow_bytes,
+                    deadline] {
+    stream(sim, horizon, src, dst, remaining - bytes, flow, tclass, flow_bytes, deadline);
   });
 }
 

@@ -4,11 +4,26 @@
 // by flow traces with realistic size distributions rather than synthetic
 // matrices alone.  This module parses a simple CSV flow-trace format
 //
-//   start_us,src,dst,bytes[,priority]
+//   start_us,src,dst,bytes[,priority[,deadline_us]]
 //
-// (one flow per line, `#` comments and an optional header line allowed,
-// records time-sorted) and replays it through a TrafficGenerator.  One
-// trace file drives ANY port count and ANY offered load deterministically:
+// with one flow per line; `#` comments and an optional header line are
+// allowed and records must be time-sorted.  Column grammar:
+//
+//   start_us     fractional microseconds from the trace origin, >= 0,
+//                non-decreasing, at most 1e12
+//   src, dst     trace port ids (remapped at replay), src != dst
+//   bytes        flow size, > 0
+//   priority     optional: 0 best-effort (default), 1 throughput,
+//                2 latency-sensitive
+//   deadline_us  optional (requires priority): completion SLO as a
+//                fractional-microsecond offset from the FLOW's start,
+//                >= 0 and at most 1e12; 0 means "no deadline", so mixed
+//                traces can give deadlines to some flows only.  The offset
+//                is NOT time-scaled at replay: an SLO is a property of the
+//                flow, not of the offered-load scaling.
+//
+// The trace replays through a TrafficGenerator.  One trace file drives ANY
+// port count and ANY offered load deterministically:
 //
 //   * time scaling — the trace's time axis is stretched/compressed so that
 //     the aggregate offered rate equals `load` x ports x line_rate; the
@@ -44,6 +59,7 @@ struct TraceRecord {
   std::uint32_t dst{0};
   std::int64_t bytes{0};     ///< flow size
   std::uint8_t priority{0};  ///< 0 best-effort, 1 throughput, 2 latency-sensitive
+  sim::Time deadline{};      ///< completion SLO, offset from the flow start (zero = none)
 };
 
 /// A validated, immutable flow trace.
@@ -55,8 +71,9 @@ struct FlowTrace {
 
   /// Parses the CSV format above.  Strict: every malformed line — wrong
   /// field count, trailing garbage after a number, negative/zero sizes,
-  /// src == dst, priority outside 0..2, out-of-order start times, an empty
-  /// trace — throws std::invalid_argument naming the 1-based line.
+  /// src == dst, priority outside 0..2, negative/non-finite/out-of-range
+  /// deadline_us, out-of-order start times, an empty trace — throws
+  /// std::invalid_argument naming the 1-based line.
   [[nodiscard]] static FlowTrace parse(std::string_view csv);
 
   /// read_file + parse.  Throws std::runtime_error naming the path when the
@@ -114,7 +131,8 @@ class TraceReplayGenerator final : public TrafficGenerator {
   void arm_next(sim::Simulator& sim, sim::Time horizon);
   void launch(sim::Simulator& sim, sim::Time horizon, const TraceRecord& rec, net::FlowId flow);
   void stream(sim::Simulator& sim, sim::Time horizon, net::PortId src, net::PortId dst,
-              std::int64_t remaining, net::FlowId flow, net::TrafficClass tclass);
+              std::int64_t remaining, net::FlowId flow, net::TrafficClass tclass,
+              std::int64_t flow_bytes, sim::Time deadline);
 
   Config cfg_;
   Sink sink_;

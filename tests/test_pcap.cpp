@@ -286,6 +286,33 @@ TEST(TraceFromPcap, FoldsFlowsAndRoundTripsThroughTheTraceParser) {
   EXPECT_EQ(trace.records[2].priority, 0);
 }
 
+TEST(TraceFromPcap, SloOptionsEmitDeadlinesThatRoundTrip) {
+  std::string file = classic_header(0xa1b2c3d4ul, false);
+  // The same mix as above: an elephant, a UDP mouse, a best-effort flow.
+  classic_record(file, false, 1, 0, eth_frame(0x0a000001, 0x0a000002, 6, 4000, 80), 900'000);
+  classic_record(file, false, 1, 1000, eth_frame(0x0a000001, 0x0a000002, 6, 4000, 80), 200'000);
+  classic_record(file, false, 3, 0, eth_frame(0x0a000001, 0x0a000002, 6, 4000, 80), 5'000);
+  classic_record(file, false, 1, 500, eth_frame(0x0a000002, 0x0a000001, 17, 5004, 5004), 200);
+
+  TraceOptions opts;
+  opts.slo_rate_gbps = 1.0;
+  opts.slo_slack_us = 50.0;
+  const std::string csv = trace_from_pcap(parse_pcap(file), opts);
+  EXPECT_NE(csv.find("start_us,src,dst,bytes,priority,deadline_us"), std::string::npos);
+  const FlowTrace trace = FlowTrace::parse(csv);  // strict parser accepts 6 cols
+  ASSERT_EQ(trace.records.size(), 3u);
+  // Elephants get no deadline (0 = none); everything else gets
+  // bytes / slo_rate + slack, relative to the flow's own start.
+  EXPECT_TRUE(trace.records[0].deadline.is_zero());  // the 1.1 MB elephant
+  // UDP mouse: 200 B at 1 Gbps = 1.6 us, + 50 us slack.
+  EXPECT_EQ(trace.records[1].deadline, sim::Time::microseconds(50) +
+                                           sim::Time::picoseconds(1'600'000));
+  // Best-effort flow: 5000 B -> 40 us + 50 us slack.
+  EXPECT_EQ(trace.records[2].deadline, sim::Time::microseconds(90));
+  // Without the option the output is the bare 5-column format.
+  EXPECT_EQ(trace_from_pcap(parse_pcap(file)).find("deadline_us"), std::string::npos);
+}
+
 TEST(TraceFromPcap, RejectsCapturesWithNoUsableFlows) {
   EXPECT_THROW((void)trace_from_pcap(PcapCapture{}), std::invalid_argument);
   // Self-addressed packets cannot be replayed (src == dst after mapping).

@@ -1,7 +1,7 @@
 // Tests for the named grid presets, centred on the key-uniqueness
 // guarantee: ScenarioSpec::key() is documented as "the deterministic
 // identity in serialized sweeps", so expanding ANY preset — including the
-// 660-point policy cross-product, whose points differ only in estimator or
+// 960-point policy cross-product, whose points differ only in estimator or
 // timing, and the composite mixes — must yield pairwise-distinct keys.
 // (The seed key() truncated load to two decimals and printed only one
 // policy spec, which made policy-cross points collide.)
@@ -19,8 +19,8 @@ namespace {
 
 TEST(Presets, KnowsTheBuiltInGrids) {
   const auto names = known_presets();
-  for (const char* expected :
-       {"small", "full", "policy-cross", "composite", "trace", "empirical", "p128"}) {
+  for (const char* expected : {"small", "full", "policy-cross", "composite", "deadline", "trace",
+                               "empirical", "p128"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing preset " << expected;
   }
@@ -28,7 +28,8 @@ TEST(Presets, KnowsTheBuiltInGrids) {
 }
 
 TEST(Presets, PolicyCrossWalksTheFullRegistryCrossProduct) {
-  EXPECT_EQ(make_preset("policy-cross").size(), 660u);
+  // 12 matchers x 4 circuits x 4 estimators x 5 timing models.
+  EXPECT_EQ(make_preset("policy-cross").size(), 960u);
 }
 
 TEST(Presets, CompositeAndTraceGridsHaveTheDocumentedShape) {
@@ -42,6 +43,30 @@ TEST(Presets, CompositeAndTraceGridsHaveTheDocumentedShape) {
   const std::vector<ScenarioSpec> p128 = make_preset("p128");
   EXPECT_EQ(p128.size(), 12u);
   for (const ScenarioSpec& spec : p128) EXPECT_EQ(spec.config.ports, 128u);
+  // websearch_dl 2 loads x 2 matchers x 2 estimators + rpc_slo 2 loads x
+  // 2 estimators.
+  EXPECT_EQ(make_preset("deadline").size(), 12u);
+}
+
+TEST(Presets, DeadlineGridCrossesAwareAndBlindStacks) {
+  // The grid exists to answer "does deadline-awareness help": every point
+  // carries a deadline-bearing workload, and both the aware and the blind
+  // variant of each axis must be present.
+  std::set<std::string> scenarios;
+  std::set<std::string> matchers;
+  std::set<std::string> estimators;
+  for (const ScenarioSpec& spec : make_preset("deadline")) {
+    scenarios.insert(spec.scenario);
+    matchers.insert(spec.policies.matcher);
+    estimators.insert(spec.policies.estimator);
+    bool any_deadline = false;
+    for (const auto& w : spec.workloads) any_deadline |= w.deadline.enabled();
+    EXPECT_TRUE(any_deadline) << spec.key();
+  }
+  EXPECT_EQ(scenarios, (std::set<std::string>{"websearch_dl", "rpc_slo"}));
+  EXPECT_TRUE(matchers.count("srpt_w:2"));
+  EXPECT_TRUE(estimators.count("edf"));
+  EXPECT_TRUE(estimators.count("instantaneous"));
 }
 
 TEST(Presets, EmpiricalGridCoversBothBundledCdfs) {

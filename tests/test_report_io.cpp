@@ -43,6 +43,11 @@ RunReport sample_report() {
   r.latency.record(7);
   r.latency_sensitive.record(5);
   r.jitter_us.record(1.5);
+  r.deadline_flows_met = 6;
+  r.deadline_flows_missed = 2;
+  r.goodput_before_deadline_bytes = 11'000;
+  r.fct_deadline.record_time(Time::microseconds(40));
+  r.fct_other.record_time(Time::microseconds(90));
   return r;
 }
 
@@ -64,6 +69,14 @@ TEST(RunReportMerge, CountersSumAndPeaksMax) {
   EXPECT_EQ(a.peak_host_buffer_bytes, 200);
   EXPECT_EQ(a.latency.count(), 4u);
   EXPECT_EQ(a.latency_sensitive.count(), 2u);
+  // Deadline metrics fold shard-wise: counters sum, histograms merge, and
+  // the miss ratio re-derives from the merged counters.
+  EXPECT_EQ(a.deadline_flows_met, 12u);
+  EXPECT_EQ(a.deadline_flows_missed, 4u);
+  EXPECT_DOUBLE_EQ(a.deadline_miss_ratio(), 0.25);
+  EXPECT_EQ(a.goodput_before_deadline_bytes, 22'000);
+  EXPECT_EQ(a.fct_deadline.count(), 2u);
+  EXPECT_EQ(a.fct_other.count(), 2u);
 }
 
 TEST(RunReportMerge, DerivedRatesAreReweighted) {
@@ -143,7 +156,7 @@ TEST(RunReportFields, CsvHeaderAndRowAgreeOnColumnCount) {
 TEST(RunReportGolden, Json) {
   EXPECT_EQ(
       sample_report().to_json(),
-      R"({"schema_version":2,"policy_stack":"islip-i2/-/instantaneous/hardware",)"
+      R"({"schema_version":3,"policy_stack":"islip-i2/-/instantaneous/hardware",)"
       R"("duration_ps":1000000000,"offered_packets":10,"offered_bytes":15000,)"
       R"("delivered_packets":8,"delivered_bytes":12000,"serviced_bytes":13000,)"
       R"("ocs_bytes":9000,"eps_bytes":3000,"latency_sensitive_bytes":1000,)"
@@ -153,7 +166,12 @@ TEST(RunReportGolden, Json) {
       R"("scheduler_decisions":4,"mean_decision_latency_ps":250000,"delivery_ratio":0.8,)"
       R"("latency_count":2,"latency_mean_ps":5,"latency_p50_ps":3,"latency_p99_ps":3,)"
       R"("latency_max_ps":7,"latency_sensitive_count":1,"latency_sensitive_mean_ps":5,)"
-      R"("latency_sensitive_p99_ps":5,"jitter_flows":1,"jitter_mean_us":1.5,"jitter_max_us":1.5})");
+      R"("latency_sensitive_p99_ps":5,"jitter_flows":1,"jitter_mean_us":1.5,"jitter_max_us":1.5,)"
+      R"("deadline_flows_met":6,"deadline_flows_missed":2,"deadline_miss_ratio":0.25,)"
+      R"("goodput_before_deadline_bytes":11000,"fct_deadline_count":1,)"
+      R"("fct_deadline_mean_ps":4e+07,"fct_deadline_p50_ps":40000000,)"
+      R"("fct_deadline_p99_ps":40000000,"fct_deadline_max_ps":40000000,"fct_other_count":1,)"
+      R"("fct_other_mean_ps":9e+07,"fct_other_p99_ps":90000000})");
 }
 
 TEST(RunReportGolden, CsvRow) {
@@ -166,11 +184,15 @@ TEST(RunReportGolden, CsvRow) {
             "scheduler_decisions,mean_decision_latency_ps,delivery_ratio,latency_count,"
             "latency_mean_ps,latency_p50_ps,latency_p99_ps,latency_max_ps,"
             "latency_sensitive_count,latency_sensitive_mean_ps,latency_sensitive_p99_ps,"
-            "jitter_flows,jitter_mean_us,jitter_max_us");
+            "jitter_flows,jitter_mean_us,jitter_max_us,deadline_flows_met,deadline_flows_missed,"
+            "deadline_miss_ratio,goodput_before_deadline_bytes,fct_deadline_count,"
+            "fct_deadline_mean_ps,fct_deadline_p50_ps,fct_deadline_p99_ps,fct_deadline_max_ps,"
+            "fct_other_count,fct_other_mean_ps,fct_other_p99_ps");
   EXPECT_EQ(sample_report().csv_row(),
-            "2,islip-i2/-/instantaneous/hardware,"
+            "3,islip-i2/-/instantaneous/hardware,"
             "1000000000,10,15000,8,12000,13000,9000,3000,1000,2000,9000,1,2,3,4,5,2000000,0.5,"
-            "400,200,4,250000,0.8,2,5,3,3,7,1,5,5,1,1.5,1.5");
+            "400,200,4,250000,0.8,2,5,3,3,7,1,5,5,1,1.5,1.5,"
+            "6,2,0.25,11000,1,4e+07,40000000,40000000,40000000,1,9e+07,90000000");
 }
 
 // ---- state round-trip: the read side (core/report_io) ----------------------
@@ -224,9 +246,9 @@ TEST(RunReportStateIo, EmptyReportRoundTrips) {
 TEST(RunReportStateIo, RejectsSchemaMismatchAndMissingKeys) {
   const std::string state = report_state_json(sample_report());
 
-  // Wrong schema version: flip the leading "schema_version":2.
+  // Wrong schema version: flip the leading "schema_version":3.
   std::string wrong = state;
-  const auto pos = wrong.find("\"schema_version\":2");
+  const auto pos = wrong.find("\"schema_version\":3");
   ASSERT_NE(pos, std::string::npos);
   wrong.replace(pos, 18, "\"schema_version\":1");
   EXPECT_THROW((void)report_from_state_json(wrong), std::invalid_argument);

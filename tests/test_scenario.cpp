@@ -251,6 +251,8 @@ TEST(ScenarioSpec, EveryBuiltInScenarioActuallyRuns) {
     for (auto& w : s.workloads) {
       if (w.kind == topo::WorkloadSpec::Kind::kTraceReplay) w.trace_path = trace_path;
       if (w.kind == topo::WorkloadSpec::Kind::kEmpirical) w.cdf_path = cdf_path;
+      // Deadline budgets drawn from a CDF read a bundled file too.
+      if (w.deadline.kind == traffic::DeadlineSpec::Kind::kCdf) w.deadline.cdf_path = cdf_path;
     }
     const core::RunReport r = run_scenario(s);
     EXPECT_GT(r.offered_packets, 0u) << name;

@@ -49,7 +49,7 @@ TEST(FlowTraceParse, RejectsEveryMalformedShape) {
   reject("", "empty trace");
   reject("# only comments\n", "no records");
   reject("1,0,1\n", "too few fields");
-  reject("1,0,1,100,2,9\n", "too many fields");
+  reject("1,0,1,100,2,9,0\n", "too many fields");
   reject("1x,0,1,100\n", "trailing garbage on start_us");
   reject("-1,0,1,100\n", "negative start");
   reject("1e13,0,1,100\n", "start_us past the ps-conversion range");
@@ -60,6 +60,10 @@ TEST(FlowTraceParse, RejectsEveryMalformedShape) {
   reject("1,0,1,-5\n", "negative bytes");
   reject("1,2,2,100\n", "src == dst");
   reject("1,0,1,100,3\n", "priority out of range");
+  reject("1,0,1,100,2,-1\n", "negative deadline_us");
+  reject("1,0,1,100,2,inf\n", "non-finite deadline_us");
+  reject("1,0,1,100,2,9x\n", "trailing garbage on deadline_us");
+  reject("1,0,1,100,2,1e13\n", "deadline_us past the ps-conversion range");
   reject("5,0,1,100\n2,1,0,100\n", "out-of-order start times");
 }
 

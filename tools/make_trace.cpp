@@ -2,12 +2,16 @@
 //
 // Emits the format traffic/trace_replay.hpp parses:
 //
-//   start_us,src,dst,bytes,priority
+//   start_us,src,dst,bytes,priority[,deadline_us]
 //
 // Flows arrive as a Poisson process over the requested span; sizes come
 // from the usual datacenter mice/elephant mixture; a hotspot fraction of
 // destinations concentrates on port 0; elephants are marked throughput
 // (priority 1) and a small slice of mice latency-sensitive (priority 2).
+// With --slo-rate-gbps=R the trace gains the deadline_us column: every
+// non-elephant flow must complete within its transmission time at R Gbps
+// plus --slo-slack-us; elephants carry deadline 0 (throughput traffic has
+// no completion SLO), exercising the mixed deadline/no-deadline path.
 // Everything is driven by one seed, so a regenerated trace is bit-identical
 // — examples/example_trace.csv in the repository was produced by
 //
@@ -34,13 +38,16 @@ struct Options {
   double span_us{1000.0};
   double hotspot{0.2};   ///< fraction of flows destined to port 0
   double elephants{0.1}; ///< fraction of flows drawn from the elephant tail
+  double slo_rate_gbps{0.0};  ///< > 0 emits the deadline_us column
+  double slo_slack_us{50.0};  ///< scheduling slack added to each SLO
   std::uint64_t seed{7};
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: make_trace --out=PATH [--ports=N] [--flows=N] [--span-us=S]\n"
-               "                  [--hotspot=F] [--elephants=F] [--seed=N]\n");
+               "                  [--hotspot=F] [--elephants=F] [--slo-rate-gbps=R]\n"
+               "                  [--slo-slack-us=S] [--seed=N]\n");
   return 2;
 }
 
@@ -69,6 +76,12 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (key == "--elephants" && parse_number(val, opt.elephants) && opt.elephants >= 0.0 &&
                opt.elephants <= 1.0) {
       // parsed in the condition
+    } else if (key == "--slo-rate-gbps" && parse_number(val, opt.slo_rate_gbps) &&
+               opt.slo_rate_gbps >= 0.0) {
+      // parsed in the condition
+    } else if (key == "--slo-slack-us" && parse_number(val, opt.slo_slack_us) &&
+               opt.slo_slack_us >= 0.0) {
+      // parsed in the condition
     } else if (key == "--seed" && parse_number(val, opt.seed)) {
       // parsed in the condition
     } else {
@@ -85,7 +98,9 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, opt)) return usage();
 
   sim::Rng rng{opt.seed};
-  std::string csv{"start_us,src,dst,bytes,priority\n"};
+  const bool with_deadlines = opt.slo_rate_gbps > 0.0;
+  std::string csv{with_deadlines ? "start_us,src,dst,bytes,priority,deadline_us\n"
+                                 : "start_us,src,dst,bytes,priority\n"};
 
   double now_us = 0.0;
   const double mean_gap_us = opt.span_us / static_cast<double>(opt.flows);
@@ -112,9 +127,18 @@ int main(int argc, char** argv) {
     }
     total_bytes += bytes;
 
-    char line[96];
-    std::snprintf(line, sizeof line, "%.3f,%u,%u,%lld,%d\n", now_us, src, dst,
-                  static_cast<long long>(bytes), priority);
+    char line[128];
+    if (with_deadlines) {
+      const double deadline_us =
+          priority == 1 ? 0.0
+                        : static_cast<double>(bytes) * 8.0 / (opt.slo_rate_gbps * 1e3) +
+                              opt.slo_slack_us;
+      std::snprintf(line, sizeof line, "%.3f,%u,%u,%lld,%d,%.3f\n", now_us, src, dst,
+                    static_cast<long long>(bytes), priority, deadline_us);
+    } else {
+      std::snprintf(line, sizeof line, "%.3f,%u,%u,%lld,%d\n", now_us, src, dst,
+                    static_cast<long long>(bytes), priority);
+    }
     csv += line;
   }
 

@@ -9,7 +9,8 @@
 // Ethernet (VLAN-tagged too) and raw-IPv4 link layers, folds packets into
 // flows by 5-tuple with an idle-gap split, maps IP addresses to dense
 // trace port ids, and emits time-sorted `start_us,src,dst,bytes,priority`
-// rows — the exact format FlowTrace::parse validates.
+// rows (plus `deadline_us` with --slo-rate-gbps) — the exact format
+// FlowTrace::parse validates.
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -33,11 +34,15 @@ int usage() {
   std::fprintf(stderr,
                "usage: pcap2trace --in=CAPTURE --out=TRACE.csv\n"
                "                  [--flow-gap-us=F] [--elephant-bytes=N]\n"
+               "                  [--slo-rate-gbps=R] [--slo-slack-us=S]\n"
                "\n"
                "  --flow-gap-us     idle time on a 5-tuple that starts a new flow\n"
                "                    (default 1000)\n"
                "  --elephant-bytes  flows >= this size are marked priority 1;\n"
-               "                    UDP flows are 2, the rest 0 (default 1000000)\n");
+               "                    UDP flows are 2, the rest 0 (default 1000000)\n"
+               "  --slo-rate-gbps   > 0 adds the deadline_us column: non-elephant\n"
+               "                    flows get a completion SLO of their transmission\n"
+               "                    time at this rate plus --slo-slack-us (default 50)\n");
   return 2;
 }
 
@@ -58,6 +63,12 @@ bool parse(int argc, char** argv, Options& opt) {
       // parsed in the condition
     } else if (key == "--elephant-bytes" && util::parse_number(val, opt.trace.elephant_bytes) &&
                opt.trace.elephant_bytes > 0) {
+      // parsed in the condition
+    } else if (key == "--slo-rate-gbps" && util::parse_number(val, opt.trace.slo_rate_gbps) &&
+               opt.trace.slo_rate_gbps >= 0.0) {
+      // parsed in the condition
+    } else if (key == "--slo-slack-us" && util::parse_number(val, opt.trace.slo_slack_us) &&
+               opt.trace.slo_slack_us >= 0.0) {
       // parsed in the condition
     } else {
       return false;

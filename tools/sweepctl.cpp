@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 #include <optional>
 #include <string>
@@ -254,6 +255,13 @@ int cmd_status(const Options& opt) {
     };
     std::vector<ShardWall> shard_walls;
     std::vector<std::pair<std::int64_t, std::string>> point_walls;  // (us, key)
+    // Per-scenario deadline accounting, summed over each point counted once
+    // (the scenario is the first '/'-segment of the point key).
+    struct DeadlineTally {
+      std::uint64_t met{0};
+      std::uint64_t missed{0};
+    };
+    std::map<std::string, DeadlineTally> deadline_tallies;
     for (const std::string& path : opt.inputs) {
       std::size_t points = 0;
       std::size_t matching = 0;
@@ -284,6 +292,17 @@ int cmd_status(const Options& opt) {
           if (!covered[index]) {
             covered[index] = true;
             ++matching;
+            // Deadline metrics, when this shard's schema carries them
+            // (tolerant find: older shard files simply print no SLO line).
+            if (const stats::JsonValue* report = entry.find("report")) {
+              const stats::JsonValue* met = report->find("deadline_flows_met");
+              const stats::JsonValue* missed = report->find("deadline_flows_missed");
+              if (met != nullptr && missed != nullptr) {
+                DeadlineTally& t = deadline_tallies[grid[index].scenario];
+                t.met += met->as_u64();
+                t.missed += missed->as_u64();
+              }
+            }
           }
         }
         point_walls.insert(point_walls.end(), file_walls.begin(), file_walls.end());
@@ -305,6 +324,17 @@ int cmd_status(const Options& opt) {
     for (const bool c : covered) missing += c ? 0 : 1;
     std::printf("coverage: %zu/%zu points, %zu missing\n", grid.size() - missing, grid.size(),
                 missing);
+
+    // SLO summary: deadline-miss ratio per scenario, for shards whose
+    // reports track deadlines and actually saw deadline-bearing flows.
+    for (const auto& [scenario, tally] : deadline_tallies) {
+      const std::uint64_t total = tally.met + tally.missed;
+      if (total == 0) continue;
+      std::printf("deadline %s: miss ratio %.4f (%llu of %llu flows missed)\n", scenario.c_str(),
+                  static_cast<double>(tally.missed) / static_cast<double>(total),
+                  static_cast<unsigned long long>(tally.missed),
+                  static_cast<unsigned long long>(total));
+    }
 
     // The straggler report the merge step wants before it blocks on a slow
     // host: the wall-time spread across shards and the slowest points.
