@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "demand/demand_matrix.hpp"
+#include "obs/metrics.hpp"
 #include "schedulers/policy_registry.hpp"
 #include "sim/random.hpp"
 #include "util/parse.hpp"
@@ -81,12 +82,18 @@ BENCHMARK(BM_Rotor)->RangeMultiplier(2)->Range(kLo, kHi);
 /// allocation is a regression of the allocation-free compute contract.
 /// Run at 64 AND 128 ports: the bitset and warm-rematch workspaces must be
 /// preallocated at paper scale too (two words per port row, not one).
+///
+/// The measured loop wraps each decision in a disabled-registry ScopedSpan,
+/// exactly as SchedulingLogic does when telemetry is compiled in but off —
+/// so the gate also proves the telemetry-off hot path costs no allocation.
 int alloc_check() {
   constexpr std::uint32_t kPortCounts[] = {64, 128};
   constexpr int kWarmupDecisions = 64;
   constexpr int kMeasuredDecisions = 256;
 
   const auto& registry = schedulers::PolicyRegistry::instance();
+  obs::Registry disabled_telemetry;  // never enabled: the production default
+  obs::Timer& stage_timer = disabled_telemetry.timer("matcher_compute");
 
   int failures = 0;
   for (const std::uint32_t ports : kPortCounts) {
@@ -99,7 +106,10 @@ int alloc_check() {
       for (int i = 0; i < kWarmupDecisions; ++i) matcher->compute_into(d, out);
 
       const std::uint64_t before = bench::heap_allocs();
-      for (int i = 0; i < kMeasuredDecisions; ++i) matcher->compute_into(d, out);
+      for (int i = 0; i < kMeasuredDecisions; ++i) {
+        obs::ScopedSpan span{&disabled_telemetry, &stage_timer};
+        matcher->compute_into(d, out);
+      }
       const std::uint64_t allocs = bench::heap_allocs() - before;
 
       const bool ok = allocs == 0;

@@ -49,6 +49,26 @@ class FlowCompletionTracker {
 
   [[nodiscard]] std::size_t tracked_flows() const noexcept { return flows_.size(); }
 
+  /// Deadline-urgent backlog: open (incomplete) deadline flows whose
+  /// deadline falls at or before now + horizon — already-expired ones
+  /// included — and their undelivered bytes.  Order-independent fold over
+  /// the flow table, so the result is deterministic; used by the telemetry
+  /// timeline sampler.
+  struct UrgentBacklog {
+    std::uint64_t flows{0};
+    std::int64_t bytes{0};
+  };
+  [[nodiscard]] UrgentBacklog urgent_backlog(sim::Time now, sim::Time horizon) const {
+    UrgentBacklog out;
+    for (const auto& [key, f] : flows_) {
+      if (f.deadline.ps() == 0 || f.completed_at.ps() != 0) continue;
+      if (f.deadline > now + horizon) continue;
+      ++out.flows;
+      if (f.flow_bytes > f.delivered) out.bytes += f.flow_bytes - f.delivered;
+    }
+    return out;
+  }
+
  private:
   // Flow ids are only unique per source port (each generator numbers its
   // own flows), so the table keys on the (ingress port, flow id) pair.

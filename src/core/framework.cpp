@@ -81,6 +81,34 @@ void HybridSwitchFramework::set_policies(const PolicyStack& stack) {
   }
 }
 
+void HybridSwitchFramework::enable_telemetry(const obs::TelemetryConfig& tcfg) {
+  if (ran_) throw std::logic_error{"Framework: enable_telemetry() must precede run()"};
+  telemetry_ = std::make_unique<obs::RunTelemetry>(tcfg);
+  scheduling_.set_stage_timers(&telemetry_->registry());
+  switching_.set_stage_timers(&telemetry_->registry());
+}
+
+void HybridSwitchFramework::sample_timeline(sim::Time period, sim::Time horizon) {
+  obs::TimelineSnapshot s;
+  s.voq_total_bytes = processing_.voqs().total_bytes();
+  s.voq_max_bytes = processing_.voqs().max_voq_bytes();
+  s.demand_nonzeros = scheduling_.demand().nonzero_count();
+  // Cumulative delivered bytes of the measured window (0 during warmup);
+  // reading the report is safe because the sampler never writes it.
+  s.ocs_delivered_bytes = report_.ocs_bytes;
+  s.eps_delivered_bytes = report_.eps_bytes;
+  // "Urgent" = open deadline flows due within one sample period, so the
+  // horizon tracks the timeline's own resolution.
+  const FlowCompletionTracker::UrgentBacklog urgent =
+      completion_.urgent_backlog(sim_.now(), period);
+  s.urgent_flows = urgent.flows;
+  s.urgent_bytes = urgent.bytes;
+  telemetry_->timeline().record(sim_.now(), s);
+  const sim::Time next = sim_.now() + period;
+  if (next > horizon) return;
+  sim_.schedule_at(next, [this, period, horizon] { sample_timeline(period, horizon); });
+}
+
 void HybridSwitchFramework::add_generator(std::unique_ptr<traffic::TrafficGenerator> g) {
   if (!g) throw std::invalid_argument{"Framework: null generator"};
   generators_.push_back(std::move(g));
@@ -155,6 +183,19 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
   base_.decision_latency_total = scheduling_.stats().decision_latency_total;
   measure_start_ = warmup;  // not now(): the queue stopped 1 ps early
   measuring_ = true;
+
+  if (telemetry_) {
+    // Resolve the sampling period: explicit, or ~256 samples across the
+    // measured window (never finer than 1 us).  Sampling is read-only and
+    // rides its own event chain, so it cannot perturb the run.
+    sim::Time period = telemetry_->config().sample_period;
+    if (period <= sim::Time::zero()) {
+      period = std::max(duration / 256, sim::Time::microseconds(1));
+    }
+    telemetry_->set_resolved_period(period);
+    sim_.schedule_at(measure_start_,
+                     [this, period, horizon] { sample_timeline(period, horizon); });
+  }
 
   sim_.run_until(horizon);
   measuring_ = false;

@@ -28,6 +28,7 @@
 #include "core/scheduling_logic.hpp"
 #include "core/switching_logic.hpp"
 #include "net/classifier.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "switching/eps.hpp"
@@ -73,6 +74,19 @@ class HybridSwitchFramework {
   /// Direct injection (integration tests / custom drivers).
   void inject(const net::Packet& p);
 
+  // ---- telemetry ----------------------------------------------------------
+  /// Switches on the observability layer for this run: stage timers attach
+  /// to the scheduling/switching logic and run() drives a periodic timeline
+  /// sampler over the measured window.  Telemetry is sidecar-only — it
+  /// never enters RunReport or perturbs the event sequence, so results are
+  /// byte-identical with it on or off (CI-gated).  Call before run().
+  void enable_telemetry(const obs::TelemetryConfig& tcfg = {});
+
+  /// The run's telemetry bundle; nullptr unless enable_telemetry() was
+  /// called.
+  [[nodiscard]] obs::RunTelemetry* telemetry() noexcept { return telemetry_.get(); }
+  [[nodiscard]] const obs::RunTelemetry* telemetry() const noexcept { return telemetry_.get(); }
+
   // ---- execution ----------------------------------------------------------
   /// Runs warmup (unmeasured) then `duration` (measured); returns the
   /// measured-window report.  One-shot: a framework instance runs once.
@@ -92,6 +106,9 @@ class HybridSwitchFramework {
  private:
   void wire();
   void on_deliver(const net::Packet& p, control::FabricPath via);
+  /// One telemetry tick: snapshot switch state (read-only), fold it into
+  /// the sampler, reschedule until `horizon`.
+  void sample_timeline(sim::Time period, sim::Time horizon);
 
   FrameworkConfig cfg_;
   sim::Simulator sim_;
@@ -104,6 +121,7 @@ class HybridSwitchFramework {
   ProcessingLogic processing_;
   SchedulingLogic scheduling_;
   std::vector<std::unique_ptr<traffic::TrafficGenerator>> generators_;
+  std::unique_ptr<obs::RunTelemetry> telemetry_;
 
   // Measurement state (active after warmup).
   bool measuring_{false};

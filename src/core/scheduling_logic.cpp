@@ -44,6 +44,13 @@ void SchedulingLogic::on_deadline(net::PortId src, net::PortId dst, sim::Time de
   estimator_->on_deadline(src, dst, deadline, at);
 }
 
+void SchedulingLogic::set_stage_timers(obs::Registry* reg) {
+  obs_ = reg;
+  t_estimator_ = reg != nullptr ? &reg->timer("estimator_snapshot") : nullptr;
+  t_matcher_ = reg != nullptr ? &reg->timer("matcher_compute") : nullptr;
+  t_circuit_ = reg != nullptr ? &reg->timer("circuit_plan") : nullptr;
+}
+
 std::string SchedulingLogic::installed_policy_names() const {
   std::string s = matcher_ ? matcher_->name() : std::string{"-"};
   s += '/';
@@ -74,12 +81,18 @@ void SchedulingLogic::account_decision(const control::TimingBreakdown& b) {
 
 void SchedulingLogic::decide_slotted() {
   trace_.record(sim_.now(), TraceCategory::kDemandUpdate);
-  estimator_->snapshot(sim_.now(), demand_);
+  {
+    obs::ScopedSpan span{obs_, t_estimator_};
+    estimator_->snapshot(sim_.now(), demand_);
+  }
   trace_.record(sim_.now(), TraceCategory::kScheduleStart);
   // Borrow a recycled matching; in-flight grant events from previous slots
   // hold their own references, so this never clobbers a live schedule.
   std::shared_ptr<schedulers::Matching> m = acquire(matching_pool_);
-  matcher_->compute_into(demand_, *m);
+  {
+    obs::ScopedSpan span{obs_, t_matcher_};
+    matcher_->compute_into(demand_, *m);
+  }
   trace_.record(sim_.now(), TraceCategory::kScheduleDone, m->size());
 
   const control::TimingBreakdown b = timing_->decision_latency(
@@ -120,7 +133,10 @@ void SchedulingLogic::decide_slotted() {
 
 void SchedulingLogic::decide_hybrid() {
   trace_.record(sim_.now(), TraceCategory::kDemandUpdate);
-  estimator_->snapshot(sim_.now(), demand_);
+  {
+    obs::ScopedSpan span{obs_, t_estimator_};
+    estimator_->snapshot(sim_.now(), demand_);
+  }
   trace_.record(sim_.now(), TraceCategory::kScheduleStart);
   // Borrow a recycled plan (slot matchings and residual buffer included):
   // plan_into overwrites it in place, so the per-epoch DemandMatrix and
@@ -128,7 +144,10 @@ void SchedulingLogic::decide_hybrid() {
   // referenced by in-flight day sequences keep their extra pool reference
   // and are skipped by acquire().
   std::shared_ptr<schedulers::CircuitPlan> plan = acquire(plan_pool_);
-  circuit_scheduler_->plan_into(demand_, *plan);
+  {
+    obs::ScopedSpan span{obs_, t_circuit_};
+    circuit_scheduler_->plan_into(demand_, *plan);
+  }
   trace_.record(sim_.now(), TraceCategory::kScheduleDone, plan->slots.size());
 
   // Circuit planning is sequential work: roughly one bipartite-matching

@@ -25,6 +25,7 @@
 #include "core/config.hpp"
 #include "core/switching_logic.hpp"
 #include "demand/estimator.hpp"
+#include "obs/metrics.hpp"
 #include "schedulers/circuit_scheduler.hpp"
 #include "schedulers/matcher.hpp"
 #include "sim/simulator.hpp"
@@ -73,6 +74,16 @@ class SchedulingLogic {
 
   [[nodiscard]] const SchedulingStats& stats() const noexcept { return stats_; }
 
+  /// Wires stage profiling: resolves the "estimator_snapshot",
+  /// "matcher_compute" and "circuit_plan" timers out of `reg` once, so the
+  /// decision loop holds raw pointers and the telemetry-off path stays a
+  /// single branch per stage.  nullptr detaches (the default).
+  void set_stage_timers(obs::Registry* reg);
+
+  /// The demand estimate of the most recent decision (telemetry sampling
+  /// reads its sparsity; read-only).
+  [[nodiscard]] const demand::DemandMatrix& demand() const noexcept { return demand_; }
+
   /// Latency of the most recent decision (component breakdown).
   [[nodiscard]] const control::TimingBreakdown& last_breakdown() const noexcept {
     return last_breakdown_;
@@ -106,6 +117,12 @@ class SchedulingLogic {
   std::unique_ptr<demand::DemandEstimator> estimator_;
   std::unique_ptr<control::SchedulerTimingModel> timing_;
   GrantCallback grant_cb_;
+
+  // Stage-profiling hooks; null until set_stage_timers() attaches a registry.
+  obs::Registry* obs_{nullptr};
+  obs::Timer* t_estimator_{nullptr};
+  obs::Timer* t_matcher_{nullptr};
+  obs::Timer* t_circuit_{nullptr};
 
   demand::DemandMatrix demand_;
   control::TimingBreakdown last_breakdown_;

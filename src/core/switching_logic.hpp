@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/metrics.hpp"
 #include "schedulers/matching.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -38,10 +39,17 @@ class SwitchingLogic {
 
   [[nodiscard]] const SwitchingStats& stats() const noexcept { return stats_; }
 
+  /// Wires stage profiling: resolves the "ocs_reconfigure" timer out of
+  /// `reg` once (nullptr detaches).  Measures the host-side cost of driving
+  /// a retune, not the optical dark period — that lives in virtual time.
+  void set_stage_timers(obs::Registry* reg);
+
  private:
   sim::Simulator& sim_;
   switching::OpticalCircuitSwitch& ocs_;
   sim::TraceRecorder& trace_;
+  obs::Registry* obs_{nullptr};
+  obs::Timer* t_reconfigure_{nullptr};
   ReadyCallback pending_;
   std::uint64_t generation_{0};
   SwitchingStats stats_;

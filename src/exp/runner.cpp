@@ -10,9 +10,13 @@
 #include <stdexcept>
 #include <thread>
 
+#include <filesystem>
+
 #include "core/report_io.hpp"
 #include "exp/cache.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/json.hpp"
+#include "util/file_io.hpp"
 
 namespace xdrs::exp {
 
@@ -20,6 +24,27 @@ namespace {
 
 /// Bump when the shard-file envelope (not the report schema) changes.
 constexpr std::uint64_t kShardSchema = 1;
+
+/// Simulates one point with the observability layer on and drops its
+/// telemetry sidecar into `dir`.  The report is the same object a plain
+/// run_scenario() returns — telemetry is sidecar-only, so downstream
+/// artefacts cannot tell the difference (CI-gated).  The sidecar write is
+/// best-effort, like cache stores: a full disk never aborts a sweep.
+core::RunReport run_with_telemetry(const ScenarioSpec& spec, const std::string& dir) {
+  std::unique_ptr<core::HybridSwitchFramework> fw = materialize(spec);
+  fw->enable_telemetry();
+  core::RunReport report = fw->run(spec.duration, spec.warmup);
+  const std::string hash = spec_hash_hex(spec);
+  const std::string doc =
+      obs::telemetry_sidecar_json(*fw->telemetry(), spec.key(), hash, spec.scenario);
+  try {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    util::write_file((std::filesystem::path{dir} / (hash + ".telemetry.json")).string(), doc);
+  } catch (const std::exception&) {
+  }
+  return report;
+}
 
 }  // namespace
 
@@ -96,6 +121,8 @@ std::string SweepResult::to_shard_json() const {
     out += ",\"spec_hash\":\"" + spec_hash_hex(p.spec) + '"';
     out += ",\"key\":\"" + stats::json_escape(p.spec.key()) + '"';
     out += ",\"wall_us\":" + std::to_string(p.wall_us);
+    out += ",\"cached\":";
+    out += p.cached ? "true" : "false";
     out += ",\"report\":" + core::report_state_json(p.report) + '}';
     if (j + 1 < points.size()) out += ',';
     out += '\n';
@@ -146,6 +173,10 @@ SweepResult SweepResult::merge_shards(const std::vector<ScenarioSpec>& grid,
         // carry no wall time; treat it as unmeasured, not an error.
         if (const stats::JsonValue* wall = entry.find("wall_us")) {
           result.points[index].wall_us = wall->as_i64();
+        }
+        // Same vintage tolerance for the cached flag (added later still).
+        if (const stats::JsonValue* cached = entry.find("cached")) {
+          result.points[index].cached = cached->as_bool();
         }
       } catch (const std::invalid_argument& e) {
         fail("point " + std::to_string(index) + ": " + e.what());
@@ -200,8 +231,11 @@ SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
         if (opts_.cache != nullptr) cached = opts_.cache->lookup(slot.spec);
         if (cached) {
           slot.report = *std::move(cached);
+          slot.cached = true;
         } else {
-          slot.report = run_scenario(slot.spec);
+          slot.report = opts_.telemetry_dir.empty()
+                            ? run_scenario(slot.spec)
+                            : run_with_telemetry(slot.spec, opts_.telemetry_dir);
           if (opts_.cache != nullptr) {
             // Caching is best-effort: a full disk or permission flap on the
             // cache directory must not abort a sweep whose simulations are

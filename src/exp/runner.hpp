@@ -52,6 +52,14 @@ struct SweepOptions {
   /// simulated (cache->stats() says how many), fresh reports are stored
   /// best-effort (a failing cache directory never aborts the sweep).
   ResultCache* cache{nullptr};
+  /// When nonempty, every point this process actually simulates runs with
+  /// telemetry enabled and writes a `<spec_hash_hex>.telemetry.json`
+  /// sidecar (obs::telemetry_sidecar_json) into this directory, created on
+  /// demand.  Cache hits write no sidecar — their compute never happened
+  /// here.  Sidecars ride BESIDE the result artefacts: reports, cache
+  /// entries and shard files are byte-identical with this set or not
+  /// (CI-gated), and writes are best-effort like cache stores.
+  std::string telemetry_dir;
   /// Optional progress callback, invoked after each completed point with
   /// (completed, total-owned, point).  Called from worker threads under a
   /// lock; completion order is nondeterministic, so route it to
@@ -69,6 +77,11 @@ struct PointResult {
   /// straggler shards; deliberately NOT part of to_json()/to_csv(), which
   /// must stay byte-identical across thread counts and machines.
   std::int64_t wall_us{0};
+  /// True when the report came from the ResultCache instead of a fresh
+  /// simulation in this process.  Shard files carry it so `sweepctl status`
+  /// can split cache round-trips from real compute when attributing shard
+  /// wall time; like wall_us it never enters to_json()/to_csv().
+  bool cached{false};
 };
 
 /// Results of one sweep: the points this run owned, in grid order.  For an

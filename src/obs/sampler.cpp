@@ -1,0 +1,77 @@
+#include "obs/sampler.hpp"
+
+#include "stats/serialize.hpp"
+
+namespace xdrs::obs {
+
+TimelineSampler::TimelineSampler(std::size_t capacity)
+    : voq_total_{capacity},
+      voq_max_{capacity},
+      demand_nz_{capacity},
+      ocs_{capacity},
+      eps_{capacity},
+      urgent_flows_{capacity},
+      urgent_bytes_{capacity} {}
+
+void TimelineSampler::record(sim::Time at, const TimelineSnapshot& s) {
+  ++offered_;
+  voq_total_.record(at, static_cast<double>(s.voq_total_bytes));
+  voq_max_.record(at, static_cast<double>(s.voq_max_bytes));
+  demand_nz_.record(at, static_cast<double>(s.demand_nonzeros));
+  ocs_.record(at, static_cast<double>(s.ocs_delivered_bytes));
+  eps_.record(at, static_cast<double>(s.eps_delivered_bytes));
+  urgent_flows_.record(at, static_cast<double>(s.urgent_flows));
+  urgent_bytes_.record(at, static_cast<double>(s.urgent_bytes));
+}
+
+namespace {
+
+void append_series(std::string& out, const char* name, const char* unit,
+                   const stats::TimeSeries& ts) {
+  out += "    {\"name\":\"";
+  out += name;
+  out += "\",\"unit\":\"";
+  out += unit;
+  out += "\",\"stride\":" + std::to_string(ts.stride());
+  out += ",\"peak\":" + stats::format_double(ts.peak());
+  out += ",\"samples\":[";
+  const auto& samples = ts.samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '[' + stats::format_double(samples[i].at.us()) + ',' +
+           stats::format_double(samples[i].value) + ']';
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string timeline_json(const TimelineSampler& s, sim::Time sample_period) {
+  std::string out{"{\n  \"timeline_schema\": 1,\n  \"sample_period_us\": "};
+  out += stats::format_double(sample_period.us());
+  out += ",\n  \"samples_offered\": " + std::to_string(s.samples_offered());
+  out += ",\n  \"series\": [\n";
+  struct Entry {
+    const char* name;
+    const char* unit;
+    const stats::TimeSeries& ts;
+  };
+  const Entry entries[] = {
+      {"voq_total_bytes", "bytes", s.voq_total_bytes()},
+      {"voq_max_bytes", "bytes", s.voq_max_bytes()},
+      {"demand_nonzeros", "pairs", s.demand_nonzeros()},
+      {"ocs_delivered_bytes", "bytes", s.ocs_delivered_bytes()},
+      {"eps_delivered_bytes", "bytes", s.eps_delivered_bytes()},
+      {"deadline_urgent_flows", "flows", s.urgent_flows()},
+      {"deadline_urgent_bytes", "bytes", s.urgent_bytes()},
+  };
+  for (std::size_t i = 0; i < std::size(entries); ++i) {
+    append_series(out, entries[i].name, entries[i].unit, entries[i].ts);
+    if (i + 1 < std::size(entries)) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}";
+  return out;
+}
+
+}  // namespace xdrs::obs

@@ -1,0 +1,32 @@
+// Chrome trace-event export: one JSON document loadable by Perfetto
+// (ui.perfetto.dev) or chrome://tracing, merging two tracks:
+//
+//   pid 1 "virtual time"  — the simulation's TraceRecorder events.
+//                           kScheduleStart/kScheduleDone and
+//                           kReconfigStart/kReconfigDone pairs become
+//                           duration ("X") slices; everything else becomes
+//                           instant events carrying its (a, b) payload.
+//   pid 2 "host time"     — the registry's span log (stage compute spans),
+//                           normalised so the earliest span starts at 0.
+//
+// Both tracks are in microseconds.  The two clocks are unrelated (virtual
+// picoseconds vs host monotonic ns); putting them in separate trace
+// processes keeps Perfetto from implying alignment while still allowing
+// side-by-side inspection.  Output is deterministic for deterministic
+// inputs (golden-file tested), so exports diff cleanly.
+#ifndef XDRS_OBS_TRACE_EXPORT_HPP
+#define XDRS_OBS_TRACE_EXPORT_HPP
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace xdrs::obs {
+
+[[nodiscard]] std::string chrome_trace_json(const sim::TraceRecorder& sim_trace,
+                                            const Registry& registry);
+
+}  // namespace xdrs::obs
+
+#endif  // XDRS_OBS_TRACE_EXPORT_HPP

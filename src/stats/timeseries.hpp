@@ -27,6 +27,9 @@ class TimeSeries {
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
 
+  /// Samples offered to record(), kept or decimated away.
+  [[nodiscard]] std::uint64_t offered() const noexcept { return offered_; }
+
   /// Peak value observed (over *all* offered samples, not only kept ones).
   [[nodiscard]] double peak() const noexcept { return peak_; }
 

@@ -202,6 +202,56 @@ TEST(TimeSeries, PeakSeesAllOfferedSamples) {
   EXPECT_DOUBLE_EQ(ts.peak(), 9999.0);  // even though the sample was decimated
 }
 
+TEST(TimeSeries, ExactCapacityDoesNotDecimate) {
+  TimeSeries ts{4};
+  for (int i = 0; i < 4; ++i) ts.record(Time::microseconds(i), static_cast<double>(i));
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.stride(), 1u);
+  EXPECT_EQ(ts.offered(), 4u);
+  // The capacity+1-th sample triggers exactly one decimation.
+  ts.record(Time::microseconds(4), 4.0);
+  EXPECT_EQ(ts.stride(), 2u);
+  ASSERT_EQ(ts.size(), 3u);  // kept 0, 2; sample 4 aligns with the new stride
+  EXPECT_EQ(ts.samples()[2].at, Time::microseconds(4));
+}
+
+TEST(TimeSeries, StrideRealignmentSkipsMisalignedTrigger) {
+  // Odd capacity: the sample that triggers decimation (index 3) is no
+  // longer aligned once the stride doubles, so it must be dropped — the
+  // kept set stays exactly {0, 2}, then every 2nd offered index.
+  TimeSeries ts{3};
+  for (int i = 0; i < 5; ++i) ts.record(Time::microseconds(i), static_cast<double>(i));
+  EXPECT_EQ(ts.stride(), 2u);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.samples()[0].at, Time::microseconds(0));
+  EXPECT_EQ(ts.samples()[1].at, Time::microseconds(2));  // index 3 was skipped
+  EXPECT_EQ(ts.samples()[2].at, Time::microseconds(4));
+  EXPECT_EQ(ts.offered(), 5u);
+}
+
+TEST(TimeSeries, RepeatedDoublingKeepsStridePowerOfTwoCoverage) {
+  TimeSeries ts{4};
+  for (int i = 0; i < 64; ++i) ts.record(Time::microseconds(i), static_cast<double>(i));
+  EXPECT_EQ(ts.offered(), 64u);
+  EXPECT_GE(ts.stride(), 16u);
+  // Every kept sample sits on a stride boundary and order is preserved.
+  for (const auto& s : ts.samples()) {
+    EXPECT_EQ(static_cast<std::uint64_t>(s.at.us()) % ts.stride(), 0u);
+  }
+  for (std::size_t k = 1; k < ts.size(); ++k) {
+    EXPECT_LT(ts.samples()[k - 1].at, ts.samples()[k].at);
+  }
+}
+
+TEST(TimeSeries, PeakSurvivesDecimationOfItsSample) {
+  TimeSeries ts{2};
+  ts.record(Time::microseconds(0), 5.0);
+  ts.record(Time::microseconds(1), 50.0);  // will be decimated away
+  for (int i = 2; i < 20; ++i) ts.record(Time::microseconds(i), 1.0);
+  EXPECT_DOUBLE_EQ(ts.peak(), 50.0);
+  EXPECT_EQ(ts.offered(), 20u);
+}
+
 TEST(TimeSeries, ValidatesCapacity) {
   EXPECT_THROW(TimeSeries{1}, std::invalid_argument);
 }

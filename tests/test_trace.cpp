@@ -57,6 +57,66 @@ TEST(TraceRecorder, DisableStopsRecording) {
   EXPECT_EQ(t.events().size(), 1u);
 }
 
+TEST(TraceRecorder, UnboundedByDefault) {
+  TraceRecorder t;
+  t.enable();
+  for (int i = 0; i < 1000; ++i) t.record(Time::microseconds(i), TraceCategory::kGrant);
+  EXPECT_EQ(t.events().size(), 1000u);
+  EXPECT_EQ(t.offered(), 1000u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TraceRecorder, DropOldestKeepsTheNewestEvents) {
+  TraceRecorder t;
+  t.set_capacity(8, TraceOverflow::kDropOldest);
+  t.enable();
+  for (int i = 0; i < 20; ++i) t.record(Time::microseconds(i), TraceCategory::kGrant, i);
+  EXPECT_LE(t.events().size(), 8u);
+  EXPECT_EQ(t.offered(), 20u);
+  EXPECT_EQ(t.dropped(), 20u - t.events().size());
+  // Tail is contiguous and ends at the last offered event.
+  EXPECT_EQ(t.events().back().a, 19u);
+  for (std::size_t k = 1; k < t.events().size(); ++k) {
+    EXPECT_EQ(t.events()[k].a, t.events()[k - 1].a + 1);
+  }
+}
+
+TEST(TraceRecorder, DecimateSpansTheWholeRun) {
+  TraceRecorder t;
+  t.set_capacity(4, TraceOverflow::kDecimate);
+  t.enable();
+  for (int i = 0; i < 16; ++i) t.record(Time::microseconds(i), TraceCategory::kGrant, i);
+  EXPECT_EQ(t.offered(), 16u);
+  EXPECT_EQ(t.stride(), 4u);
+  // Every 4th offered event survives — the subsample covers start AND end.
+  ASSERT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.events()[0].a, 0u);
+  EXPECT_EQ(t.events()[1].a, 4u);
+  EXPECT_EQ(t.events()[2].a, 8u);
+  EXPECT_EQ(t.events()[3].a, 12u);
+  EXPECT_EQ(t.dropped(), 12u);
+}
+
+TEST(TraceRecorder, CapacityClampedToTwo) {
+  TraceRecorder t;
+  t.set_capacity(1, TraceOverflow::kDropOldest);
+  EXPECT_EQ(t.capacity(), 2u);
+  t.set_capacity(0);  // back to unbounded
+  EXPECT_EQ(t.capacity(), 0u);
+}
+
+TEST(TraceRecorder, ClearResetsBoundingCounters) {
+  TraceRecorder t;
+  t.set_capacity(2, TraceOverflow::kDecimate);
+  t.enable();
+  for (int i = 0; i < 10; ++i) t.record(Time::microseconds(i), TraceCategory::kGrant);
+  t.clear();
+  EXPECT_EQ(t.offered(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.stride(), 1u);
+  EXPECT_TRUE(t.events().empty());
+}
+
 TEST(TraceCategoryNames, AllDistinctAndNonNull) {
   const TraceCategory cats[] = {
       TraceCategory::kPacketArrival, TraceCategory::kEnqueue,       TraceCategory::kRequest,

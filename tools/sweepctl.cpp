@@ -19,16 +19,21 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <stdexcept>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "exp/cache.hpp"
 #include "exp/presets.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "stats/json.hpp"
 #include "util/file_io.hpp"
 #include "util/parse.hpp"
@@ -45,17 +50,27 @@ int usage(const char* error = nullptr) {
                "commands:\n"
                "  presets                       list grid presets and their sizes\n"
                "  run    --preset NAME [--shard I/N] [--cache DIR] [--threads N]\n"
-               "         [--out FILE] [--csv FILE] [--progress]\n"
+               "         [--out FILE] [--csv FILE] [--telemetry DIR] [--progress]\n"
                "                                run the grid (or one shard of it).\n"
                "                                unsharded: writes the sweep artefact JSON;\n"
-               "                                sharded: writes a shard state file for merge\n"
+               "                                sharded: writes a shard state file for merge.\n"
+               "                                --telemetry drops a per-point sidecar into DIR\n"
+               "                                (artefacts stay byte-identical)\n"
                "  merge  --preset NAME --out FILE SHARD.json...\n"
                "                                reassemble shard files into the artefact,\n"
                "                                byte-identical to a single-process run\n"
-               "  status --preset NAME [--cache DIR] [SHARD.json...]\n"
+               "  status --preset NAME [--cache DIR] [--telemetry DIR --stages]\n"
+               "         [SHARD.json...]\n"
                "                                show grid size, cache and shard coverage;\n"
-               "                                with shard files, report straggler shards\n"
-               "                                and the slowest points (recorded wall time)\n"
+               "                                with shard files, report straggler shards,\n"
+               "                                cache-hit vs compute wall split and the\n"
+               "                                slowest points; with --telemetry + --stages,\n"
+               "                                the per-scenario stage-cost breakdown\n"
+               "  trace  --scenario NAME [--policies STACK] [--ports N] [--load X]\n"
+               "         [--seed N] --out FILE\n"
+               "                                run one scenario with event tracing and\n"
+               "                                stage profiling on; write a Chrome\n"
+               "                                trace-event JSON (load in ui.perfetto.dev)\n"
                "  gc     --cache DIR --keep-days N\n"
                "                                evict cache entries older than N days\n");
   return 2;
@@ -67,10 +82,17 @@ struct Options {
   std::string cache_dir;
   std::string out_path;
   std::string csv_path;
+  std::string telemetry_dir;
+  std::string scenario;  // trace
+  std::string policies;  // trace; empty = the scenario's default stack
   exp::ShardOptions shard{};
   unsigned threads{0};
+  std::uint32_t ports{8};    // trace
+  double load{0.5};          // trace
+  std::uint64_t seed{7};     // trace
   double keep_days{-1.0};  // gc; negative = not given
   bool progress{false};
+  bool stages{false};  // status: per-stage telemetry breakdown
   std::vector<std::string> inputs;  // positional shard files
 };
 
@@ -129,6 +151,23 @@ bool parse(int argc, char** argv, Options& opt) {
         if (!value() || !util::parse_number(val, opt.keep_days) || opt.keep_days < 0.0) {
           return false;
         }
+      } else if (key == "--telemetry") {
+        if (!value()) return false;
+        opt.telemetry_dir = val;
+      } else if (key == "--scenario") {
+        if (!value()) return false;
+        opt.scenario = val;
+      } else if (key == "--policies") {
+        if (!value()) return false;
+        opt.policies = val;
+      } else if (key == "--ports") {
+        if (!value() || !util::parse_number(val, opt.ports) || opt.ports < 2) return false;
+      } else if (key == "--load") {
+        if (!value() || !util::parse_number(val, opt.load) || opt.load <= 0.0) return false;
+      } else if (key == "--seed") {
+        if (!value() || !util::parse_number(val, opt.seed)) return false;
+      } else if (key == "--stages") {
+        opt.stages = true;
       } else if (key == "--progress") {
         opt.progress = true;
       } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
@@ -185,6 +224,7 @@ int cmd_run(const Options& opt) {
   so.threads = opt.threads;
   so.shard = opt.shard;
   so.cache = cache ? &*cache : nullptr;
+  so.telemetry_dir = opt.telemetry_dir;
   if (opt.progress) {
     so.progress = [](std::size_t done, std::size_t total, const exp::ScenarioSpec& s) {
       std::fprintf(stderr, "[%4zu/%zu] %s\n", done, total, s.key().c_str());
@@ -231,6 +271,72 @@ int cmd_merge(const Options& opt) {
   return 0;
 }
 
+/// Per-scenario stage-cost breakdown, aggregated over every telemetry
+/// sidecar in `dir` (the `--telemetry` output of `sweepctl run`): for each
+/// profiled stage, call count, total wall and share of the scenario's
+/// profiled time.  Unreadable files are reported and skipped — status is a
+/// diagnostic, it must not die on one truncated sidecar.
+void print_stage_breakdown(const std::string& dir) {
+  struct StageCost {
+    std::uint64_t count{0};
+    std::int64_t total_ns{0};
+  };
+  std::map<std::string, std::map<std::string, StageCost>> by_scenario;
+  std::size_t sidecars = 0;
+
+  std::error_code ec;
+  std::filesystem::directory_iterator it{dir, ec};
+  if (ec) {
+    std::printf("telemetry %s: unreadable (%s)\n", dir.c_str(), ec.message().c_str());
+    return;
+  }
+  constexpr std::string_view kSuffix = ".telemetry.json";
+  for (const auto& de : it) {
+    const std::string path = de.path().string();
+    if (path.size() < kSuffix.size() ||
+        std::string_view{path}.substr(path.size() - kSuffix.size()) != kSuffix) {
+      continue;
+    }
+    try {
+      const stats::JsonValue doc = stats::parse_json(read_file(path));
+      const std::string& scenario = doc.at("scenario").as_str();
+      for (const stats::JsonValue& stage : doc.at("stages").items()) {
+        StageCost& cost = by_scenario[scenario][stage.at("name").as_str()];
+        cost.count += stage.at("count").as_u64();
+        cost.total_ns += stage.at("total_ns").as_i64();
+      }
+      ++sidecars;
+    } catch (const std::invalid_argument& e) {
+      std::printf("telemetry %s: skipped (%s)\n", path.c_str(), e.what());
+    }
+  }
+  std::printf("telemetry %s: %zu sidecars\n", dir.c_str(), sidecars);
+
+  for (const auto& [scenario, stages] : by_scenario) {
+    std::int64_t scenario_total = 0;
+    for (const auto& [name, cost] : stages) scenario_total += cost.total_ns;
+    std::printf("stage costs %s (profiled wall %.2f ms):\n", scenario.c_str(),
+                static_cast<double>(scenario_total) / 1e6);
+    // Costliest stage first: the line a reader acts on is the top one.
+    std::vector<std::pair<std::string, StageCost>> ordered{stages.begin(), stages.end()};
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+      return a.second.total_ns > b.second.total_ns;
+    });
+    for (const auto& [name, cost] : ordered) {
+      const double mean_us = cost.count == 0
+                                 ? 0.0
+                                 : static_cast<double>(cost.total_ns) /
+                                       static_cast<double>(cost.count) / 1e3;
+      const double share = scenario_total == 0 ? 0.0
+                                               : 100.0 * static_cast<double>(cost.total_ns) /
+                                                     static_cast<double>(scenario_total);
+      std::printf("  %-20s %8llu calls  total %9.2f ms  mean %8.2f us  (%5.1f%%)\n",
+                  name.c_str(), static_cast<unsigned long long>(cost.count),
+                  static_cast<double>(cost.total_ns) / 1e6, mean_us, share);
+    }
+  }
+}
+
 int cmd_status(const Options& opt) {
   const std::vector<exp::ScenarioSpec> grid = exp::make_preset(opt.preset);
   std::printf("preset %s: %zu points\n", opt.preset.c_str(), grid.size());
@@ -245,6 +351,14 @@ int cmd_status(const Options& opt) {
                 static_cast<unsigned long long>(cs.stale));
   }
 
+  if (opt.stages) {
+    if (opt.telemetry_dir.empty()) {
+      std::fprintf(stderr, "sweepctl: status --stages needs --telemetry DIR\n");
+      return 2;
+    }
+    print_stage_breakdown(opt.telemetry_dir);
+  }
+
   if (!opt.inputs.empty()) {
     std::vector<bool> covered(grid.size(), false);
     // Straggler accounting from the recorded per-point wall times: which
@@ -255,6 +369,12 @@ int cmd_status(const Options& opt) {
     };
     std::vector<ShardWall> shard_walls;
     std::vector<std::pair<std::int64_t, std::string>> point_walls;  // (us, key)
+    // Cache-hit vs fresh-compute wall split, over all shard files: cached
+    // points' wall is the cache round-trip, not simulation, so straggler
+    // analysis should not blame a warm shard for being "fast".
+    std::size_t cached_points = 0;
+    std::int64_t cached_wall_us = 0;
+    std::int64_t compute_wall_us = 0;
     // Per-scenario deadline accounting, summed over each point counted once
     // (the scenario is the first '/'-segment of the point key).
     struct DeadlineTally {
@@ -285,9 +405,21 @@ int cmd_status(const Options& opt) {
             ++mismatched;
             continue;
           }
+          bool from_cache = false;
+          if (const stats::JsonValue* cached = entry.find("cached")) {
+            from_cache = cached->as_bool();
+          }
           if (const stats::JsonValue* wall = entry.find("wall_us")) {
             wall_us += wall->as_i64();
-            file_walls.emplace_back(wall->as_i64(), entry.at("key").as_str());
+            if (from_cache) {
+              ++cached_points;
+              cached_wall_us += wall->as_i64();
+            } else {
+              compute_wall_us += wall->as_i64();
+              // Only fresh compute competes for "slowest point" — a cache
+              // round-trip's microseconds say nothing about the simulation.
+              file_walls.emplace_back(wall->as_i64(), entry.at("key").as_str());
+            }
           }
           if (!covered[index]) {
             covered[index] = true;
@@ -324,6 +456,12 @@ int cmd_status(const Options& opt) {
     for (const bool c : covered) missing += c ? 0 : 1;
     std::printf("coverage: %zu/%zu points, %zu missing\n", grid.size() - missing, grid.size(),
                 missing);
+    if (cached_points != 0) {
+      std::printf("cache hits: %zu points served from cache (%.1f ms round-trips; "
+                  "compute wall %.1f ms)\n",
+                  cached_points, static_cast<double>(cached_wall_us) / 1e3,
+                  static_cast<double>(compute_wall_us) / 1e3);
+    }
 
     // SLO summary: deadline-miss ratio per scenario, for shards whose
     // reports track deadlines and actually saw deadline-bearing flows.
@@ -368,6 +506,34 @@ int cmd_status(const Options& opt) {
   return 0;
 }
 
+int cmd_trace(const Options& opt) {
+  if (opt.scenario.empty()) return usage("trace: --scenario is required");
+  if (opt.out_path.empty()) return usage("trace: --out is required");
+
+  exp::ScenarioSpec spec = exp::make_scenario(opt.scenario, opt.ports, opt.load, opt.seed);
+  if (!opt.policies.empty()) spec.with_policies(core::PolicyStack::parse(opt.policies));
+
+  std::unique_ptr<core::HybridSwitchFramework> fw = exp::materialize(spec);
+  // Bounded tracing: drop-oldest keeps the trace's tail contiguous, so
+  // start/done pairs still fold into duration slices after overflow.
+  fw->trace().set_capacity(1 << 20, sim::TraceOverflow::kDropOldest);
+  fw->trace().enable();
+  obs::TelemetryConfig tc;
+  tc.span_log_capacity = 1 << 16;  // keep individual spans for the host track
+  fw->enable_telemetry(tc);
+  (void)fw->run(spec.duration, spec.warmup);
+
+  write_file(opt.out_path, obs::chrome_trace_json(fw->trace(), fw->telemetry()->registry()));
+  std::printf("trace %s: %zu events kept (%llu dropped), %zu spans kept (%llu dropped) -> %s\n",
+              spec.key().c_str(), fw->trace().events().size(),
+              static_cast<unsigned long long>(fw->trace().dropped()),
+              fw->telemetry()->registry().spans().size(),
+              static_cast<unsigned long long>(fw->telemetry()->registry().spans_dropped()),
+              opt.out_path.c_str());
+  std::printf("load %s in ui.perfetto.dev or chrome://tracing\n", opt.out_path.c_str());
+  return 0;
+}
+
 int cmd_gc(const Options& opt) {
   if (opt.cache_dir.empty()) return usage("gc: --cache is required");
   if (opt.keep_days < 0.0) return usage("gc: --keep-days is required");
@@ -387,6 +553,7 @@ int main(int argc, char** argv) {
   try {
     if (opt.command == "presets") return cmd_presets();
     if (opt.command == "gc") return cmd_gc(opt);
+    if (opt.command == "trace") return cmd_trace(opt);
     if (opt.preset.empty()) return usage("--preset is required");
     if (opt.command == "run") return cmd_run(opt);
     if (opt.command == "merge") return cmd_merge(opt);
