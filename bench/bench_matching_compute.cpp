@@ -80,14 +80,17 @@ BENCHMARK(BM_Rotor)->RangeMultiplier(2)->Range(kLo, kHi);
 /// `--alloc-check`: for every registered matcher spec, warm the decision
 /// loop, then count heap allocations over a steady-state window.  Any
 /// allocation is a regression of the allocation-free compute contract.
-/// Run at 64 AND 128 ports: the bitset and warm-rematch workspaces must be
-/// preallocated at paper scale too (two words per port row, not one).
+/// Run at 48, 64 AND 128 ports: 48 is the 2-rack fat-tree ToR shape (32
+/// host ports + 16 uplinks at 2:1 oversubscription) — a non-power-of-two
+/// count the topology path schedules every epoch — while 64/128 prove the
+/// bitset and warm-rematch workspaces are preallocated at paper scale too
+/// (two words per port row, not one).
 ///
 /// The measured loop wraps each decision in a disabled-registry ScopedSpan,
 /// exactly as SchedulingLogic does when telemetry is compiled in but off —
 /// so the gate also proves the telemetry-off hot path costs no allocation.
 int alloc_check() {
-  constexpr std::uint32_t kPortCounts[] = {64, 128};
+  constexpr std::uint32_t kPortCounts[] = {48, 64, 128};
   constexpr int kWarmupDecisions = 64;
   constexpr int kMeasuredDecisions = 256;
 

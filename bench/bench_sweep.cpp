@@ -65,7 +65,8 @@ bool parse(int argc, char** argv, Options& opt) try {
     } else {
       std::fprintf(stderr,
                    "usage: bench_sweep [--threads=N] "
-                   "[--preset=small|full|policy-cross|composite|deadline|trace|empirical|p128] [--full] "
+                   "[--preset=small|full|policy-cross|composite|deadline|trace|empirical|ft2|p128] "
+                   "[--full] "
                    "[--json=PATH] [--csv=PATH] [--progress]\n");
       return false;
     }

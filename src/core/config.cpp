@@ -18,6 +18,10 @@ void RunReport::merge(const RunReport& other) {
   const double wo = other.duration.sec();
   ocs_duty_cycle =
       (w + wo) > 0.0 ? (ocs_duty_cycle * w + other.ocs_duty_cycle * wo) / (w + wo) : 0.0;
+  // Core utilisation re-weights by duration exactly like the duty cycle:
+  // both are time-averaged per-link rates.
+  core_utilization =
+      (w + wo) > 0.0 ? (core_utilization * w + other.core_utilization * wo) / (w + wo) : 0.0;
   const std::uint64_t decisions = scheduler_decisions + other.scheduler_decisions;
   if (decisions > 0) {
     const auto weighted =
@@ -52,11 +56,21 @@ void RunReport::merge(const RunReport& other) {
   deadline_flows_missed += other.deadline_flows_missed;
   goodput_before_deadline_bytes += other.goodput_before_deadline_bytes;
 
+  intra_rack_bytes += other.intra_rack_bytes;
+  cross_rack_bytes += other.cross_rack_bytes;
+  peak_uplink_queue_bytes = std::max(peak_uplink_queue_bytes, other.peak_uplink_queue_bytes);
+  uplink_drops += other.uplink_drops;
+  core_link_bytes += other.core_link_bytes;
+  core_drops += other.core_drops;
+  peak_core_queue_bytes = std::max(peak_core_queue_bytes, other.peak_core_queue_bytes);
+
   latency.merge(other.latency);
   latency_sensitive.merge(other.latency_sensitive);
   jitter_us.merge(other.jitter_us);
   fct_deadline.merge(other.fct_deadline);
   fct_other.merge(other.fct_other);
+  fct_intra_rack.merge(other.fct_intra_rack);
+  fct_cross_rack.merge(other.fct_cross_rack);
 }
 
 std::vector<stats::Field> RunReport::fields() const {
@@ -111,6 +125,20 @@ std::vector<stats::Field> RunReport::fields() const {
   f.push_back(Field::u64("fct_other_count", fct_other.count()));
   f.push_back(Field::f64("fct_other_mean_ps", fct_other.mean()));
   f.push_back(Field::i64("fct_other_p99_ps", fct_other.p99()));
+  f.push_back(Field::i64("intra_rack_bytes", intra_rack_bytes));
+  f.push_back(Field::i64("cross_rack_bytes", cross_rack_bytes));
+  f.push_back(Field::u64("fct_intra_rack_count", fct_intra_rack.count()));
+  f.push_back(Field::f64("fct_intra_rack_mean_ps", fct_intra_rack.mean()));
+  f.push_back(Field::i64("fct_intra_rack_p99_ps", fct_intra_rack.p99()));
+  f.push_back(Field::u64("fct_cross_rack_count", fct_cross_rack.count()));
+  f.push_back(Field::f64("fct_cross_rack_mean_ps", fct_cross_rack.mean()));
+  f.push_back(Field::i64("fct_cross_rack_p99_ps", fct_cross_rack.p99()));
+  f.push_back(Field::i64("peak_uplink_queue_bytes", peak_uplink_queue_bytes));
+  f.push_back(Field::u64("uplink_drops", uplink_drops));
+  f.push_back(Field::i64("core_link_bytes", core_link_bytes));
+  f.push_back(Field::u64("core_drops", core_drops));
+  f.push_back(Field::i64("peak_core_queue_bytes", peak_core_queue_bytes));
+  f.push_back(Field::f64("core_utilization", core_utilization));
   return f;
 }
 

@@ -39,6 +39,16 @@ enum class SchedulingDiscipline : std::uint8_t {
 struct FrameworkConfig {
   std::uint32_t ports{8};
 
+  /// Trailing ports of the switch that face the fat-tree core tier instead
+  /// of hosts (topo::FatTree sets this when it builds per-rack configs;
+  /// single-switch runs leave it 0).  Uplink ports are scheduled by the
+  /// fabric exactly like host ports — that is how oversubscription bites —
+  /// but workload builders only attach sources/destinations to the first
+  /// host_ports() ports.
+  std::uint32_t uplink_ports{0};
+
+  [[nodiscard]] std::uint32_t host_ports() const noexcept { return ports - uplink_ports; }
+
   /// Host uplink and OCS circuit rate (the paper's 10 Gbps per port).
   sim::DataRate link_rate{sim::DataRate::gbps(10)};
   /// EPS per-port rate; hybrid designs usually give the electrical path a
@@ -95,8 +105,11 @@ struct RunReport {
   /// History: 1 = unversioned seed schema; 2 = adds schema_version and
   /// policy_stack (the unified policy-stack redesign); 3 = adds the
   /// deadline/SLO completion metrics (deadline_flows_met/missed,
-  /// goodput_before_deadline_bytes, per-class FCT histograms).
-  static constexpr std::uint64_t kSchemaVersion = 3;
+  /// goodput_before_deadline_bytes, per-class FCT histograms); 4 = adds the
+  /// per-hop/topology metrics (intra- vs cross-rack delivered bytes and FCT
+  /// split, rack uplink-queue peak/drops, core-tier bytes/drops/occupancy/
+  /// utilisation for fat-tree runs).
+  static constexpr std::uint64_t kSchemaVersion = 4;
 
   sim::Time duration{};
 
@@ -152,6 +165,26 @@ struct RunReport {
   std::int64_t goodput_before_deadline_bytes{0};
   stats::Histogram fct_deadline;             ///< FCT of completed deadline flows
   stats::Histogram fct_other;                ///< FCT of completed no-deadline flows
+
+  // ---- per-hop/topology metrics (schema 4) --------------------------------
+  // A single-switch run is one rack: every delivery is intra-rack and the
+  // core-tier metrics stay zero.  Fat-tree runs (topo::FatTree) split
+  // deliveries and completed-flow FCTs by whether the packet/flow crossed
+  // the core tier, and add the core tier's own accounting.
+  std::int64_t intra_rack_bytes{0};   ///< window-born deliveries within one rack
+  std::int64_t cross_rack_bytes{0};   ///< window-born deliveries that crossed the core
+  stats::Histogram fct_intra_rack;    ///< FCT of completed rack-local flows
+  stats::Histogram fct_cross_rack;    ///< FCT of completed core-crossing flows
+  /// Rack-aggregation ingress stage (topo::RackAggregator uplink FIFOs):
+  /// worst high-water mark and drops across the run's aggregators; zero
+  /// when no generator models an ingress queue.
+  std::int64_t peak_uplink_queue_bytes{0};
+  std::uint64_t uplink_drops{0};
+  /// Core tier (fat-tree core-switch downlink FIFOs), measured window.
+  std::int64_t core_link_bytes{0};    ///< bytes forwarded across the core
+  std::uint64_t core_drops{0};        ///< core FIFO overflows
+  std::int64_t peak_core_queue_bytes{0};  ///< worst single core FIFO
+  double core_utilization{0.0};       ///< core bytes / core capacity, per link avg
 
   /// missed / (met + missed); exactly 0 when no flow carries a deadline.
   [[nodiscard]] double deadline_miss_ratio() const noexcept {

@@ -11,6 +11,7 @@ void FlowCompletionTracker::on_deliver(const net::Packet& p, sim::Time now) {
   st.deadline = p.deadline;
   st.flow_bytes = p.flow_bytes;
   st.delivered += p.size_bytes;
+  st.crossed_core = st.crossed_core || p.remote;
   if (!p.deadline.is_zero() && now <= p.deadline) st.bytes_before_deadline += p.size_bytes;
   if (st.completed_at.is_zero() && st.delivered >= st.flow_bytes) st.completed_at = now;
 }
@@ -27,6 +28,10 @@ void FlowCompletionTracker::finalize(sim::Time measure_start, sim::Time end,
     if (!st.completed_at.is_zero()) {
       const sim::Time fct = st.completed_at - st.first_created;
       (has_deadline ? report.fct_deadline : report.fct_other).record_time(fct);
+      // Locality split: in a fat-tree the completion-time behaviour of
+      // rack-local and core-crossing flows diverges, so they get their own
+      // distributions (single-switch runs are all intra-rack).
+      (st.crossed_core ? report.fct_cross_rack : report.fct_intra_rack).record_time(fct);
       if (has_deadline) {
         if (st.completed_at <= st.deadline) {
           ++report.deadline_flows_met;

@@ -93,6 +93,7 @@ class FlowCompletionTracker {
     std::int64_t flow_bytes{0};
     std::int64_t delivered{0};
     std::int64_t bytes_before_deadline{0};
+    bool crossed_core{false};  ///< any packet crossed the fat-tree core tier
   };
 
   std::unordered_map<Key, FlowState, KeyHash> flows_;

@@ -10,7 +10,17 @@ std::int64_t reconfig_cost_bytes(const FrameworkConfig& cfg) {
 }
 
 HybridSwitchFramework::HybridSwitchFramework(FrameworkConfig cfg)
+    : HybridSwitchFramework{cfg, std::make_unique<sim::Simulator>(), nullptr} {}
+
+HybridSwitchFramework::HybridSwitchFramework(sim::Simulator& shared, FrameworkConfig cfg)
+    : HybridSwitchFramework{cfg, nullptr, &shared} {}
+
+HybridSwitchFramework::HybridSwitchFramework(FrameworkConfig cfg,
+                                             std::unique_ptr<sim::Simulator> owned,
+                                             sim::Simulator* shared)
     : cfg_{cfg},
+      owned_sim_{std::move(owned)},
+      sim_{owned_sim_ ? *owned_sim_ : *shared},
       classifier_{},
       sync_{cfg.ports, cfg.sync},
       ocs_{sim_,
@@ -84,11 +94,15 @@ void HybridSwitchFramework::set_policies(const PolicyStack& stack) {
 void HybridSwitchFramework::enable_telemetry(const obs::TelemetryConfig& tcfg) {
   if (ran_) throw std::logic_error{"Framework: enable_telemetry() must precede run()"};
   telemetry_ = std::make_unique<obs::RunTelemetry>(tcfg);
-  scheduling_.set_stage_timers(&telemetry_->registry());
-  switching_.set_stage_timers(&telemetry_->registry());
+  attach_stage_timers(&telemetry_->registry());
 }
 
-void HybridSwitchFramework::sample_timeline(sim::Time period, sim::Time horizon) {
+void HybridSwitchFramework::attach_stage_timers(obs::Registry* registry) {
+  scheduling_.set_stage_timers(registry);
+  switching_.set_stage_timers(registry);
+}
+
+obs::TimelineSnapshot HybridSwitchFramework::timeline_snapshot(sim::Time urgent_horizon) const {
   obs::TimelineSnapshot s;
   s.voq_total_bytes = processing_.voqs().total_bytes();
   s.voq_max_bytes = processing_.voqs().max_voq_bytes();
@@ -97,21 +111,32 @@ void HybridSwitchFramework::sample_timeline(sim::Time period, sim::Time horizon)
   // reading the report is safe because the sampler never writes it.
   s.ocs_delivered_bytes = report_.ocs_bytes;
   s.eps_delivered_bytes = report_.eps_bytes;
-  // "Urgent" = open deadline flows due within one sample period, so the
-  // horizon tracks the timeline's own resolution.
   const FlowCompletionTracker::UrgentBacklog urgent =
-      completion_.urgent_backlog(sim_.now(), period);
+      completion_.urgent_backlog(sim_.now(), urgent_horizon);
   s.urgent_flows = urgent.flows;
   s.urgent_bytes = urgent.bytes;
-  telemetry_->timeline().record(sim_.now(), s);
+  return s;
+}
+
+void HybridSwitchFramework::sample_timeline(sim::Time period, sim::Time horizon) {
+  // "Urgent" = open deadline flows due within one sample period, so the
+  // horizon tracks the timeline's own resolution.
+  telemetry_->timeline().record(sim_.now(), timeline_snapshot(period));
   const sim::Time next = sim_.now() + period;
   if (next > horizon) return;
   sim_.schedule_at(next, [this, period, horizon] { sample_timeline(period, horizon); });
 }
 
-void HybridSwitchFramework::add_generator(std::unique_ptr<traffic::TrafficGenerator> g) {
+void HybridSwitchFramework::add_generator(std::unique_ptr<traffic::TrafficGenerator> g,
+                                          IngressTransform transform) {
   if (!g) throw std::invalid_argument{"Framework: null generator"};
-  generators_.push_back(std::move(g));
+  generators_.push_back(AttachedGenerator{std::move(g), std::move(transform)});
+}
+
+void HybridSwitchFramework::set_uplink_hook(net::PortId first_uplink, UplinkHook hook) {
+  if (ran_) throw std::logic_error{"Framework: set_uplink_hook() must precede run()"};
+  first_uplink_ = first_uplink;
+  uplink_hook_ = std::move(hook);
 }
 
 void HybridSwitchFramework::inject(const net::Packet& p) {
@@ -122,7 +147,19 @@ void HybridSwitchFramework::inject(const net::Packet& p) {
   processing_.ingest(p);
 }
 
+void HybridSwitchFramework::reinject(const net::Packet& p) {
+  // No offered accounting: the packet was offered once, at its source rack.
+  processing_.ingest(p);
+}
+
 void HybridSwitchFramework::on_deliver(const net::Packet& p, control::FabricPath via) {
+  // A delivery at an uplink port is a transit hop, not an arrival: hand it
+  // to the core tier before any completion/measurement accounting — the
+  // destination rack records the final delivery.
+  if (uplink_hook_ && p.dst >= first_uplink_) {
+    uplink_hook_(p, via);
+    return;
+  }
   // The completion tracker sees every delivery, warmup included, so flows
   // straddling the measurement boundary are recognised and then excluded at
   // finalize (their early packets were never measured).
@@ -140,6 +177,7 @@ void HybridSwitchFramework::on_deliver(const net::Packet& p, control::FabricPath
     report_.eps_bytes += p.size_bytes;
   }
   report_.class_bytes[static_cast<std::size_t>(p.tclass)] += p.size_bytes;
+  (p.remote ? report_.cross_rack_bytes : report_.intra_rack_bytes) += p.size_bytes;
   const sim::Time latency = sim_.now() - p.created_at;
   report_.latency.record_time(latency);
   if (p.tclass == net::TrafficClass::kLatencySensitive) {
@@ -149,25 +187,39 @@ void HybridSwitchFramework::on_deliver(const net::Packet& p, control::FabricPath
   trace_.record(sim_.now(), sim::TraceCategory::kDeliver, p.src, p.dst);
 }
 
-RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
+void HybridSwitchFramework::start_run(sim::Time duration, sim::Time warmup) {
   if (ran_) throw std::logic_error{"Framework: run() is one-shot per instance"};
   ran_ = true;
   if (duration <= sim::Time::zero()) {
     throw std::invalid_argument{"Framework: duration must be positive"};
   }
+  duration_ = duration;
+  measure_start_ = warmup;
+  horizon_ = warmup + duration;
 
   scheduling_.start();
-  const sim::Time horizon = warmup + duration;
-  for (auto& g : generators_) {
-    g->start(sim_, [this](const net::Packet& p) { inject(p); }, horizon);
+  for (auto& e : generators_) {
+    if (e.transform) {
+      // Copy-rewrite-inject: the placement stage never mutates the
+      // generator's own packet (generators may reuse buffers).
+      e.g->start(
+          sim_,
+          [this, t = e.transform](const net::Packet& p) {
+            net::Packet q = p;
+            t(q);
+            inject(q);
+          },
+          horizon_);
+    } else {
+      e.g->start(sim_, [this](const net::Packet& p) { inject(p); }, horizon_);
+    }
   }
+}
 
-  // Stop 1 ps short of the boundary: run_until() executes events stamped
-  // exactly at its horizon, and packets injected at t == warmup must fall
-  // inside the measured window (counted offered), not at the tail of the
-  // unmeasured warmup — otherwise synchronized sources (incast rounds, CBR
-  // phases) deliver packets that were never offered.
-  if (warmup > sim::Time::zero()) sim_.run_until(warmup - sim::Time::picoseconds(1));
+void HybridSwitchFramework::begin_measurement() {
+  if (!ran_) throw std::logic_error{"Framework: begin_measurement() before start_run()"};
+  if (measurement_begun_) throw std::logic_error{"Framework: begin_measurement() is one-shot"};
+  measurement_begun_ = true;
 
   // Measurement window begins: reset high-water marks and snapshot the
   // monotonic counters so the report shows deltas.
@@ -181,7 +233,13 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
   base_.ocs_busy = ocs_.stats().busy_time_total;
   base_.decisions = scheduling_.stats().decisions;
   base_.decision_latency_total = scheduling_.stats().decision_latency_total;
-  measure_start_ = warmup;  // not now(): the queue stopped 1 ps early
+  base_.uplink_drops = 0;
+  for (auto& e : generators_) {
+    e.g->reset_queue_peak();
+    base_.uplink_drops += e.g->queue_drops();
+  }
+  // measure_start_ was set by start_run() (== warmup, not now(): the event
+  // queue stopped 1 ps short of the boundary).
   measuring_ = true;
 
   if (telemetry_) {
@@ -190,17 +248,20 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
     // rides its own event chain, so it cannot perturb the run.
     sim::Time period = telemetry_->config().sample_period;
     if (period <= sim::Time::zero()) {
-      period = std::max(duration / 256, sim::Time::microseconds(1));
+      period = std::max(duration_ / 256, sim::Time::microseconds(1));
     }
     telemetry_->set_resolved_period(period);
-    sim_.schedule_at(measure_start_,
-                     [this, period, horizon] { sample_timeline(period, horizon); });
+    sim_.schedule_at(measure_start_, [this, period, horizon = horizon_] {
+      sample_timeline(period, horizon);
+    });
   }
+}
 
-  sim_.run_until(horizon);
+RunReport HybridSwitchFramework::finalize_run() {
+  if (!measurement_begun_) throw std::logic_error{"Framework: finalize_run() before measurement"};
   measuring_ = false;
 
-  report_.duration = duration;
+  report_.duration = duration_;
   // Self-reported names of the objects that actually scheduled this run —
   // truthful even when bespoke policies were installed via scheduling().
   report_.policy_stack = scheduling_.installed_policy_names();
@@ -213,8 +274,8 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
 
   const sim::Time busy = ocs_.stats().busy_time_total - base_.ocs_busy;
   report_.ocs_duty_cycle =
-      duration.is_zero() ? 0.0
-                         : busy.ratio(duration * static_cast<std::int64_t>(cfg_.ports));
+      duration_.is_zero() ? 0.0
+                          : busy.ratio(duration_ * static_cast<std::int64_t>(cfg_.ports));
 
   report_.peak_switch_buffer_bytes = processing_.voqs().stats().peak_total_bytes;
   std::int64_t worst_host = 0;
@@ -231,11 +292,35 @@ RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
         static_cast<std::int64_t>(decisions);
   }
 
+  // Ingress-queue stage (rack-aggregation uplinks): worst high-water mark
+  // and measured-window drops across this switch's generators.  Zero for
+  // plain per-port sources.
+  std::uint64_t generator_drops = 0;
+  for (const auto& e : generators_) {
+    report_.peak_uplink_queue_bytes =
+        std::max(report_.peak_uplink_queue_bytes, e.g->peak_queue_bytes());
+    generator_drops += e.g->queue_drops();
+  }
+  report_.uplink_drops = generator_drops - base_.uplink_drops;
+
   for (const auto& [flow, jit] : flow_jitter_) {
     if (jit.samples() >= 8) report_.jitter_us.record(jit.jitter().us());
   }
-  completion_.finalize(measure_start_, horizon, report_);
+  completion_.finalize(measure_start_, horizon_, report_);
   return report_;
+}
+
+RunReport HybridSwitchFramework::run(sim::Time duration, sim::Time warmup) {
+  start_run(duration, warmup);
+  // Stop 1 ps short of the boundary: run_until() executes events stamped
+  // exactly at its horizon, and packets injected at t == warmup must fall
+  // inside the measured window (counted offered), not at the tail of the
+  // unmeasured warmup — otherwise synchronized sources (incast rounds, CBR
+  // phases) deliver packets that were never offered.
+  if (warmup > sim::Time::zero()) sim_.run_until(warmup - sim::Time::picoseconds(1));
+  begin_measurement();
+  sim_.run_until(horizon_);
+  return finalize_run();
 }
 
 }  // namespace xdrs::core

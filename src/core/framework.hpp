@@ -41,6 +41,12 @@ class HybridSwitchFramework {
  public:
   explicit HybridSwitchFramework(FrameworkConfig cfg);
 
+  /// Shares an external simulator (fat-tree mode: every ToR switch of a
+  /// topology rides one event chain).  `shared` must outlive the framework;
+  /// run() is then orchestrated by the topology through start_run() /
+  /// begin_measurement() / finalize_run() instead of being called here.
+  HybridSwitchFramework(sim::Simulator& shared, FrameworkConfig cfg);
+
   HybridSwitchFramework(const HybridSwitchFramework&) = delete;
   HybridSwitchFramework& operator=(const HybridSwitchFramework&) = delete;
 
@@ -68,11 +74,32 @@ class HybridSwitchFramework {
   [[nodiscard]] schedulers::PolicyContext policy_context() const;
 
   // ---- workload -----------------------------------------------------------
-  /// Takes ownership; the generator starts when run() is called.
-  void add_generator(std::unique_ptr<traffic::TrafficGenerator> g);
+  /// Applied to every packet a generator emits, before it is injected: the
+  /// fat-tree placement stage retargets a locality-chosen fraction of flows
+  /// at the uplink ports here.  A pure function of the packet (no simulator
+  /// state), so placement is deterministic by construction.
+  using IngressTransform = std::function<void(net::Packet&)>;
+
+  /// Takes ownership; the generator starts when run() is called.  The
+  /// optional transform rewrites this generator's packets at injection time
+  /// (empty = inject as emitted, the single-switch path).
+  void add_generator(std::unique_ptr<traffic::TrafficGenerator> g,
+                     IngressTransform transform = {});
 
   /// Direct injection (integration tests / custom drivers).
   void inject(const net::Packet& p);
+
+  /// Transit injection for packets arriving from another tier (fat-tree
+  /// core links): ingests without offered-traffic accounting — the packet
+  /// was already offered at its source rack.
+  void reinject(const net::Packet& p);
+
+  // ---- multi-rack hooks ---------------------------------------------------
+  /// Delivery hook for cross-rack forwarding: a fabric delivery at port
+  /// >= `first_uplink` is handed to `hook` (the fat-tree core tier) instead
+  /// of being recorded as a final delivery.  Unset in single-switch runs.
+  using UplinkHook = std::function<void(const net::Packet&, control::FabricPath)>;
+  void set_uplink_hook(net::PortId first_uplink, UplinkHook hook);
 
   // ---- telemetry ----------------------------------------------------------
   /// Switches on the observability layer for this run: stage timers attach
@@ -90,7 +117,38 @@ class HybridSwitchFramework {
   // ---- execution ----------------------------------------------------------
   /// Runs warmup (unmeasured) then `duration` (measured); returns the
   /// measured-window report.  One-shot: a framework instance runs once.
+  /// Exactly start_run() + run_until(warmup) + begin_measurement() +
+  /// run_until(horizon) + finalize_run(), so single- and multi-switch runs
+  /// share one code path.
   RunReport run(sim::Time duration, sim::Time warmup = sim::Time::zero());
+
+  // ---- phased execution (topology drivers) --------------------------------
+  // A topology owning several frameworks on one shared simulator drives the
+  // phases itself: start_run() on every switch, advance the shared clock to
+  // the warmup boundary, begin_measurement() on every switch, advance to
+  // the horizon, finalize_run() on every switch.  run() is these phases
+  // over the framework's own simulator.
+  /// Starts scheduling and the generators; events run until `warmup +
+  /// duration` (the horizon).  One-shot, like run().
+  void start_run(sim::Time duration, sim::Time warmup = sim::Time::zero());
+  /// Snapshots baselines and opens the measured window.  Call with the
+  /// simulator stopped just short of the warmup boundary (run() stops 1 ps
+  /// early so boundary-stamped injections fall inside the window).
+  void begin_measurement();
+  /// Assembles and returns the measured-window report.  Call after the
+  /// simulator reached the horizon.
+  RunReport finalize_run();
+  /// The run horizon (warmup + duration); valid after start_run().
+  [[nodiscard]] sim::Time horizon() const noexcept { return horizon_; }
+
+  /// One timeline-sampler tick's worth of switch state (telemetry); urgent
+  /// backlog looks `urgent_horizon` ahead.  Read-only.
+  [[nodiscard]] obs::TimelineSnapshot timeline_snapshot(sim::Time urgent_horizon) const;
+
+  /// Attaches the scheduling/switching stage timers to `registry` without
+  /// creating a framework-owned telemetry bundle (fat-tree mode: the
+  /// topology owns one registry for all tiers).
+  void attach_stage_timers(obs::Registry* registry);
 
   // ---- component access (tests, benches, examples) ------------------------
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
@@ -104,6 +162,9 @@ class HybridSwitchFramework {
   [[nodiscard]] const FrameworkConfig& config() const noexcept { return cfg_; }
 
  private:
+  HybridSwitchFramework(FrameworkConfig cfg, std::unique_ptr<sim::Simulator> owned,
+                        sim::Simulator* shared);
+
   void wire();
   void on_deliver(const net::Packet& p, control::FabricPath via);
   /// One telemetry tick: snapshot switch state (read-only), fold it into
@@ -111,7 +172,10 @@ class HybridSwitchFramework {
   void sample_timeline(sim::Time period, sim::Time horizon);
 
   FrameworkConfig cfg_;
-  sim::Simulator sim_;
+  /// Owned in single-switch mode, null when sharing a topology simulator;
+  /// sim_ is the one reference every component uses either way.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  sim::Simulator& sim_;
   sim::TraceRecorder trace_;
   net::Classifier classifier_;
   control::SyncModel sync_;
@@ -120,12 +184,23 @@ class HybridSwitchFramework {
   SwitchingLogic switching_;
   ProcessingLogic processing_;
   SchedulingLogic scheduling_;
-  std::vector<std::unique_ptr<traffic::TrafficGenerator>> generators_;
+  struct AttachedGenerator {
+    std::unique_ptr<traffic::TrafficGenerator> g;
+    IngressTransform transform;  ///< empty on the single-switch path
+  };
+  std::vector<AttachedGenerator> generators_;
   std::unique_ptr<obs::RunTelemetry> telemetry_;
+
+  // Multi-rack forwarding (unset in single-switch runs).
+  net::PortId first_uplink_{0};
+  UplinkHook uplink_hook_;
 
   // Measurement state (active after warmup).
   bool measuring_{false};
   bool ran_{false};
+  bool measurement_begun_{false};
+  sim::Time duration_{};
+  sim::Time horizon_{};
   sim::Time measure_start_{};
   RunReport report_;
   std::unordered_map<net::FlowId, stats::Rfc3550Jitter> flow_jitter_;
@@ -142,6 +217,7 @@ class HybridSwitchFramework {
     sim::Time ocs_busy{};
     std::uint64_t decisions{0};
     sim::Time decision_latency_total{};
+    std::uint64_t uplink_drops{0};
   } base_;
 };
 

@@ -79,6 +79,8 @@ std::string report_state_json(const RunReport& report) {
   out += ",\"jitter_state\":" + summary_state_json(report.jitter_us);
   out += ",\"fct_deadline_state\":" + histogram_state_json(report.fct_deadline);
   out += ",\"fct_other_state\":" + histogram_state_json(report.fct_other);
+  out += ",\"fct_intra_rack_state\":" + histogram_state_json(report.fct_intra_rack);
+  out += ",\"fct_cross_rack_state\":" + histogram_state_json(report.fct_cross_rack);
   out += '}';
   return out;
 }
@@ -116,6 +118,14 @@ RunReport report_from_state(const JsonValue& state) {
   r.deadline_flows_met = state.at("deadline_flows_met").as_u64();
   r.deadline_flows_missed = state.at("deadline_flows_missed").as_u64();
   r.goodput_before_deadline_bytes = state.at("goodput_before_deadline_bytes").as_i64();
+  r.intra_rack_bytes = state.at("intra_rack_bytes").as_i64();
+  r.cross_rack_bytes = state.at("cross_rack_bytes").as_i64();
+  r.peak_uplink_queue_bytes = state.at("peak_uplink_queue_bytes").as_i64();
+  r.uplink_drops = state.at("uplink_drops").as_u64();
+  r.core_link_bytes = state.at("core_link_bytes").as_i64();
+  r.core_drops = state.at("core_drops").as_u64();
+  r.peak_core_queue_bytes = state.at("peak_core_queue_bytes").as_i64();
+  r.core_utilization = state.at("core_utilization").as_f64();
   // Digest fields (delivery_ratio, latency_* quantiles, deadline_miss_ratio)
   // are derived; the distributions themselves come back from their state
   // objects.
@@ -124,6 +134,8 @@ RunReport report_from_state(const JsonValue& state) {
   r.jitter_us = summary_from_state(state.at("jitter_state"));
   r.fct_deadline = histogram_from_state(state.at("fct_deadline_state"));
   r.fct_other = histogram_from_state(state.at("fct_other_state"));
+  r.fct_intra_rack = histogram_from_state(state.at("fct_intra_rack_state"));
+  r.fct_cross_rack = histogram_from_state(state.at("fct_cross_rack_state"));
   return r;
 }
 

@@ -127,6 +127,24 @@ std::vector<ScenarioSpec> preset_deadline() {
   return grid;  // 12 points
 }
 
+/// The two-tier fat-tree grid, recorded as BENCH_sweep_ft2.json: 2 racks of
+/// 32-host ToRs (64 hosts total; the ToR switch itself is 64-port at full
+/// bisection), crossing the two topology axes — core oversubscription
+/// {1:1, 2:1} and rack locality {0.5, 0.9} — on one slotted and one hybrid
+/// scenario.  2 x 2 x 2 = 8 points, every one multi-rack so the per-hop
+/// split (intra/cross-rack bytes and FCTs, core utilisation) is populated
+/// throughout.  Windows match p128: the grid exists to exercise the
+/// topology machinery, not long-horizon statistics.
+std::vector<ScenarioSpec> preset_ft2() {
+  std::vector<ScenarioSpec> grid;
+  for (const char* scenario : {"uniform", "shuffle"}) {
+    grid.push_back(make_scenario(scenario, 32, 0.5, 7).with_window(1_ms, 200_us).with_racks(2));
+  }
+  grid = expand(grid, axis_oversubscription({1.0, 2.0}));
+  grid = expand(grid, axis_locality({0.5, 0.9}));
+  return grid;  // 8 points
+}
+
 using PresetBuilder = std::vector<ScenarioSpec> (*)();
 
 const std::map<std::string, PresetBuilder>& presets() {
@@ -138,6 +156,7 @@ const std::map<std::string, PresetBuilder>& presets() {
       {"deadline", &preset_deadline},
       {"trace", &preset_trace},
       {"empirical", &preset_empirical},
+      {"ft2", &preset_ft2},
       {"p128", &preset_p128},
   };
   return map;

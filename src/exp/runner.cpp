@@ -31,12 +31,24 @@ constexpr std::uint64_t kShardSchema = 1;
 /// artefacts cannot tell the difference (CI-gated).  The sidecar write is
 /// best-effort, like cache stores: a full disk never aborts a sweep.
 core::RunReport run_with_telemetry(const ScenarioSpec& spec, const std::string& dir) {
-  std::unique_ptr<core::HybridSwitchFramework> fw = materialize(spec);
-  fw->enable_telemetry();
-  core::RunReport report = fw->run(spec.duration, spec.warmup);
+  core::RunReport report;
+  std::string doc;
+  if (spec.topology.multi_rack()) {
+    // Fat-tree points carry one topology-owned bundle: a shared registry
+    // every ToR's stage timers attach to, plus the per-tier tracks.
+    std::unique_ptr<topo::FatTree> ft = materialize_fat_tree(spec);
+    ft->enable_telemetry();
+    report = ft->run(spec.duration, spec.warmup);
+    doc = obs::telemetry_sidecar_json(*ft->telemetry(), spec.key(), spec_hash_hex(spec),
+                                      spec.scenario);
+  } else {
+    std::unique_ptr<core::HybridSwitchFramework> fw = materialize(spec);
+    fw->enable_telemetry();
+    report = fw->run(spec.duration, spec.warmup);
+    doc = obs::telemetry_sidecar_json(*fw->telemetry(), spec.key(), spec_hash_hex(spec),
+                                      spec.scenario);
+  }
   const std::string hash = spec_hash_hex(spec);
-  const std::string doc =
-      obs::telemetry_sidecar_json(*fw->telemetry(), spec.key(), hash, spec.scenario);
   try {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -355,6 +367,33 @@ std::vector<Mutator> axis_seed(const std::vector<std::uint64_t>& seeds) {
   axis.reserve(seeds.size());
   for (const std::uint64_t v : seeds) {
     axis.push_back([v](ScenarioSpec& s) { s.with_seed(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_racks(const std::vector<std::uint32_t>& values) {
+  std::vector<Mutator> axis;
+  axis.reserve(values.size());
+  for (const std::uint32_t v : values) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_racks(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_oversubscription(const std::vector<double>& values) {
+  std::vector<Mutator> axis;
+  axis.reserve(values.size());
+  for (const double v : values) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_oversubscription(v); });
+  }
+  return axis;
+}
+
+std::vector<Mutator> axis_locality(const std::vector<double>& values) {
+  std::vector<Mutator> axis;
+  axis.reserve(values.size());
+  for (const double v : values) {
+    axis.push_back([v](ScenarioSpec& s) { s.with_locality(v); });
   }
   return axis;
 }

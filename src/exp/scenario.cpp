@@ -135,6 +135,39 @@ ScenarioSpec& ScenarioSpec::with_label(std::string l) {
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::with_racks(std::uint32_t racks) {
+  if (racks == 0) throw std::invalid_argument{"ScenarioSpec::with_racks: racks must be >= 1"};
+  topology.racks = racks;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_oversubscription(double ratio) {
+  if (!std::isfinite(ratio) || ratio <= 0.0) {
+    throw std::invalid_argument{
+        "ScenarioSpec::with_oversubscription: ratio must be finite and positive"};
+  }
+  topology.oversubscription = ratio;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_locality(double locality) {
+  if (!std::isfinite(locality) || locality < 0.0 || locality > 1.0) {
+    throw std::invalid_argument{"ScenarioSpec::with_locality: locality must be in [0, 1]"};
+  }
+  for (auto& w : workloads) w.locality = locality;
+  return *this;
+}
+
+double ScenarioSpec::locality() const noexcept {
+  double total_share = 0.0;
+  double weighted = 0.0;
+  for (const auto& w : workloads) {
+    total_share += w.share;
+    weighted += w.share * w.locality;
+  }
+  return total_share > 0.0 ? weighted / total_share : 1.0;
+}
+
 double ScenarioSpec::load() const noexcept {
   double total = 0.0;
   for (const auto& w : workloads) total += w.load;
@@ -206,9 +239,17 @@ std::string ScenarioSpec::key() const {
   // every preset).  Knobs outside these axes (window, share splits, trace
   // content) are deliberately not rendered — that is with_label()'s job,
   // and the cache identity is identity_json(), not this string.
-  return scenario + '/' + to_string(config.discipline) + '/' + policies.to_string() + "/p" +
-         std::to_string(config.ports) + "/l" + stats::format_double(load()) + "/s" +
-         std::to_string(config.seed);
+  std::string k = scenario + '/' + to_string(config.discipline) + '/' + policies.to_string() +
+                  "/p" + std::to_string(config.ports) + "/l" + stats::format_double(load()) +
+                  "/s" + std::to_string(config.seed);
+  // Topology axes render only for multi-rack points, so every pre-topology
+  // key — and with it every committed artefact label — is unchanged.
+  if (topology.multi_rack()) {
+    k += "/r" + std::to_string(topology.racks) + "/o" +
+         stats::format_double(topology.oversubscription) + "/loc" +
+         stats::format_double(locality());
+  }
+  return k;
 }
 
 std::vector<stats::Field> ScenarioSpec::fields() const {
@@ -237,6 +278,11 @@ std::vector<stats::Field> ScenarioSpec::fields() const {
   f.push_back(Field::u64("seed", config.seed));
   f.push_back(Field::i64("spec_duration_ps", duration.ps()));
   f.push_back(Field::i64("warmup_ps", warmup.ps()));
+  // Topology axes (appended, so pre-topology columns keep their positions;
+  // single-switch points report the r1/o1/loc1 identity values).
+  f.push_back(Field::u64("racks", topology.racks));
+  f.push_back(Field::f64("oversubscription", topology.oversubscription));
+  f.push_back(Field::f64("locality", locality()));
   return f;
 }
 
@@ -273,6 +319,12 @@ std::string ScenarioSpec::identity_json() const {
   f.push_back(Field::u64("voip_pairs", voip_pairs));
   f.push_back(Field::i64("voip_period_ps", voip_period.ps()));
   f.push_back(Field::i64("voip_packet_bytes", voip_packet_bytes));
+  // Topology knobs fields() leaves out; uplink count is derived but
+  // recorded so a rounding change can never silently alias two specs.
+  f.push_back(Field::i64("core_latency_ps", topology.core_latency.ps()));
+  f.push_back(Field::i64("core_buffer_bytes", topology.core_buffer_bytes));
+  f.push_back(Field::u64("uplink_ports",
+                         topology.multi_rack() ? topology.uplinks(config.ports) : 0));
 
   std::string out = stats::to_json_object(f);
   out.pop_back();  // reopen to append the nested workload array
@@ -291,6 +343,7 @@ std::string ScenarioSpec::identity_json() const {
         Field::f64("elephant_fraction", w.elephant_fraction),
         Field::i64("period_ps", w.period.ps()),
         Field::i64("response_bytes", w.response_bytes),
+        Field::f64("locality", w.locality),
         Field::u64("seed", w.seed),
     };
     if (w.kind == topo::WorkloadSpec::Kind::kTraceReplay) {
@@ -340,7 +393,33 @@ std::unique_ptr<core::HybridSwitchFramework> materialize(const ScenarioSpec& spe
   return fw;
 }
 
+std::unique_ptr<topo::FatTree> materialize_fat_tree(const ScenarioSpec& spec) {
+  auto ft = std::make_unique<topo::FatTree>(spec.topology, spec.config);
+  for (std::uint32_t r = 0; r < ft->racks(); ++r) {
+    auto& fw = ft->rack(r);
+    fw.set_policies(spec.policies);
+    for (const auto& w : spec.workloads) {
+      // Offset the workload seed per rack so racks never emit correlated
+      // streams; the placement transform hashes the BASE seed plus the rack
+      // index itself, so host->rack assignment stays a pure function of the
+      // spec.  (Per-port expansion multiplies the seed by 1000003, so +r
+      // cannot collide across racks.)
+      topo::WorkloadSpec wr = w;
+      wr.seed = w.seed + r;
+      topo::attach_workload(fw, wr, ft->placement_transform(r, w.locality, w.seed));
+    }
+    if (spec.voip_pairs > 0) {
+      topo::attach_voip(fw, spec.voip_pairs, spec.voip_period, spec.voip_packet_bytes,
+                        spec.config.seed + 99 + r);
+    }
+  }
+  return ft;
+}
+
 core::RunReport run_scenario(const ScenarioSpec& spec) {
+  if (spec.topology.multi_rack()) {
+    return materialize_fat_tree(spec)->run(spec.duration, spec.warmup);
+  }
   return materialize(spec)->run(spec.duration, spec.warmup);
 }
 

@@ -22,6 +22,7 @@
 
 #include "core/framework.hpp"
 #include "stats/serialize.hpp"
+#include "topo/fat_tree.hpp"
 #include "topo/testbed.hpp"
 
 namespace xdrs::exp {
@@ -33,6 +34,11 @@ struct ScenarioSpec {
   std::string label;
 
   core::FrameworkConfig config{};
+  /// Topology the point runs on.  Default (1 rack) is the single switch
+  /// every pre-topology scenario ran: run_scenario() then takes the legacy
+  /// path byte-for-byte.  Multi-rack specs build a topo::FatTree whose ToRs
+  /// each get `config.ports` HOST ports plus derived uplinks.
+  topo::TopologySpec topology{};
   std::vector<topo::WorkloadSpec> workloads;
 
   // Optional latency-sensitive CBR overlay (topo::attach_voip).
@@ -75,6 +81,11 @@ struct ScenarioSpec {
   ScenarioSpec& with_seed(std::uint64_t seed);   ///< config and workload seeds
   ScenarioSpec& with_window(sim::Time duration, sim::Time warmup);
   ScenarioSpec& with_label(std::string label);
+  // ---- topology axes ------------------------------------------------------
+  ScenarioSpec& with_racks(std::uint32_t racks);
+  ScenarioSpec& with_oversubscription(double ratio);
+  /// Sets every workload's rack-locality fraction (fat-tree placement).
+  ScenarioSpec& with_locality(double locality);
 
   /// Total requested load — the sum of the workloads' loads (for a single
   /// workload, its load; for composites whose shares sum to 1, the value
@@ -86,6 +97,11 @@ struct ScenarioSpec {
   /// (ON/OFF duty cycle from the burst means, incast from the floored
   /// response size), so clamping in the derivation is visible, never silent.
   [[nodiscard]] double effective_load() const noexcept;
+
+  /// Share-weighted average of the workloads' locality fractions — the
+  /// placement axis value artefacts record.  1.0 for an empty spec (all
+  /// traffic rack-local, the single-switch behaviour).
+  [[nodiscard]] double locality() const noexcept;
 
   /// Canonical point key, e.g.
   /// "uniform/slotted/islip:4/solstice/instantaneous/hardware/p8/l0.5/s7"
@@ -122,10 +138,19 @@ struct ScenarioSpec {
 
 /// Builds the framework a spec describes: configuration, policy stack and
 /// workloads, ready for run().  Throws std::invalid_argument on unknown
-/// policy or scenario names.
+/// policy or scenario names.  Single-switch view: multi-rack specs go
+/// through materialize_fat_tree() instead.
 [[nodiscard]] std::unique_ptr<core::HybridSwitchFramework> materialize(const ScenarioSpec& spec);
 
-/// materialize() + run(): the whole experiment point, one call.
+/// Builds the fat-tree a multi-rack spec describes: per-rack frameworks
+/// with the spec's policies, workloads behind the placement transform
+/// (each workload's own `locality`), and rack-local VOIP overlays.  Valid
+/// for any rack count — a 1-rack tree reproduces materialize()'s run
+/// byte-identically through the shared phased path.
+[[nodiscard]] std::unique_ptr<topo::FatTree> materialize_fat_tree(const ScenarioSpec& spec);
+
+/// materialize() + run(): the whole experiment point, one call.  Routes
+/// multi-rack specs through materialize_fat_tree() automatically.
 [[nodiscard]] core::RunReport run_scenario(const ScenarioSpec& spec);
 
 // ---------------------------------------------------------------- registry

@@ -86,6 +86,16 @@ struct Packet {
   /// recorder detect "flow done" from delivered bytes alone, without the
   /// generator having to signal completion out of band.
   std::int64_t flow_bytes{0};
+
+  // ---- multi-rack routing (topo::FatTree) --------------------------------
+  // All zero/false in single-switch runs, so the legacy path is untouched.
+  // A cross-rack packet travels source-ToR fabric -> core link -> dest-ToR
+  // fabric; `dst` is rewritten per hop (uplink port, then final_dst) while
+  // these fields carry the end-to-end route.
+  std::uint32_t src_rack{0};  ///< rack the packet was generated in
+  std::uint32_t dst_rack{0};  ///< rack the packet terminates in
+  PortId final_dst{0};        ///< host port within dst_rack (cross-rack only)
+  bool remote{false};         ///< true iff the packet crosses the core tier
 };
 
 }  // namespace xdrs::net

@@ -40,8 +40,20 @@ void append_sim_instant(std::string& out, bool& first, const sim::TraceEvent& e)
 }  // namespace
 
 std::string chrome_trace_json(const sim::TraceRecorder& sim_trace, const Registry& registry) {
+  return chrome_trace_json(sim_trace, registry, CounterTracks{});
+}
+
+std::string chrome_trace_json(const sim::TraceRecorder& sim_trace, const Registry& registry,
+                              const CounterTracks& counters) {
   std::string out{"{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n"};
   bool first = true;
+
+  // Keep only usable counter tracks so the pid-3 process appears exactly
+  // when it will carry events.
+  CounterTracks tiers;
+  for (const auto& [name, series] : counters) {
+    if (series != nullptr && !series->samples().empty()) tiers.emplace_back(name, series);
+  }
 
   // Track naming metadata.
   append_event(out, first,
@@ -50,6 +62,11 @@ std::string chrome_trace_json(const sim::TraceRecorder& sim_trace, const Registr
   append_event(out, first,
                "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":"
                "\"host time (compute spans)\"}");
+  if (!tiers.empty()) {
+    append_event(out, first,
+                 "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"args\":{\"name\":"
+                 "\"tiers (queue depth, virtual time)\"}");
+  }
 
   // ---- virtual-time track: recorder events in record order ----------------
   // Start/done pairs fold into duration slices, emitted when the done event
@@ -109,6 +126,17 @@ std::string chrome_trace_json(const sim::TraceRecorder& sim_trace, const Registr
                      ts_us(static_cast<double>(s.start_ns - epoch_ns) / 1e3) +
                      ",\"dur\":" + ts_us(static_cast<double>(s.dur_ns) / 1e3) +
                      ",\"pid\":2,\"tid\":1");
+  }
+
+  // ---- tier counter tracks: one Perfetto counter per named series ---------
+  for (const auto& [name, series] : tiers) {
+    for (const stats::TimeSeries::Sample& s : series->samples()) {
+      append_event(out, first,
+                   "\"name\":\"" + stats::json_escape(name) +
+                       "\",\"cat\":\"tier\",\"ph\":\"C\",\"ts\":" + ts_us(s.at.us()) +
+                       ",\"pid\":3,\"tid\":1,\"args\":{\"value\":" +
+                       stats::format_double(s.value) + '}');
+    }
   }
 
   out += "\n]\n}\n";

@@ -1,11 +1,23 @@
 #include "topo/rack.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace xdrs::topo {
 
-RackAggregator::RackAggregator(Config cfg) : cfg_{cfg} {
+namespace {
+
+DrainQueue::Config uplink_config(const RackAggregator::Config& cfg) {
+  DrainQueue::Config qc;
+  qc.rate = cfg.uplink_rate;
+  qc.buffer_bytes = cfg.uplink_buffer_bytes;
+  qc.latency = sim::Time::zero();  // the ToR is the rack; no propagation stage
+  return qc;
+}
+
+}  // namespace
+
+RackAggregator::RackAggregator(Config cfg) : cfg_{cfg}, uplink_{uplink_config(cfg)} {
   if (cfg.racks < 2) throw std::invalid_argument{"RackAggregator: need >= 2 racks"};
   if (cfg.rack_id >= cfg.racks) throw std::invalid_argument{"RackAggregator: rack id range"};
   if (cfg.hosts == 0) throw std::invalid_argument{"RackAggregator: need >= 1 host"};
@@ -26,46 +38,17 @@ RackAggregator::RackAggregator(Config cfg) : cfg_{cfg} {
 }
 
 void RackAggregator::start(sim::Simulator& sim, Sink sink, sim::Time horizon) {
-  sink_ = std::move(sink);
+  uplink_.attach(sim, std::move(sink));
   for (auto& host : hosts_) {
-    host->start(sim, [this, &sim](const net::Packet& p) { on_host_packet(sim, p); }, horizon);
+    host->start(sim, [this](const net::Packet& p) { on_host_packet(p); }, horizon);
   }
 }
 
-void RackAggregator::on_host_packet(sim::Simulator& sim, const net::Packet& p) {
-  if (cfg_.uplink_buffer_bytes > 0 &&
-      queue_bytes_ + p.size_bytes > cfg_.uplink_buffer_bytes) {
-    ++drops_;
-    return;
+void RackAggregator::on_host_packet(const net::Packet& p) {
+  if (uplink_.offer(p)) {
+    ++stats_.packets;
+    stats_.bytes += p.size_bytes;
   }
-  ++stats_.packets;
-  stats_.bytes += p.size_bytes;
-  uplink_queue_.push_back(p);
-  queue_bytes_ += p.size_bytes;
-  peak_queue_ = std::max(peak_queue_, queue_bytes_);
-  if (!draining_) {
-    draining_ = true;
-    drain(sim);
-  }
-}
-
-void RackAggregator::drain(sim::Simulator& sim) {
-  if (uplink_queue_.empty()) {
-    draining_ = false;
-    return;
-  }
-  const net::Packet p = uplink_queue_.front();
-  const sim::Time tx =
-      cfg_.uplink_rate.transmission_time(p.size_bytes + sim::kWireOverheadBytes);
-  sim.schedule(tx, [this, &sim] {
-    // The host's creation timestamp is preserved: end-to-end latency spans
-    // the rack uplink queue as well as the core fabric.
-    const net::Packet out = uplink_queue_.front();
-    uplink_queue_.pop_front();
-    queue_bytes_ -= out.size_bytes;
-    sink_(out);
-    drain(sim);
-  });
 }
 
 std::vector<const RackAggregator*> attach_racks(core::HybridSwitchFramework& fw,

@@ -3,20 +3,20 @@
 //
 // Each port of the hybrid core switch is a rack of H hosts behind a shared
 // uplink.  The aggregator multiplexes the hosts' packet processes into the
-// core port: arrivals queue in the rack's uplink FIFO and drain at the
-// uplink rate, so host-level burst coincidence and rack-level
-// oversubscription (H x host_rate vs uplink_rate) are modelled explicitly —
-// the rack queue is itself a buffering stage that fast core scheduling
-// cannot remove.
+// core port: arrivals queue in the rack's uplink FIFO (topo::DrainQueue, the
+// same stage the fat-tree core tier uses) and drain at the uplink rate, so
+// host-level burst coincidence and rack-level oversubscription (H x
+// host_rate vs uplink_rate) are modelled explicitly — the rack queue is
+// itself a buffering stage that fast core scheduling cannot remove.
 #ifndef XDRS_TOPO_RACK_HPP
 #define XDRS_TOPO_RACK_HPP
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "core/framework.hpp"
+#include "topo/drain_queue.hpp"
 #include "traffic/generators.hpp"
 #include "traffic/patterns.hpp"
 
@@ -42,21 +42,25 @@ class RackAggregator final : public traffic::TrafficGenerator {
   void start(sim::Simulator& sim, Sink sink, sim::Time horizon) override;
   [[nodiscard]] std::string name() const override { return "rack"; }
 
-  [[nodiscard]] std::int64_t peak_uplink_queue_bytes() const noexcept { return peak_queue_; }
-  [[nodiscard]] std::uint64_t uplink_drops() const noexcept { return drops_; }
+  [[nodiscard]] std::int64_t peak_uplink_queue_bytes() const noexcept {
+    return uplink_.peak_queue_bytes();
+  }
+  [[nodiscard]] std::uint64_t uplink_drops() const noexcept { return uplink_.drops(); }
+
+  // TrafficGenerator ingress-queue surface: the framework folds these into
+  // RunReport::peak_uplink_queue_bytes / uplink_drops.
+  [[nodiscard]] std::int64_t peak_queue_bytes() const noexcept override {
+    return uplink_.peak_queue_bytes();
+  }
+  [[nodiscard]] std::uint64_t queue_drops() const noexcept override { return uplink_.drops(); }
+  void reset_queue_peak() noexcept override { uplink_.reset_peak(); }
 
  private:
-  void on_host_packet(sim::Simulator& sim, const net::Packet& p);
-  void drain(sim::Simulator& sim);
+  void on_host_packet(const net::Packet& p);
 
   Config cfg_;
   std::vector<std::unique_ptr<traffic::PoissonGenerator>> hosts_;
-  Sink sink_;
-  std::deque<net::Packet> uplink_queue_;
-  std::int64_t queue_bytes_{0};
-  std::int64_t peak_queue_{0};
-  std::uint64_t drops_{0};
-  bool draining_{false};
+  DrainQueue uplink_;
 };
 
 /// Builds one RackAggregator per core port of `fw`.  Returns non-owning

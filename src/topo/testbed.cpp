@@ -30,9 +30,12 @@ std::string WorkloadSpec::name() const {
   return "unknown";
 }
 
-void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) {
+void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec,
+                     core::HybridSwitchFramework::IngressTransform transform) {
   const auto& cfg = fw.config();
-  const std::uint32_t ports = cfg.ports;
+  // Sources and destinations live on host ports only; uplink ports (fat-tree
+  // mode) are transit.  Single-switch configs have host_ports() == ports.
+  const std::uint32_t ports = cfg.host_ports();
 
   // Trace replay is a single generator spanning all ports: it remaps the
   // trace's port ids onto this switch and time-scales to the spec's load.
@@ -43,7 +46,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
     gc.line_rate = cfg.link_rate;
     gc.load = spec.load;
     gc.seed = spec.seed;
-    fw.add_generator(std::make_unique<traffic::TraceReplayGenerator>(gc));
+    fw.add_generator(std::make_unique<traffic::TraceReplayGenerator>(gc), transform);
     return;
   }
 
@@ -58,7 +61,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
     gc.line_rate = cfg.link_rate;
     gc.deadline = spec.deadline;
     gc.seed = spec.seed;
-    fw.add_generator(std::make_unique<traffic::IncastGenerator>(gc));
+    fw.add_generator(std::make_unique<traffic::IncastGenerator>(gc), transform);
     return;
   }
 
@@ -107,7 +110,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
         gc.dest = dest;
         gc.size = std::make_shared<traffic::FixedSize>(sim::kMaxFrameBytes);
         gc.seed = seed;
-        fw.add_generator(std::make_unique<OnOffGenerator>(gc));
+        fw.add_generator(std::make_unique<OnOffGenerator>(gc), transform);
         break;
       }
       case WorkloadSpec::Kind::kShuffle:
@@ -122,7 +125,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
         gc.dest = dest;
         gc.deadline = spec.deadline;
         gc.seed = seed;
-        fw.add_generator(std::make_unique<FlowGenerator>(gc));
+        fw.add_generator(std::make_unique<FlowGenerator>(gc), transform);
         break;
       }
       default: {
@@ -133,7 +136,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
         gc.dest = dest;
         gc.size = std::make_shared<traffic::DatacenterPacketMix>();
         gc.seed = seed;
-        fw.add_generator(std::make_unique<PoissonGenerator>(gc));
+        fw.add_generator(std::make_unique<PoissonGenerator>(gc), transform);
         break;
       }
     }
@@ -142,7 +145,7 @@ void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec) 
 
 void attach_voip(core::HybridSwitchFramework& fw, std::uint32_t pairs, sim::Time period,
                  std::int64_t packet_bytes, std::uint64_t seed) {
-  const std::uint32_t ports = fw.config().ports;
+  const std::uint32_t ports = fw.config().host_ports();
   if (pairs > ports) throw std::invalid_argument{"attach_voip: more pairs than ports"};
   for (std::uint32_t i = 0; i < pairs; ++i) {
     CbrGenerator::Config gc;

@@ -47,17 +47,27 @@ struct WorkloadSpec {
   /// kEmpirical, kIncast).  Packet-level kinds have no flow to complete and
   /// ignore it; kTraceReplay carries deadlines in the trace file itself.
   traffic::DeadlineSpec deadline{};
+  /// Fat-tree placement: fraction of each source's flows that stay inside
+  /// its own rack (1.0 = everything rack-local, the single-switch
+  /// behaviour).  Ignored when the topology has a single rack — the
+  /// placement stage is only built for multi-rack runs.
+  double locality{1.0};
   std::uint64_t seed{7};
 
   [[nodiscard]] std::string name() const;
 };
 
-/// Creates one generator per port of `fw` according to `spec`.
-void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec);
+/// Creates one generator per host port of `fw` according to `spec` (uplink
+/// ports, when the config reserves any, carry transit traffic and get no
+/// sources).  The optional `transform` is installed on every generator —
+/// the fat-tree placement stage rides here.
+void attach_workload(core::HybridSwitchFramework& fw, const WorkloadSpec& spec,
+                     core::HybridSwitchFramework::IngressTransform transform = {});
 
-/// Adds `pairs` bidirectional VOIP-like CBR streams between distinct port
-/// pairs (src i <-> dst (i + ports/2) % ports), `packet_bytes` every
-/// `period`.  Marked latency-sensitive.
+/// Adds `pairs` bidirectional VOIP-like CBR streams between distinct host
+/// port pairs (src i <-> dst (i + ports/2) % ports), `packet_bytes` every
+/// `period`.  Marked latency-sensitive.  Always rack-local: VOIP overlays
+/// model intra-rack service traffic even in fat-tree runs.
 void attach_voip(core::HybridSwitchFramework& fw, std::uint32_t pairs, sim::Time period,
                  std::int64_t packet_bytes, std::uint64_t seed = 99);
 

@@ -20,7 +20,7 @@ namespace {
 TEST(Presets, KnowsTheBuiltInGrids) {
   const auto names = known_presets();
   for (const char* expected : {"small", "full", "policy-cross", "composite", "deadline", "trace",
-                               "empirical", "p128"}) {
+                               "empirical", "ft2", "p128"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing preset " << expected;
   }
@@ -46,6 +46,13 @@ TEST(Presets, CompositeAndTraceGridsHaveTheDocumentedShape) {
   // websearch_dl 2 loads x 2 matchers x 2 estimators + rpc_slo 2 loads x
   // 2 estimators.
   EXPECT_EQ(make_preset("deadline").size(), 12u);
+  // 2 fat-tree scenarios x 2 oversubscriptions x 2 localities, all 2-rack.
+  const std::vector<ScenarioSpec> ft2 = make_preset("ft2");
+  EXPECT_EQ(ft2.size(), 8u);
+  for (const ScenarioSpec& spec : ft2) {
+    EXPECT_EQ(spec.topology.racks, 2u);
+    EXPECT_TRUE(spec.topology.multi_rack());
+  }
 }
 
 TEST(Presets, DeadlineGridCrossesAwareAndBlindStacks) {

@@ -48,6 +48,16 @@ RunReport sample_report() {
   r.goodput_before_deadline_bytes = 11'000;
   r.fct_deadline.record_time(Time::microseconds(40));
   r.fct_other.record_time(Time::microseconds(90));
+  r.intra_rack_bytes = 9'000;
+  r.cross_rack_bytes = 3'000;
+  r.fct_intra_rack.record_time(Time::microseconds(40));
+  r.fct_cross_rack.record_time(Time::microseconds(90));
+  r.peak_uplink_queue_bytes = 300;
+  r.uplink_drops = 1;
+  r.core_link_bytes = 3'000;
+  r.core_drops = 2;
+  r.peak_core_queue_bytes = 150;
+  r.core_utilization = 0.25;
   return r;
 }
 
@@ -77,6 +87,26 @@ TEST(RunReportMerge, CountersSumAndPeaksMax) {
   EXPECT_EQ(a.goodput_before_deadline_bytes, 22'000);
   EXPECT_EQ(a.fct_deadline.count(), 2u);
   EXPECT_EQ(a.fct_other.count(), 2u);
+  // Per-hop metrics (schema 4): byte totals and drops sum, queue peaks take
+  // the max, the FCT locality split merges like every other histogram.
+  EXPECT_EQ(a.intra_rack_bytes, 18'000);
+  EXPECT_EQ(a.cross_rack_bytes, 6'000);
+  EXPECT_EQ(a.fct_intra_rack.count(), 2u);
+  EXPECT_EQ(a.fct_cross_rack.count(), 2u);
+  EXPECT_EQ(a.peak_uplink_queue_bytes, 300);
+  EXPECT_EQ(a.uplink_drops, 2u);
+  EXPECT_EQ(a.core_link_bytes, 6'000);
+  EXPECT_EQ(a.core_drops, 4u);
+  EXPECT_EQ(a.peak_core_queue_bytes, 150);
+}
+
+TEST(RunReportMerge, CoreUtilizationIsDurationWeighted) {
+  RunReport a = sample_report();  // 1 ms at 0.25
+  RunReport b = sample_report();
+  b.duration = Time::milliseconds(3);
+  b.core_utilization = 0.65;
+  a.merge(b);
+  EXPECT_NEAR(a.core_utilization, (0.25 * 1.0 + 0.65 * 3.0) / 4.0, 1e-12);
 }
 
 TEST(RunReportMerge, DerivedRatesAreReweighted) {
@@ -156,7 +186,7 @@ TEST(RunReportFields, CsvHeaderAndRowAgreeOnColumnCount) {
 TEST(RunReportGolden, Json) {
   EXPECT_EQ(
       sample_report().to_json(),
-      R"({"schema_version":3,"policy_stack":"islip-i2/-/instantaneous/hardware",)"
+      R"({"schema_version":4,"policy_stack":"islip-i2/-/instantaneous/hardware",)"
       R"("duration_ps":1000000000,"offered_packets":10,"offered_bytes":15000,)"
       R"("delivered_packets":8,"delivered_bytes":12000,"serviced_bytes":13000,)"
       R"("ocs_bytes":9000,"eps_bytes":3000,"latency_sensitive_bytes":1000,)"
@@ -171,7 +201,12 @@ TEST(RunReportGolden, Json) {
       R"("goodput_before_deadline_bytes":11000,"fct_deadline_count":1,)"
       R"("fct_deadline_mean_ps":4e+07,"fct_deadline_p50_ps":40000000,)"
       R"("fct_deadline_p99_ps":40000000,"fct_deadline_max_ps":40000000,"fct_other_count":1,)"
-      R"("fct_other_mean_ps":9e+07,"fct_other_p99_ps":90000000})");
+      R"("fct_other_mean_ps":9e+07,"fct_other_p99_ps":90000000,"intra_rack_bytes":9000,)"
+      R"("cross_rack_bytes":3000,"fct_intra_rack_count":1,"fct_intra_rack_mean_ps":4e+07,)"
+      R"("fct_intra_rack_p99_ps":40000000,"fct_cross_rack_count":1,)"
+      R"("fct_cross_rack_mean_ps":9e+07,"fct_cross_rack_p99_ps":90000000,)"
+      R"("peak_uplink_queue_bytes":300,"uplink_drops":1,"core_link_bytes":3000,)"
+      R"("core_drops":2,"peak_core_queue_bytes":150,"core_utilization":0.25})");
 }
 
 TEST(RunReportGolden, CsvRow) {
@@ -187,12 +222,17 @@ TEST(RunReportGolden, CsvRow) {
             "jitter_flows,jitter_mean_us,jitter_max_us,deadline_flows_met,deadline_flows_missed,"
             "deadline_miss_ratio,goodput_before_deadline_bytes,fct_deadline_count,"
             "fct_deadline_mean_ps,fct_deadline_p50_ps,fct_deadline_p99_ps,fct_deadline_max_ps,"
-            "fct_other_count,fct_other_mean_ps,fct_other_p99_ps");
+            "fct_other_count,fct_other_mean_ps,fct_other_p99_ps,intra_rack_bytes,"
+            "cross_rack_bytes,fct_intra_rack_count,fct_intra_rack_mean_ps,fct_intra_rack_p99_ps,"
+            "fct_cross_rack_count,fct_cross_rack_mean_ps,fct_cross_rack_p99_ps,"
+            "peak_uplink_queue_bytes,uplink_drops,core_link_bytes,core_drops,"
+            "peak_core_queue_bytes,core_utilization");
   EXPECT_EQ(sample_report().csv_row(),
-            "3,islip-i2/-/instantaneous/hardware,"
+            "4,islip-i2/-/instantaneous/hardware,"
             "1000000000,10,15000,8,12000,13000,9000,3000,1000,2000,9000,1,2,3,4,5,2000000,0.5,"
             "400,200,4,250000,0.8,2,5,3,3,7,1,5,5,1,1.5,1.5,"
-            "6,2,0.25,11000,1,4e+07,40000000,40000000,40000000,1,9e+07,90000000");
+            "6,2,0.25,11000,1,4e+07,40000000,40000000,40000000,1,9e+07,90000000,"
+            "9000,3000,1,4e+07,40000000,1,9e+07,90000000,300,1,3000,2,150,0.25");
 }
 
 // ---- state round-trip: the read side (core/report_io) ----------------------
@@ -246,9 +286,9 @@ TEST(RunReportStateIo, EmptyReportRoundTrips) {
 TEST(RunReportStateIo, RejectsSchemaMismatchAndMissingKeys) {
   const std::string state = report_state_json(sample_report());
 
-  // Wrong schema version: flip the leading "schema_version":3.
+  // Wrong schema version: flip the leading "schema_version":4.
   std::string wrong = state;
-  const auto pos = wrong.find("\"schema_version\":3");
+  const auto pos = wrong.find("\"schema_version\":4");
   ASSERT_NE(pos, std::string::npos);
   wrong.replace(pos, 18, "\"schema_version\":1");
   EXPECT_THROW((void)report_from_state_json(wrong), std::invalid_argument);

@@ -47,8 +47,8 @@ ScenarioSpec fixed_spec() {
 // serialization or the FNV constants drifted.  Update it only alongside a
 // deliberate ScenarioSpec::fields() / RunReport::kSchemaVersion change.
 TEST_F(ResultCacheTest, SpecHashGoldenIsStable) {
-  EXPECT_EQ(ResultCache::entry_name(fixed_spec()), "974ae136e41a625f.json");
-  EXPECT_EQ(ResultCache::entry_name(fixed_spec()), "974ae136e41a625f.json");  // deterministic
+  EXPECT_EQ(ResultCache::entry_name(fixed_spec()), "1a24f4c769e3e727.json");
+  EXPECT_EQ(ResultCache::entry_name(fixed_spec()), "1a24f4c769e3e727.json");  // deterministic
 }
 
 TEST_F(ResultCacheTest, SpecHashSeesEveryAxisAndTheWholePolicyStack) {
@@ -164,7 +164,7 @@ TEST_F(ResultCacheTest, SchemaVersionMismatchIsStale) {
   std::ifstream in{cache.entry_path(spec), std::ios::binary};
   std::string entry{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
   in.close();
-  const std::string needle = "\"report\":{\"schema_version\":3";
+  const std::string needle = "\"report\":{\"schema_version\":4";
   const auto pos = entry.find(needle);
   ASSERT_NE(pos, std::string::npos);
   entry.replace(pos, needle.size(), "\"report\":{\"schema_version\":1");

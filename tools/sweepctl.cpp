@@ -63,14 +63,19 @@ int usage(const char* error = nullptr) {
                "         [SHARD.json...]\n"
                "                                show grid size, cache and shard coverage;\n"
                "                                with shard files, report straggler shards,\n"
-               "                                cache-hit vs compute wall split and the\n"
-               "                                slowest points; with --telemetry + --stages,\n"
-               "                                the per-scenario stage-cost breakdown\n"
+               "                                cache-hit vs compute wall split, the\n"
+               "                                slowest points and — for multi-rack\n"
+               "                                points — the per-hop split (intra/cross-\n"
+               "                                rack bytes, core utilisation); with\n"
+               "                                --telemetry + --stages, the per-scenario\n"
+               "                                stage-cost breakdown\n"
                "  trace  --scenario NAME [--policies STACK] [--ports N] [--load X]\n"
-               "         [--seed N] --out FILE\n"
+               "         [--seed N] [--racks N [--oversub X] [--locality X]] --out FILE\n"
                "                                run one scenario with event tracing and\n"
                "                                stage profiling on; write a Chrome\n"
-               "                                trace-event JSON (load in ui.perfetto.dev)\n"
+               "                                trace-event JSON (load in ui.perfetto.dev).\n"
+               "                                multi-rack runs add one counter track per\n"
+               "                                tier (per-ToR VOQ depth, core queue depth)\n"
                "  gc     --cache DIR --keep-days N\n"
                "                                evict cache entries older than N days\n");
   return 2;
@@ -90,6 +95,9 @@ struct Options {
   std::uint32_t ports{8};    // trace
   double load{0.5};          // trace
   std::uint64_t seed{7};     // trace
+  std::uint32_t racks{1};    // trace; >1 runs the scenario on a fat-tree
+  double oversub{1.0};       // trace; fat-tree core oversubscription
+  double locality{0.9};      // trace; fat-tree rack-locality fraction
   double keep_days{-1.0};  // gc; negative = not given
   bool progress{false};
   bool stages{false};  // status: per-stage telemetry breakdown
@@ -166,6 +174,15 @@ bool parse(int argc, char** argv, Options& opt) {
         if (!value() || !util::parse_number(val, opt.load) || opt.load <= 0.0) return false;
       } else if (key == "--seed") {
         if (!value() || !util::parse_number(val, opt.seed)) return false;
+      } else if (key == "--racks") {
+        if (!value() || !util::parse_number(val, opt.racks) || opt.racks < 1) return false;
+      } else if (key == "--oversub") {
+        if (!value() || !util::parse_number(val, opt.oversub) || opt.oversub <= 0.0) return false;
+      } else if (key == "--locality") {
+        if (!value() || !util::parse_number(val, opt.locality) || opt.locality < 0.0 ||
+            opt.locality > 1.0) {
+          return false;
+        }
       } else if (key == "--stages") {
         opt.stages = true;
       } else if (key == "--progress") {
@@ -382,6 +399,15 @@ int cmd_status(const Options& opt) {
       std::uint64_t missed{0};
     };
     std::map<std::string, DeadlineTally> deadline_tallies;
+    // Per-hop split over multi-rack points (schema-4 reports): delivered
+    // bytes by hop class and the mean core-link utilisation.
+    struct HopTally {
+      std::int64_t intra_bytes{0};
+      std::int64_t cross_bytes{0};
+      double util_sum{0.0};
+      std::size_t points{0};
+    };
+    std::map<std::string, HopTally> hop_tallies;
     for (const std::string& path : opt.inputs) {
       std::size_t points = 0;
       std::size_t matching = 0;
@@ -434,6 +460,21 @@ int cmd_status(const Options& opt) {
                 t.met += met->as_u64();
                 t.missed += missed->as_u64();
               }
+              // Per-hop metrics, when present (tolerant find: pre-topology
+              // shard files simply print no per-hop line) and meaningful
+              // (multi-rack points only — a single switch is all intra).
+              if (grid[index].topology.multi_rack()) {
+                const stats::JsonValue* intra = report->find("intra_rack_bytes");
+                const stats::JsonValue* cross = report->find("cross_rack_bytes");
+                const stats::JsonValue* util = report->find("core_utilization");
+                if (intra != nullptr && cross != nullptr && util != nullptr) {
+                  HopTally& h = hop_tallies[grid[index].scenario];
+                  h.intra_bytes += intra->as_i64();
+                  h.cross_bytes += cross->as_i64();
+                  h.util_sum += util->as_f64();
+                  ++h.points;
+                }
+              }
             }
           }
         }
@@ -461,6 +502,21 @@ int cmd_status(const Options& opt) {
                   "compute wall %.1f ms)\n",
                   cached_points, static_cast<double>(cached_wall_us) / 1e3,
                   static_cast<double>(compute_wall_us) / 1e3);
+    }
+
+    // Per-hop summary for the topology grids: how delivered bytes split
+    // between rack-local and core-crossing hops, and how loaded the core
+    // links ran (mean over the scenario's multi-rack points).
+    for (const auto& [scenario, h] : hop_tallies) {
+      const std::int64_t total = h.intra_bytes + h.cross_bytes;
+      const double cross_share =
+          total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(h.cross_bytes) / static_cast<double>(total);
+      std::printf("per-hop %s: intra-rack %.1f MB, cross-rack %.1f MB (%.1f%% crossed), "
+                  "core utilization %.3f (%zu points)\n",
+                  scenario.c_str(), static_cast<double>(h.intra_bytes) / 1e6,
+                  static_cast<double>(h.cross_bytes) / 1e6, cross_share,
+                  h.util_sum / static_cast<double>(h.points), h.points);
     }
 
     // SLO summary: deadline-miss ratio per scenario, for shards whose
@@ -512,14 +568,42 @@ int cmd_trace(const Options& opt) {
 
   exp::ScenarioSpec spec = exp::make_scenario(opt.scenario, opt.ports, opt.load, opt.seed);
   if (!opt.policies.empty()) spec.with_policies(core::PolicyStack::parse(opt.policies));
+  if (opt.racks > 1) {
+    spec.with_racks(opt.racks).with_oversubscription(opt.oversub).with_locality(opt.locality);
+  }
+
+  obs::TelemetryConfig tc;
+  tc.span_log_capacity = 1 << 16;  // keep individual spans for the host track
+
+  if (spec.topology.multi_rack()) {
+    // Fat-tree: the sim-event track comes from ToR 0 (every rack runs the
+    // same policy stack, so one switch is representative); the per-tier
+    // gauge series render as one counter track per ToR plus the core.
+    std::unique_ptr<topo::FatTree> ft = exp::materialize_fat_tree(spec);
+    sim::TraceRecorder& trace = ft->rack(0).trace();
+    trace.set_capacity(1 << 20, sim::TraceOverflow::kDropOldest);
+    trace.enable();
+    ft->enable_telemetry(tc);
+    (void)ft->run(spec.duration, spec.warmup);
+
+    write_file(opt.out_path,
+               obs::chrome_trace_json(trace, ft->telemetry()->registry(), ft->tier_series()));
+    std::printf("trace %s: %zu events kept (%llu dropped), %zu spans kept (%llu dropped), "
+                "%zu tier tracks -> %s\n",
+                spec.key().c_str(), trace.events().size(),
+                static_cast<unsigned long long>(trace.dropped()),
+                ft->telemetry()->registry().spans().size(),
+                static_cast<unsigned long long>(ft->telemetry()->registry().spans_dropped()),
+                ft->tier_series().size(), opt.out_path.c_str());
+    std::printf("load %s in ui.perfetto.dev or chrome://tracing\n", opt.out_path.c_str());
+    return 0;
+  }
 
   std::unique_ptr<core::HybridSwitchFramework> fw = exp::materialize(spec);
   // Bounded tracing: drop-oldest keeps the trace's tail contiguous, so
   // start/done pairs still fold into duration slices after overflow.
   fw->trace().set_capacity(1 << 20, sim::TraceOverflow::kDropOldest);
   fw->trace().enable();
-  obs::TelemetryConfig tc;
-  tc.span_log_capacity = 1 << 16;  // keep individual spans for the host track
   fw->enable_telemetry(tc);
   (void)fw->run(spec.duration, spec.warmup);
 
