@@ -1,10 +1,8 @@
 #include "exp/cache.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <random>
 #include <ratio>
 #include <stdexcept>
 #include <string_view>
@@ -111,8 +109,7 @@ void ResultCache::store(const ScenarioSpec& spec, const core::RunReport& report)
   // Unique temp name per writer so concurrent threads and shard processes
   // sharing the directory never interleave; rename() is atomic within a
   // filesystem.
-  static std::atomic<std::uint64_t> tmp_seq{std::random_device{}()};
-  const std::string tmp = path + ".tmp." + hex16(tmp_seq.fetch_add(1));
+  const std::string tmp = path + ".tmp." + util::unique_tmp_token();
   const auto store_failed = [this, &tmp](const std::string& what) {
     std::error_code ec;
     std::filesystem::remove(tmp, ec);

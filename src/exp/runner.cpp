@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -14,6 +15,7 @@
 
 #include "core/report_io.hpp"
 #include "exp/cache.hpp"
+#include "exp/lease.hpp"
 #include "obs/telemetry.hpp"
 #include "stats/json.hpp"
 #include "util/file_io.hpp"
@@ -59,6 +61,52 @@ core::RunReport run_with_telemetry(const ScenarioSpec& spec, const std::string& 
 }
 
 }  // namespace
+
+// ------------------------------------------------------------- ExecutionPlan
+
+WorkSourceSpec ExecutionPlan::resolved_source() const {
+  const auto check_shard = [](const ShardOptions& s, const char* field) {
+    if (s.count == 0) {
+      throw std::invalid_argument{std::string{"ExecutionPlan: "} + field +
+                                  ".count must be >= 1 (got 0)"};
+    }
+    if (s.index >= s.count) {
+      throw std::invalid_argument{std::string{"ExecutionPlan: "} + field + ".index " +
+                                  std::to_string(s.index) + " not in [0, " +
+                                  std::to_string(s.count) + ")"};
+    }
+  };
+  check_shard(shard, "shard");
+  const bool legacy_shard = shard.index != 0 || shard.count != 1;
+
+  WorkSourceSpec resolved = source;
+  if (resolved.kind == WorkSourceSpec::Kind::kLease) {
+    if (legacy_shard) {
+      throw std::invalid_argument{
+          "ExecutionPlan: shard cannot combine with a lease source — elastic workers claim "
+          "points dynamically"};
+    }
+    if (resolved.lease_dir.empty()) {
+      throw std::invalid_argument{"ExecutionPlan: source.lease_dir must not be empty"};
+    }
+    if (!(resolved.lease_ttl_s > 0.0)) {
+      throw std::invalid_argument{"ExecutionPlan: source.lease_ttl_s must be > 0"};
+    }
+    return resolved;
+  }
+
+  check_shard(resolved.shard, "source.shard");
+  const bool source_shard = resolved.shard.index != 0 || resolved.shard.count != 1;
+  if (legacy_shard && source_shard &&
+      (shard.index != resolved.shard.index || shard.count != resolved.shard.count)) {
+    throw std::invalid_argument{
+        "ExecutionPlan: shard " + std::to_string(shard.index) + "/" +
+        std::to_string(shard.count) + " conflicts with source.shard " +
+        std::to_string(resolved.shard.index) + "/" + std::to_string(resolved.shard.count)};
+  }
+  if (legacy_shard) resolved.shard = shard;
+  return resolved;
+}
 
 // --------------------------------------------------------------- SweepResult
 
@@ -117,7 +165,15 @@ stats::Table SweepResult::table(const std::vector<std::string>& columns) const {
 // ------------------------------------------------------- sharded reassembly
 
 std::string SweepResult::to_shard_json() const {
-  if (shard.count == 0 || points.size() != shard.owned_of(grid_size)) {
+  // A well-formed worker result holds its points in strictly ascending grid
+  // order within the grid — what both the static hand-out order and the
+  // lease compaction produce.  Anything else is corrupted metadata.
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (points[j].index >= grid_size || (j > 0 && points[j].index <= points[j - 1].index)) {
+      throw std::invalid_argument{"to_shard_json: result does not match its shard/grid metadata"};
+    }
+  }
+  if (shard.count == 0) {
     throw std::invalid_argument{"to_shard_json: result does not match its shard/grid metadata"};
   }
   std::string out{"{\n  \"sweep_schema\": "};
@@ -129,7 +185,7 @@ std::string SweepResult::to_shard_json() const {
   out += ",\n  \"points\": [\n";
   for (std::size_t j = 0; j < points.size(); ++j) {
     const PointResult& p = points[j];
-    out += "    {\"index\":" + std::to_string(shard.index + j * shard.count);
+    out += "    {\"index\":" + std::to_string(p.index);
     out += ",\"spec_hash\":\"" + spec_hash_hex(p.spec) + '"';
     out += ",\"key\":\"" + stats::json_escape(p.spec.key()) + '"';
     out += ",\"wall_us\":" + std::to_string(p.wall_us);
@@ -145,6 +201,12 @@ std::string SweepResult::to_shard_json() const {
 
 SweepResult SweepResult::merge_shards(const std::vector<ScenarioSpec>& grid,
                                       const std::vector<std::string>& shard_jsons) {
+  return merge_shards(grid, shard_jsons, nullptr);
+}
+
+SweepResult SweepResult::merge_shards(const std::vector<ScenarioSpec>& grid,
+                                      const std::vector<std::string>& shard_jsons,
+                                      ResultCache* fill_cache) {
   SweepResult result;
   result.grid_size = grid.size();
   result.points.resize(grid.size());
@@ -179,6 +241,7 @@ SweepResult SweepResult::merge_shards(const std::vector<ScenarioSpec>& grid,
         fail("point " + std::to_string(index) + " spec hash does not match the grid");
       }
       result.points[index].spec = grid[index];
+      result.points[index].index = index;
       try {
         result.points[index].report = core::report_from_state(entry.at("report"));
         // Older shard files (envelope additions are backward compatible)
@@ -197,6 +260,22 @@ SweepResult SweepResult::merge_shards(const std::vector<ScenarioSpec>& grid,
     }
   }
 
+  // Backfill pass for elastic sweeps: a worker killed between computing a
+  // point (cache store) and publishing its shard file leaves the report in
+  // the shared cache — recover it from there rather than failing the merge.
+  if (fill_cache != nullptr) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (covered[i]) continue;
+      std::optional<core::RunReport> hit = fill_cache->lookup(grid[i]);
+      if (!hit) continue;
+      result.points[i].spec = grid[i];
+      result.points[i].index = i;
+      result.points[i].report = *std::move(hit);
+      result.points[i].cached = true;
+      covered[i] = true;
+    }
+  }
+
   const std::size_t missing =
       static_cast<std::size_t>(std::count(covered.begin(), covered.end(), false));
   if (missing != 0) {
@@ -208,21 +287,47 @@ SweepResult SweepResult::merge_shards(const std::vector<ScenarioSpec>& grid,
 
 // ---------------------------------------------------------- ExperimentRunner
 
-SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
-  const ShardOptions shard = opts_.shard;
-  if (shard.count == 0 || shard.index >= shard.count) {
-    throw std::invalid_argument{"ExperimentRunner: shard index " + std::to_string(shard.index) +
-                                " not in [0, " + std::to_string(shard.count) + ")"};
+namespace {
+
+/// Materialises the plan's work source against one grid.
+std::unique_ptr<WorkSource> make_work_source(const WorkSourceSpec& spec,
+                                             const std::vector<ScenarioSpec>& grid) {
+  if (spec.kind == WorkSourceSpec::Kind::kStatic) {
+    return std::make_unique<StaticShardSource>(spec.shard, grid.size());
   }
+  std::vector<std::string> hashes;
+  hashes.reserve(grid.size());
+  for (const ScenarioSpec& s : grid) hashes.push_back(spec_hash_hex(s));
+  LeaseOptions lo;
+  lo.dir = spec.lease_dir;
+  lo.ttl_s = spec.lease_ttl_s;
+  return std::make_unique<LeaseWorkSource>(std::move(lo), std::move(hashes));
+}
+
+}  // namespace
+
+SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
+  const WorkSourceSpec source_spec = plan_.resolved_source();
 
   SweepResult result;
-  result.shard = shard;
+  result.shard =
+      source_spec.kind == WorkSourceSpec::Kind::kStatic ? source_spec.shard : ShardOptions{};
   result.grid_size = grid.size();
-  const std::size_t owned = shard.owned_of(grid.size());
-  result.points.resize(owned);
-  if (owned == 0) return result;
+  if (grid.empty()) return result;
 
-  std::atomic<std::size_t> next{0};
+  const std::unique_ptr<WorkSource> source = make_work_source(source_spec, grid);
+  // The progress denominator: exact for a static slice, the whole grid for
+  // elastic runs (how much THIS worker wins is unknowable up front).
+  const std::size_t total_hint = source_spec.kind == WorkSourceSpec::Kind::kStatic
+                                     ? source_spec.shard.owned_of(grid.size())
+                                     : grid.size();
+  if (total_hint == 0) return result;
+
+  // Completion order is nondeterministic (threads, steals), so workers drop
+  // results into grid-indexed slots and the tail compacts them in grid
+  // order — the artefact bytes can't tell how points were claimed.
+  std::vector<PointResult> slots(grid.size());
+  std::vector<char> filled(grid.size(), 0);  // char: vector<bool> is not thread-safe
   std::atomic<bool> failed{false};
   std::size_t completed = 0;
   std::mutex mutex;  // guards `completed`, `error` and the progress callback
@@ -233,32 +338,38 @@ SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
       // A failed point aborts the whole sweep: don't burn the remaining
       // grid on the surviving workers just to rethrow afterwards.
       if (failed.load(std::memory_order_relaxed)) return;
-      const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
-      if (j >= owned) return;
-      PointResult& slot = result.points[j];
-      slot.spec = grid[shard.index + j * shard.count];
+      const std::optional<std::size_t> claim = source->next_point();
+      if (!claim) return;
+      const std::size_t i = *claim;
+      PointResult& slot = slots[i];
+      slot.spec = grid[i];
+      slot.index = i;
       const auto point_began = std::chrono::steady_clock::now();
       try {
         std::optional<core::RunReport> cached;
-        if (opts_.cache != nullptr) cached = opts_.cache->lookup(slot.spec);
+        if (plan_.cache != nullptr) cached = plan_.cache->lookup(slot.spec);
         if (cached) {
           slot.report = *std::move(cached);
           slot.cached = true;
         } else {
-          slot.report = opts_.telemetry_dir.empty()
+          slot.report = plan_.telemetry_dir.empty()
                             ? run_scenario(slot.spec)
-                            : run_with_telemetry(slot.spec, opts_.telemetry_dir);
-          if (opts_.cache != nullptr) {
+                            : run_with_telemetry(slot.spec, plan_.telemetry_dir);
+          if (plan_.cache != nullptr) {
             // Caching is best-effort: a full disk or permission flap on the
             // cache directory must not abort a sweep whose simulations are
             // succeeding.  The cache counts the failure (store_failures).
+            // For lease runs the order matters: the store precedes the
+            // completion marker, so a completed point's report is always
+            // recoverable from the cache even if this process dies now.
             try {
-              opts_.cache->store(slot.spec, slot.report);
+              plan_.cache->store(slot.spec, slot.report);
             } catch (const std::runtime_error&) {
             }
           }
         }
       } catch (...) {
+        source->abandon(i);
         failed.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock{mutex};
         if (!error) error = std::current_exception();
@@ -267,16 +378,19 @@ SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
       slot.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
                          std::chrono::steady_clock::now() - point_began)
                          .count();
-      if (opts_.progress) {
+      // complete() returning false means another worker finished a stolen
+      // twin of this claim first; drop our copy so merges stay exactly-once.
+      if (source->complete(i, slot.wall_us)) filled[i] = 1;
+      if (plan_.progress) {
         const std::lock_guard<std::mutex> lock{mutex};
-        opts_.progress(++completed, owned, slot.spec);
+        plan_.progress(++completed, total_hint, slot.spec);
       }
     }
   };
 
-  unsigned threads = opts_.threads != 0 ? opts_.threads
+  unsigned threads = plan_.threads != 0 ? plan_.threads
                                         : std::max(1u, std::thread::hardware_concurrency());
-  threads = static_cast<unsigned>(std::min<std::size_t>(threads, owned));
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, total_hint));
 
   if (threads <= 1) {
     work();
@@ -287,7 +401,12 @@ SweepResult ExperimentRunner::run(const std::vector<ScenarioSpec>& grid) const {
     for (auto& t : pool) t.join();
   }
 
+  result.source_stats = source->stats();
   if (error) std::rethrow_exception(error);
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (filled[i] != 0) result.points.push_back(std::move(slots[i]));
+  }
   return result;
 }
 

@@ -1,0 +1,74 @@
+#include "exp/work_source.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+#include "stats/serialize.hpp"
+#include "util/parse.hpp"
+
+namespace xdrs::exp {
+
+namespace {
+
+bool parse_shard_token(std::string_view token, ShardOptions& shard) {
+  const auto slash = token.find('/');
+  if (slash == std::string_view::npos) return false;
+  // Whole-token, in-range parses only: "0x1/2", "1/2x" and "1/-2" must be
+  // rejected, not silently truncated or wrapped to the wrong shard.
+  if (!util::parse_number(token.substr(0, slash), shard.index)) return false;
+  if (!util::parse_number(token.substr(slash + 1), shard.count)) return false;
+  return shard.count >= 1 && shard.index < shard.count;
+}
+
+}  // namespace
+
+WorkSourceSpec WorkSourceSpec::parse(const std::string& text) {
+  constexpr std::string_view kStaticPrefix = "static:";
+  constexpr std::string_view kLeasePrefix = "lease:";
+  const std::string_view sv{text};
+
+  if (sv.substr(0, kStaticPrefix.size()) == kStaticPrefix) {
+    ShardOptions shard;
+    if (!parse_shard_token(sv.substr(kStaticPrefix.size()), shard)) {
+      throw std::invalid_argument{"WorkSourceSpec: bad static shard '" + text +
+                                  "' (want static:I/N with I < N)"};
+    }
+    return static_shard(shard);
+  }
+
+  if (sv.substr(0, kLeasePrefix.size()) == kLeasePrefix) {
+    std::string_view tail = sv.substr(kLeasePrefix.size());
+    double ttl = 60.0;
+    // The tail after the LAST ':' is the TTL iff it parses as a positive
+    // number; otherwise the whole tail is the directory (paths with ':'
+    // stay usable as long as the final segment is not numeric).
+    const auto colon = tail.rfind(':');
+    if (colon != std::string_view::npos) {
+      double parsed = 0.0;
+      if (util::parse_number(tail.substr(colon + 1), parsed)) {
+        if (!(parsed > 0.0)) {
+          throw std::invalid_argument{"WorkSourceSpec: lease TTL must be > 0 in '" + text + "'"};
+        }
+        ttl = parsed;
+        tail = tail.substr(0, colon);
+      }
+    }
+    if (tail.empty()) {
+      throw std::invalid_argument{"WorkSourceSpec: empty lease directory in '" + text +
+                                  "' (want lease:DIR[:TTL_SECONDS])"};
+    }
+    return lease(std::string{tail}, ttl);
+  }
+
+  throw std::invalid_argument{"WorkSourceSpec: unknown source '" + text +
+                              "' (want static:I/N or lease:DIR[:TTL_SECONDS])"};
+}
+
+std::string WorkSourceSpec::describe() const {
+  if (kind == Kind::kStatic) {
+    return "static:" + std::to_string(shard.index) + "/" + std::to_string(shard.count);
+  }
+  return "lease:" + lease_dir + " (ttl " + stats::format_double(lease_ttl_s) + "s)";
+}
+
+}  // namespace xdrs::exp

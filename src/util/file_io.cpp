@@ -1,8 +1,12 @@
 #include "util/file_io.hpp"
 
+#include <atomic>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/hash.hpp"
 
 namespace xdrs::util {
 
@@ -20,6 +24,13 @@ void write_file(const std::string& path, std::string_view content) {
   out.write(content.data(), static_cast<std::streamsize>(content.size()));
   out.flush();  // surface write errors here, not in the silent destructor
   if (!out) throw std::runtime_error{"cannot write '" + path + "'"};
+}
+
+std::string unique_tmp_token() {
+  // Random seed separates processes; the counter separates threads within
+  // one process without further synchronisation cost.
+  static std::atomic<std::uint64_t> seq{std::random_device{}()};
+  return hex16(seq.fetch_add(1));
 }
 
 }  // namespace xdrs::util

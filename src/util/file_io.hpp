@@ -16,6 +16,11 @@ namespace xdrs::util {
 /// std::runtime_error naming the path on any failure.
 void write_file(const std::string& path, std::string_view content);
 
+/// A 16-hex token unique across threads and (with overwhelming probability)
+/// processes, for naming temp files that concurrent writers publish via
+/// atomic rename/link — the cache and the lease protocol both build on it.
+[[nodiscard]] std::string unique_tmp_token();
+
 }  // namespace xdrs::util
 
 #endif  // XDRS_UTIL_FILE_IO_HPP
